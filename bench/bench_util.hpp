@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark binaries: uniform headers, paper-vs-
+// measured reporting, and scheduler loading.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/table.hpp"
+#include "mptcp/scheduler.hpp"
+#include "runtime/program.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::bench {
+
+inline void print_header(const std::string& title, const std::string& paper) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Paper reference: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+/// One "shape" assertion: prints PASS/FAIL so bench logs double as a
+/// regression record for EXPERIMENTS.md.
+inline bool check_shape(const std::string& what, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "REPRODUCED" : "DIVERGES  ", what.c_str());
+  return ok;
+}
+
+inline std::unique_ptr<rt::ProgmpProgram> load_builtin(
+    const std::string& name,
+    rt::Backend backend = rt::Backend::kEbpf) {
+  const auto spec = sched::specs::find_spec(name);
+  if (!spec.has_value()) {
+    std::fprintf(stderr, "unknown scheduler %s\n", name.c_str());
+    std::abort();
+  }
+  DiagSink diags;
+  rt::ProgmpProgram::LoadOptions options;
+  options.backend = backend;
+  auto program =
+      rt::ProgmpProgram::load(spec->source, name, options, diags);
+  if (program == nullptr) {
+    std::fprintf(stderr, "failed to load %s:\n%s\n", name.c_str(),
+                 diags.str().c_str());
+    std::abort();
+  }
+  return program;
+}
+
+inline double mbps(double bytes_per_sec) { return bytes_per_sec / 1e6; }
+
+}  // namespace progmp::bench

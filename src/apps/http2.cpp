@@ -1,0 +1,55 @@
+#include "apps/http2.hpp"
+
+#include <algorithm>
+
+namespace progmp::apps {
+
+PageLoad::PageLoad(sim::Simulator& sim, mptcp::MptcpConnection& conn,
+                   PageConfig cfg)
+    : sim_(sim), conn_(conn), cfg_(cfg) {}
+
+void PageLoad::start() {
+  started_at_ = sim_.now();
+  conn_.set_on_deliver([this](std::uint64_t, std::int32_t size, TimeNs) {
+    delivered_ += size;
+    on_delivered(delivered_);
+  });
+
+  auto props_for = [&](ContentClass cls) {
+    mptcp::SkbProps props;
+    props.prop1 =
+        cfg_.annotate_content ? static_cast<std::int64_t>(cls) : 0;
+    return props;
+  };
+  // The server writes the whole response stream at once; HTTP/2
+  // prioritization puts the classes in this order on the wire.
+  conn_.write(cfg_.head_bytes, props_for(ContentClass::kDependencyHead));
+  conn_.write(cfg_.critical_bytes, props_for(ContentClass::kInitialView));
+  conn_.write(cfg_.belowfold_bytes, props_for(ContentClass::kBelowFold));
+}
+
+void PageLoad::on_delivered(std::int64_t total) {
+  const TimeNs now = sim_.now();
+  if (head_done_at_.ns() == 0 && total >= cfg_.head_bytes) {
+    head_done_at_ = now;  // browser parses the head, issues 3PC requests
+  }
+  if (critical_done_at_.ns() == 0 &&
+      total >= cfg_.head_bytes + cfg_.critical_bytes) {
+    critical_done_at_ = now;
+  }
+  if (full_load_at_.ns() == 0 &&
+      total >= cfg_.head_bytes + cfg_.critical_bytes + cfg_.belowfold_bytes) {
+    full_load_at_ = now;
+  }
+}
+
+TimeNs PageLoad::initial_page_time() const {
+  // Third-party fetches run in parallel against external servers, starting
+  // the moment the dependency information is complete.
+  const TimeNs third_party_done =
+      dependency_retrieval_time() + cfg_.third_party_latency;
+  const TimeNs critical_done = critical_done_at_ - started_at_;
+  return std::max(third_party_done, critical_done);
+}
+
+}  // namespace progmp::apps

@@ -1,0 +1,83 @@
+// HTTP/2 page-load model (§5.5).
+//
+// Models the paper's MPTCP-aware web server (nghttp2 extension) and the
+// browser-side retrieval process:
+//
+//  * the server sends the page over one MPTCP connection in priority order —
+//    first the dependency-bearing head (HTML with references to third-party
+//    content), then the content required for the initial view (critical
+//    CSS/JS/HTML), then below-the-fold content (images) — annotating each
+//    packet with its content class (PROP1),
+//  * the browser discovers third-party dependencies only once the head has
+//    fully arrived, then fetches them from *other* servers in parallel
+//    (modelled as a fixed external latency — those fetches do not traverse
+//    the measured connection),
+//  * the initial page is rendered when both the critical content and all
+//    third-party dependencies have arrived; the page is fully loaded when
+//    the below-the-fold content has, too.
+//
+// Metrics mirror Fig 14: dependency retrieval time, initial page time, full
+// load time, and bytes carried by the non-preferred (LTE) subflow.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+#include "mptcp/connection.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::apps {
+
+/// Content classes carried in packet PROP1 (see sched/specs.hpp).
+enum class ContentClass : std::int64_t {
+  kDependencyHead = 1,
+  kInitialView = 2,
+  kBelowFold = 3,
+};
+
+struct PageConfig {
+  std::int64_t head_bytes = 16 * 1024;        ///< HTML head + dep manifest
+  std::int64_t critical_bytes = 120 * 1024;   ///< CSS/JS/initial HTML
+  std::int64_t belowfold_bytes = 600 * 1024;  ///< images outside the view
+  TimeNs third_party_latency = milliseconds(90);  ///< parallel 3PC fetches
+  /// Annotate packets with their content class (the MPTCP-aware server).
+  /// With false, the page still loads but the scheduler sees PROP1 = 0 —
+  /// the "uninformed" baseline.
+  bool annotate_content = true;
+};
+
+class PageLoad {
+ public:
+  PageLoad(sim::Simulator& sim, mptcp::MptcpConnection& conn, PageConfig cfg);
+
+  /// Sends the page and tracks delivery. Run the simulator afterwards.
+  void start();
+
+  [[nodiscard]] bool done() const { return full_load_at_.ns() != 0; }
+
+  /// Time until the dependency information had fully arrived and the 3PC
+  /// requests could be issued (relative to start).
+  [[nodiscard]] TimeNs dependency_retrieval_time() const {
+    return head_done_at_ - started_at_;
+  }
+  /// Time until initial render: critical content delivered and all
+  /// third-party fetches complete.
+  [[nodiscard]] TimeNs initial_page_time() const;
+  [[nodiscard]] TimeNs full_load_time() const {
+    return full_load_at_ - started_at_;
+  }
+
+ private:
+  void on_delivered(std::int64_t total);
+
+  sim::Simulator& sim_;
+  mptcp::MptcpConnection& conn_;
+  PageConfig cfg_;
+  TimeNs started_at_{0};
+  TimeNs head_done_at_{0};
+  TimeNs critical_done_at_{0};
+  TimeNs full_load_at_{0};
+  std::int64_t delivered_ = 0;
+};
+
+}  // namespace progmp::apps

@@ -1,0 +1,105 @@
+#include "apps/scenarios.hpp"
+
+namespace progmp::apps {
+namespace {
+
+sim::Link::Config link_config(const PathSpec& p) {
+  sim::Link::Config cfg;
+  cfg.rate_bps = p.rate_mbps * 1'000'000;
+  cfg.delay = p.one_way_delay;
+  cfg.loss_rate = p.loss;
+  cfg.queue_limit_bytes = p.queue_kb * 1024;
+  return cfg;
+}
+
+sim::Link::Config ack_path_for(const PathSpec& forward) {
+  sim::Link::Config cfg;
+  cfg.rate_bps = 1'000'000'000;  // ACKs are tiny; the reverse path is ample
+  cfg.delay = forward.one_way_delay;
+  cfg.loss_rate = 0.0;
+  cfg.queue_limit_bytes = 1 << 20;
+  return cfg;
+}
+
+}  // namespace
+
+mptcp::MptcpConnection::SubflowSpec make_subflow(const std::string& name,
+                                                 const PathSpec& forward,
+                                                 bool backup) {
+  mptcp::MptcpConnection::SubflowSpec spec;
+  spec.sender.name = name;
+  spec.sender.backup = backup;
+  spec.forward = link_config(forward);
+  spec.reverse = ack_path_for(forward);
+  return spec;
+}
+
+mptcp::MptcpConnection::SubflowSpec wifi_subflow(std::int64_t rate_mbps,
+                                                 double loss) {
+  PathSpec path;
+  path.rate_mbps = rate_mbps;
+  path.one_way_delay = milliseconds(5);  // 10 ms RTT
+  path.loss = loss;
+  path.queue_kb = 64;
+  return make_subflow("wifi", path, /*backup=*/false);
+}
+
+mptcp::MptcpConnection::SubflowSpec lte_subflow(std::int64_t rate_mbps,
+                                                bool backup, double loss) {
+  PathSpec path;
+  path.rate_mbps = rate_mbps;
+  path.one_way_delay = milliseconds(20);  // 40 ms RTT
+  path.loss = loss;
+  path.queue_kb = 256;  // cellular buffers are deep
+  auto spec = make_subflow("lte", path, backup);
+  spec.sender.preferred = false;  // metered: non-preferred (§5.4)
+  return spec;
+}
+
+mptcp::MptcpConnection::Config mobile_config(bool lte_backup_flag,
+                                             std::int64_t wifi_mbps,
+                                             std::int64_t lte_mbps) {
+  mptcp::MptcpConnection::Config cfg;
+  cfg.subflows.push_back(wifi_subflow(wifi_mbps));
+  cfg.subflows.push_back(lte_subflow(lte_mbps, lte_backup_flag));
+  return cfg;
+}
+
+mptcp::MptcpConnection::Config lossy_config(double loss, int subflows,
+                                            std::int64_t rate_mbps,
+                                            TimeNs one_way) {
+  mptcp::MptcpConnection::Config cfg;
+  for (int i = 0; i < subflows; ++i) {
+    PathSpec path;
+    path.rate_mbps = rate_mbps;
+    path.one_way_delay = one_way;
+    path.loss = loss;
+    path.queue_kb = 128;
+    cfg.subflows.push_back(make_subflow("sbf" + std::to_string(i), path));
+  }
+  return cfg;
+}
+
+mptcp::MptcpConnection::Config heterogeneous_config(double rtt_ratio,
+                                                    TimeNs base_rtt,
+                                                    std::int64_t rate_mbps) {
+  mptcp::MptcpConnection::Config cfg;
+  PathSpec fast;
+  fast.rate_mbps = rate_mbps;
+  fast.one_way_delay = base_rtt / 2;
+  fast.queue_kb = 128;
+  PathSpec slow = fast;
+  slow.one_way_delay =
+      TimeNs{static_cast<std::int64_t>(fast.one_way_delay.ns() * rtt_ratio)};
+  cfg.subflows.push_back(make_subflow("fast", fast));
+  cfg.subflows.push_back(make_subflow("slow", slow));
+  return cfg;
+}
+
+mptcp::MptcpConnection::Config single_path_config(const PathSpec& path) {
+  mptcp::MptcpConnection::Config cfg;
+  cfg.subflows.push_back(make_subflow("tcp", path));
+  return cfg;
+}
+
+}  // namespace progmp::apps

@@ -1,0 +1,64 @@
+// Canonical network scenarios shared by tests, examples and benchmarks.
+//
+// Each builder returns connection configurations that mirror the paper's
+// testbeds: the WiFi/LTE mobile setup of Fig 1/13/14 (10 ms WiFi RTT vs
+// 40 ms LTE RTT, LTE metered => non-preferred), the Mininet two-subflow
+// lossy setup of Fig 10 (2% loss), and the heterogeneous RTT-ratio setup
+// of Fig 12.
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+#include "mptcp/connection.hpp"
+
+namespace progmp::apps {
+
+/// One direction of a configured path.
+struct PathSpec {
+  std::int64_t rate_mbps = 100;
+  TimeNs one_way_delay = milliseconds(5);
+  double loss = 0.0;
+  std::int64_t queue_kb = 256;
+};
+
+/// Builds a subflow spec from forward-path parameters; the reverse (ACK)
+/// path gets the same delay, generous rate and no loss.
+mptcp::MptcpConnection::SubflowSpec make_subflow(const std::string& name,
+                                                 const PathSpec& forward,
+                                                 bool backup = false);
+
+/// WiFi leg of the mobile scenario: ~5 ms one-way (10 ms RTT), residential
+/// broadband rate, small queue (little bufferbloat).
+mptcp::MptcpConnection::SubflowSpec wifi_subflow(std::int64_t rate_mbps = 16,
+                                                 double loss = 0.0);
+
+/// LTE leg: ~20 ms one-way (40 ms RTT), higher rate, marked backup
+/// (non-preferred / metered).
+mptcp::MptcpConnection::SubflowSpec lte_subflow(std::int64_t rate_mbps = 48,
+                                                bool backup = false,
+                                                double loss = 0.0);
+
+/// The Fig 1 / Fig 13 mobile connection: WiFi preferred + LTE.
+mptcp::MptcpConnection::Config mobile_config(bool lte_backup_flag,
+                                             std::int64_t wifi_mbps = 16,
+                                             std::int64_t lte_mbps = 48);
+
+/// The Fig 10 Mininet-style connection: two symmetric subflows with the
+/// given loss rate.
+mptcp::MptcpConnection::Config lossy_config(double loss, int subflows = 2,
+                                            std::int64_t rate_mbps = 20,
+                                            TimeNs one_way = milliseconds(10));
+
+/// The Fig 12 heterogeneous connection: a fast subflow with `base_rtt` and a
+/// slow one with `base_rtt * rtt_ratio`.
+mptcp::MptcpConnection::Config heterogeneous_config(double rtt_ratio,
+                                                    TimeNs base_rtt =
+                                                        milliseconds(20),
+                                                    std::int64_t rate_mbps =
+                                                        40);
+
+/// Single-path TCP baseline: one subflow with the given path.
+mptcp::MptcpConnection::Config single_path_config(const PathSpec& path);
+
+}  // namespace progmp::apps

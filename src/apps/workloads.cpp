@@ -1,0 +1,141 @@
+#include "apps/workloads.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace progmp::apps {
+
+// ---- BulkSource -------------------------------------------------------------
+
+BulkSource::BulkSource(sim::Simulator& sim, mptcp::MptcpConnection& conn,
+                       Options opts)
+    : sim_(sim), conn_(conn), opts_(opts) {}
+
+void BulkSource::start() {
+  conn_.set_on_deliver(
+      [this](std::uint64_t, std::int32_t, TimeNs) { top_up(); });
+  top_up();
+}
+
+void BulkSource::top_up() {
+  while (written_ < opts_.total_bytes &&
+         conn_.q_len() < opts_.max_queue_packets) {
+    const std::int64_t chunk =
+        std::min(opts_.chunk_bytes, opts_.total_bytes - written_);
+    written_ += chunk;
+    conn_.write(chunk);
+  }
+}
+
+// ---- CbrSource --------------------------------------------------------------
+
+CbrSource::CbrSource(sim::Simulator& sim, mptcp::MptcpConnection& conn,
+                     Options opts)
+    : sim_(sim),
+      conn_(conn),
+      opts_(std::move(opts)),
+      delivered_meter_(milliseconds(500)) {
+  PROGMP_CHECK(!opts_.schedule.empty());
+}
+
+void CbrSource::start() {
+  started_at_ = sim_.now();
+  conn_.set_on_deliver([this](std::uint64_t, std::int32_t size, TimeNs at) {
+    delivered_meter_.add(at, size);
+  });
+  if (opts_.target_register >= 1) {
+    conn_.set_register(opts_.target_register - 1, current_rate());
+  }
+  on_frame();
+}
+
+std::int64_t CbrSource::current_rate() const {
+  const TimeNs elapsed = sim_.now() - started_at_;
+  std::int64_t rate = opts_.schedule.front().second;
+  for (const auto& [start, r] : opts_.schedule) {
+    if (elapsed >= start) rate = r;
+  }
+  return rate;
+}
+
+void CbrSource::on_frame() {
+  const TimeNs elapsed = sim_.now() - started_at_;
+  if (elapsed >= opts_.duration) return;
+
+  const std::int64_t rate = current_rate();
+  if (opts_.target_register >= 1 &&
+      conn_.get_register(opts_.target_register - 1) != rate) {
+    conn_.set_register(opts_.target_register - 1, rate);
+  }
+  const std::int64_t frame_bytes =
+      rate * opts_.frame_interval.ns() / 1'000'000'000;
+  if (frame_bytes > 0) {
+    written_ += frame_bytes;
+    conn_.write(frame_bytes);
+  }
+  delivered_series_.add(sim_.now(),
+                        delivered_meter_.bytes_per_sec(sim_.now()));
+  sim_.schedule_after(opts_.frame_interval, [this] { on_frame(); });
+}
+
+// ---- FlowRunner -------------------------------------------------------------
+
+FlowRunner::FlowRunner(sim::Simulator& sim, mptcp::MptcpConnection& conn,
+                       Options opts)
+    : sim_(sim), conn_(conn), opts_(opts) {
+  PROGMP_CHECK(opts_.flow_bytes > 0 && opts_.flow_count > 0);
+}
+
+void FlowRunner::start() {
+  conn_.set_on_deliver([this](std::uint64_t, std::int32_t size, TimeNs) {
+    delivered_ += size;
+    on_delivered(delivered_);
+  });
+  start_flow();
+}
+
+void FlowRunner::start_flow() {
+  flow_started_ = sim_.now();
+  flow_target_delivered_ = delivered_ + opts_.flow_bytes;
+  flow_active_ = true;
+  if (opts_.signal_flow_end) {
+    // Clear the flush signal for the new flow, then raise it with the last
+    // write: the application knows it has no more data to send (§5.3).
+    conn_.set_register(1, 0);  // R2 = 0
+  }
+  conn_.write(opts_.flow_bytes, opts_.props);
+  if (opts_.signal_flow_end) {
+    conn_.set_register(1, 1);  // R2 = 1
+  }
+}
+
+void FlowRunner::on_delivered(std::int64_t total_delivered) {
+  if (!flow_active_ || total_delivered < flow_target_delivered_) return;
+  flow_active_ = false;
+  fct_ms_.add(static_cast<double>((sim_.now() - flow_started_).us()) / 1000.0);
+  ++completed_;
+  if (completed_ < opts_.flow_count) {
+    sim_.schedule_after(opts_.gap, [this] { start_flow(); });
+  }
+}
+
+// ---- BurstySource -----------------------------------------------------------
+
+BurstySource::BurstySource(sim::Simulator& sim, mptcp::MptcpConnection& conn,
+                           Options opts)
+    : sim_(sim), conn_(conn), opts_(opts) {}
+
+void BurstySource::start() {
+  started_at_ = sim_.now();
+  on_burst();
+}
+
+void BurstySource::on_burst() {
+  if (sim_.now() - started_at_ >= opts_.duration) return;
+  written_ += opts_.burst_bytes;
+  conn_.write(opts_.burst_bytes);
+  sim_.schedule_after(opts_.period, [this] { on_burst(); });
+}
+
+}  // namespace progmp::apps

@@ -1,0 +1,152 @@
+// Application workload generators driving MPTCP connections.
+//
+//  * BulkSource     — iPerf-style saturating transfer (Fig 9, Fig 10c),
+//  * CbrSource      — constant-bitrate interactive stream with a bitrate
+//                     schedule (Fig 1, Fig 13), optionally keeping the TAP
+//                     target register up to date,
+//  * FlowRunner     — back-to-back short flows with per-flow completion
+//                     times (Fig 10b, Fig 12), optionally signalling the
+//                     end of each flow through R2,
+//  * BurstySource   — on/off traffic exposing timing-sensitive redundancy
+//                     behaviour (Fig 10c "bursty").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/time.hpp"
+#include "mptcp/connection.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::apps {
+
+/// Saturating bulk sender: keeps the sending queue topped up so throughput
+/// is limited by the transport, not the application.
+class BulkSource {
+ public:
+  struct Options {
+    std::int64_t total_bytes = 64 * 1024 * 1024;
+    std::int64_t chunk_bytes = 64 * 1024;
+    std::size_t max_queue_packets = 128;  ///< top up while Q is below this
+  };
+
+  BulkSource(sim::Simulator& sim, mptcp::MptcpConnection& conn, Options opts);
+
+  void start();
+  [[nodiscard]] bool finished_writing() const {
+    return written_ >= opts_.total_bytes;
+  }
+
+ private:
+  void top_up();
+
+  sim::Simulator& sim_;
+  mptcp::MptcpConnection& conn_;
+  Options opts_;
+  std::int64_t written_ = 0;
+};
+
+/// Constant-bitrate source with a piecewise-constant bitrate schedule.
+/// Measures the delivered (application-level) throughput over time.
+class CbrSource {
+ public:
+  struct Options {
+    /// (start time, bytes per second); must be sorted by time, first at 0.
+    std::vector<std::pair<TimeNs, std::int64_t>> schedule;
+    TimeNs frame_interval = milliseconds(33);
+    TimeNs duration = seconds(12);
+    /// When >= 1, keeps R<target_register> = current target rate (TAP).
+    int target_register = 0;
+  };
+
+  CbrSource(sim::Simulator& sim, mptcp::MptcpConnection& conn, Options opts);
+
+  void start();
+
+  /// Delivered throughput (bytes/sec) sampled once per frame interval.
+  [[nodiscard]] const TimeSeries& delivered_series() const {
+    return delivered_series_;
+  }
+  [[nodiscard]] std::int64_t written_bytes() const { return written_; }
+
+ private:
+  void on_frame();
+  [[nodiscard]] std::int64_t current_rate() const;
+
+  sim::Simulator& sim_;
+  mptcp::MptcpConnection& conn_;
+  Options opts_;
+  TimeNs started_at_{0};
+  std::int64_t written_ = 0;
+  RateMeter delivered_meter_;
+  TimeSeries delivered_series_;
+};
+
+/// Sequential short flows with flow-completion-time measurement. A flow is
+/// complete when its last byte has been delivered in order to the receiving
+/// application.
+class FlowRunner {
+ public:
+  struct Options {
+    std::int64_t flow_bytes = 64 * 1024;
+    int flow_count = 20;
+    TimeNs gap = milliseconds(200);  ///< idle time between flows
+    /// Signal end-of-flow through R2 with each flow's last byte
+    /// (Compensating schedulers).
+    bool signal_flow_end = false;
+    mptcp::SkbProps props;
+  };
+
+  FlowRunner(sim::Simulator& sim, mptcp::MptcpConnection& conn, Options opts);
+
+  void start();
+
+  [[nodiscard]] int completed() const { return completed_; }
+  [[nodiscard]] bool done() const { return completed_ >= opts_.flow_count; }
+  /// Per-flow completion times in milliseconds.
+  [[nodiscard]] const Summary& fct_ms() const { return fct_ms_; }
+
+ private:
+  void start_flow();
+  void on_delivered(std::int64_t total_delivered);
+
+  sim::Simulator& sim_;
+  mptcp::MptcpConnection& conn_;
+  Options opts_;
+  int completed_ = 0;
+  TimeNs flow_started_{0};
+  std::int64_t flow_target_delivered_ = 0;
+  std::int64_t delivered_ = 0;
+  bool flow_active_ = false;
+  Summary fct_ms_;
+};
+
+/// On/off source: bursts of `burst_bytes` every `period`.
+class BurstySource {
+ public:
+  struct Options {
+    std::int64_t burst_bytes = 256 * 1024;
+    TimeNs period = milliseconds(250);
+    TimeNs duration = seconds(10);
+  };
+
+  BurstySource(sim::Simulator& sim, mptcp::MptcpConnection& conn,
+               Options opts);
+
+  void start();
+  [[nodiscard]] std::int64_t written_bytes() const { return written_; }
+
+ private:
+  void on_burst();
+
+  sim::Simulator& sim_;
+  mptcp::MptcpConnection& conn_;
+  Options opts_;
+  TimeNs started_at_{0};
+  std::int64_t written_ = 0;
+};
+
+}  // namespace progmp::apps

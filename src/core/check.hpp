@@ -1,0 +1,40 @@
+// Internal invariant checking.
+//
+// PROGMP_CHECK guards *programmer* errors (broken invariants inside the
+// library). It is active in all build types: transport state machines are
+// exactly the kind of code where silently continuing after a broken
+// invariant produces misleading experiment results. User-facing errors
+// (malformed scheduler specs, invalid API calls) never go through these
+// macros — they are reported via Diag/Result values instead.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace progmp::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "PROGMP_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace progmp::detail
+
+#define PROGMP_CHECK(expr)                                              \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::progmp::detail::check_failed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                   \
+  } while (0)
+
+#define PROGMP_CHECK_MSG(expr, msg)                                     \
+  do {                                                                  \
+    if (!(expr)) {                                                      \
+      ::progmp::detail::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                   \
+  } while (0)
+
+#define PROGMP_UNREACHABLE(msg) \
+  ::progmp::detail::check_failed(__FILE__, __LINE__, "unreachable", (msg))

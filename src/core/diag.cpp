@@ -1,0 +1,33 @@
+#include "core/diag.hpp"
+
+namespace progmp {
+namespace {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string Diag::str() const {
+  return loc.str() + ": " + severity_name(severity) + ": " + message;
+}
+
+std::string DiagSink::str() const {
+  std::string out;
+  for (const Diag& d : diags_) {
+    out += d.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace progmp

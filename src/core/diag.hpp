@@ -1,0 +1,61 @@
+// Diagnostics for user-facing errors (scheduler specs, API misuse).
+//
+// The language front end and runtime report problems as values — never as
+// exceptions — mirroring the paper's "no exceptions by design" principle
+// (§3.3) and keeping the hot scheduling path free of unwinding machinery.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace progmp {
+
+/// A source location in a scheduler specification (1-based).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] std::string str() const {
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+/// One diagnostic message with a location in the spec text.
+struct Diag {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Accumulates diagnostics across a front-end pass.
+class DiagSink {
+ public:
+  void error(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::kError, loc, std::move(msg)});
+    ++errors_;
+  }
+  void warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::kWarning, loc, std::move(msg)});
+  }
+  void note(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::kNote, loc, std::move(msg)});
+  }
+
+  [[nodiscard]] bool ok() const { return errors_ == 0; }
+  [[nodiscard]] int error_count() const { return errors_; }
+  [[nodiscard]] const std::vector<Diag>& all() const { return diags_; }
+
+  /// All diagnostics joined by newlines — for test assertions and CLI output.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<Diag> diags_;
+  int errors_ = 0;
+};
+
+}  // namespace progmp

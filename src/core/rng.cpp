@@ -1,0 +1,15 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+
+namespace progmp {
+
+double Rng::next_exponential(double mean) {
+  PROGMP_CHECK(mean > 0.0);
+  // Inverse transform; guard against log(0).
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+}  // namespace progmp

@@ -1,0 +1,113 @@
+#include "core/stats.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace progmp {
+
+double Summary::min() const {
+  PROGMP_CHECK(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  PROGMP_CHECK(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  PROGMP_CHECK(!samples_.empty());
+  double sum = 0.0;
+  for (double s : samples_) sum += s;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  PROGMP_CHECK(!samples_.empty());
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::percentile(double p) const {
+  PROGMP_CHECK(!samples_.empty());
+  PROGMP_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted_.size() != samples_.size()) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+  }
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+void RateMeter::add(TimeNs now, std::int64_t bytes) {
+  expire(now);
+  events_.push_back({now, bytes});
+  in_window_ += bytes;
+}
+
+double RateMeter::bytes_per_sec(TimeNs now) const {
+  const_cast<RateMeter*>(this)->expire(now);
+  if (window_.ns() <= 0) return 0.0;
+  return static_cast<double>(in_window_) / window_.sec();
+}
+
+void RateMeter::expire(TimeNs now) {
+  const TimeNs cutoff = now - window_;
+  while (!events_.empty() && events_.front().at < cutoff) {
+    in_window_ -= events_.front().bytes;
+    events_.pop_front();
+  }
+}
+
+double TimeSeries::mean_between(TimeNs from, TimeNs to) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Point& p : points_) {
+    if (p.at >= from && p.at < to) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::string TimeSeries::ascii_plot(const std::string& label, int width,
+                                   int height) const {
+  if (points_.empty()) return label + ": (no data)\n";
+  const TimeNs t0 = points_.front().at;
+  const TimeNs t1 = points_.back().at;
+  double vmax = 0.0;
+  for (const Point& p : points_) vmax = std::max(vmax, p.value);
+  if (vmax <= 0.0) vmax = 1.0;
+
+  // Bucket points into `width` columns; each column keeps its mean value.
+  std::vector<double> col_sum(static_cast<std::size_t>(width), 0.0);
+  std::vector<int> col_n(static_cast<std::size_t>(width), 0);
+  const double span = std::max<double>(1.0, static_cast<double>((t1 - t0).ns()));
+  for (const Point& p : points_) {
+    auto c = static_cast<std::size_t>(
+        static_cast<double>((p.at - t0).ns()) / span * (width - 1));
+    col_sum[c] += p.value;
+    col_n[c] += 1;
+  }
+
+  std::string out = label + "  (max " + std::to_string(vmax) + ", " +
+                    t0.str() + " .. " + t1.str() + ")\n";
+  for (int row = height - 1; row >= 0; --row) {
+    const double lo = vmax * row / height;
+    std::string line = "  |";
+    for (int c = 0; c < width; ++c) {
+      const auto uc = static_cast<std::size_t>(c);
+      const double v = col_n[uc] ? col_sum[uc] / col_n[uc] : 0.0;
+      line += v > lo ? '#' : ' ';
+    }
+    out += line + "\n";
+  }
+  out += "  +" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  return out;
+}
+
+}  // namespace progmp

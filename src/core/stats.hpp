@@ -1,0 +1,105 @@
+// Measurement utilities shared by the transport stack and the benchmarks:
+// EWMA estimators, summary accumulators with percentiles, rate meters and
+// time series for throughput-over-time plots.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/time.hpp"
+
+namespace progmp {
+
+/// Exponentially weighted moving average with configurable gain.
+class Ewma {
+ public:
+  explicit Ewma(double gain = 0.125) : gain_(gain) {}
+
+  void add(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ += gain_ * (sample - value_);
+    }
+  }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] double value() const { return value_; }
+
+ private:
+  double gain_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Collects samples and reports min/mean/max and arbitrary percentiles.
+/// Stores all samples; experiment scales here are small enough (<1e7).
+class Summary {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0, 100]; nearest-rank on the sorted samples.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  // Percentile queries sort lazily into this cache.
+  mutable std::vector<double> sorted_;
+  std::vector<double> samples_;
+};
+
+/// Measures achieved rate (bytes/sec) over a sliding window of events.
+class RateMeter {
+ public:
+  explicit RateMeter(TimeNs window = milliseconds(1000)) : window_(window) {}
+
+  void add(TimeNs now, std::int64_t bytes);
+
+  /// Bytes per second observed over the window ending at `now`.
+  [[nodiscard]] double bytes_per_sec(TimeNs now) const;
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::int64_t bytes;
+  };
+  void expire(TimeNs now);
+
+  TimeNs window_;
+  std::deque<Event> events_;
+  std::int64_t in_window_ = 0;
+};
+
+/// A (time, value) series sampled during a simulation — the raw material for
+/// the throughput-over-time figures (Fig 1, Fig 13).
+class TimeSeries {
+ public:
+  void add(TimeNs at, double value) { points_.push_back({at, value}); }
+
+  struct Point {
+    TimeNs at;
+    double value;
+  };
+  [[nodiscard]] const std::vector<Point>& points() const { return points_; }
+
+  /// Mean of values with at in [from, to).
+  [[nodiscard]] double mean_between(TimeNs from, TimeNs to) const;
+
+  /// Renders a compact ASCII sparkline-style plot for bench output.
+  [[nodiscard]] std::string ascii_plot(const std::string& label, int width = 72,
+                                       int height = 10) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace progmp

@@ -1,0 +1,30 @@
+// ASCII table rendering for benchmark output. Every bench binary prints the
+// rows/series the corresponding paper table or figure reports, so output is
+// formatted uniformly here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace progmp {
+
+/// Builds and renders a fixed-column ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace progmp

@@ -1,0 +1,22 @@
+#include "core/time.hpp"
+
+#include <cstdio>
+
+namespace progmp {
+
+std::string TimeNs::str() const {
+  char buf[48];
+  const double abs_ns = static_cast<double>(ns_ < 0 ? -ns_ : ns_);
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) / 1e3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns_) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns_) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace progmp

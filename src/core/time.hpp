@@ -1,0 +1,80 @@
+// Simulated-time primitives.
+//
+// The whole system runs on a single deterministic clock owned by the
+// discrete-event simulator. Time is an integer count of nanoseconds since
+// simulation start; a strong type prevents accidental mixing with byte
+// counts, sequence numbers and other int64 quantities that permeate the
+// transport code.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace progmp {
+
+/// A point in simulated time (nanoseconds since simulation start) or a
+/// duration. Arithmetic is closed over the type; negative values are legal
+/// for durations and comparisons.
+class TimeNs {
+ public:
+  constexpr TimeNs() = default;
+  constexpr explicit TimeNs(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr std::int64_t us() const { return ns_ / 1000; }
+  [[nodiscard]] constexpr std::int64_t ms() const { return ns_ / 1'000'000; }
+  [[nodiscard]] constexpr double sec() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  friend constexpr auto operator<=>(TimeNs, TimeNs) = default;
+
+  friend constexpr TimeNs operator+(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ + b.ns_};
+  }
+  friend constexpr TimeNs operator-(TimeNs a, TimeNs b) {
+    return TimeNs{a.ns_ - b.ns_};
+  }
+  constexpr TimeNs& operator+=(TimeNs o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr TimeNs& operator-=(TimeNs o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  friend constexpr TimeNs operator*(TimeNs a, std::int64_t k) {
+    return TimeNs{a.ns_ * k};
+  }
+  friend constexpr TimeNs operator*(std::int64_t k, TimeNs a) { return a * k; }
+  friend constexpr TimeNs operator/(TimeNs a, std::int64_t k) {
+    return TimeNs{a.ns_ / k};
+  }
+  /// Ratio of two durations as a double (e.g. RTT ratios).
+  friend constexpr double operator/(TimeNs a, TimeNs b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  /// Renders e.g. "12.345ms" — for logs and bench tables.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+constexpr TimeNs nanoseconds(std::int64_t v) { return TimeNs{v}; }
+constexpr TimeNs microseconds(std::int64_t v) { return TimeNs{v * 1000}; }
+constexpr TimeNs milliseconds(std::int64_t v) { return TimeNs{v * 1'000'000}; }
+constexpr TimeNs seconds(std::int64_t v) { return TimeNs{v * 1'000'000'000}; }
+constexpr TimeNs seconds_d(double v) {
+  return TimeNs{static_cast<std::int64_t>(v * 1e9)};
+}
+
+/// Time needed to serialize `bytes` onto a link of `bits_per_sec`.
+constexpr TimeNs transmission_time(std::int64_t bytes,
+                                   std::int64_t bits_per_sec) {
+  return TimeNs{bytes * 8 * 1'000'000'000 / bits_per_sec};
+}
+
+}  // namespace progmp

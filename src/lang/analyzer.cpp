@@ -1,0 +1,429 @@
+#include "lang/analyzer.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/check.hpp"
+#include "lang/props.hpp"
+
+namespace progmp::lang {
+namespace {
+
+/// Where an expression appears — controls whether side effects (POP) are
+/// permitted.
+enum class EffectCtx {
+  kPure,        ///< conditions, predicates, indices: no side effects
+  kConsumer,    ///< VAR initializer / PUSH / DROP argument: POP allowed
+  kStatement,   ///< expression statement position: PUSH calls only
+};
+
+class Analyzer {
+ public:
+  Analyzer(Program& program, DiagSink& diags)
+      : program_(program), diags_(diags) {}
+
+  bool run() {
+    push_scope();
+    for (StmtId id : program_.top) check_stmt(id);
+    pop_scope();
+    program_.frame_slots = next_slot_;
+    return diags_.ok();
+  }
+
+ private:
+  struct Binding {
+    std::int32_t slot;
+    Type type;
+  };
+
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+
+  Binding* lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (auto found = it->find(name); found != it->end()) {
+        return &found->second;
+      }
+    }
+    return nullptr;
+  }
+
+  std::int32_t declare(const std::string& name, Type type, SourceLoc loc) {
+    if (lookup(name) != nullptr) {
+      diags_.error(loc, "variable '" + name +
+                            "' is already defined — variables are "
+                            "single-assignment and shadowing is not allowed");
+    }
+    const std::int32_t slot = next_slot_++;
+    scopes_.back().insert_or_assign(name, Binding{slot, type});
+    return slot;
+  }
+
+  Expr& expr(ExprId id) { return program_.expr(id); }
+  Stmt& stmt(StmtId id) { return program_.stmt(id); }
+
+  void expect_type(ExprId id, Type want, const char* what) {
+    const Type got = expr(id).type;
+    if (got != want && got != Type::kInvalid) {
+      diags_.error(expr(id).loc, std::string(what) + " must be " +
+                                     type_name(want) + ", found " +
+                                     type_name(got));
+    }
+  }
+
+  // ---- Statements ----------------------------------------------------------
+  void check_stmt(StmtId id) {
+    Stmt& s = stmt(id);
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        check_expr(s.expr, EffectCtx::kConsumer);
+        const Type t = expr(s.expr).type;
+        if (t == Type::kPacketQueue) {
+          diags_.error(s.loc,
+                       "packet queues cannot be stored in variables; chain "
+                       "the access (e.g. Q.FILTER(...).TOP) or store the "
+                       "packet instead");
+        } else if (t == Type::kVoid || t == Type::kInvalid) {
+          if (t == Type::kVoid) {
+            diags_.error(s.loc, "initializer has no value");
+          }
+        } else if (t == Type::kNull) {
+          diags_.error(s.loc,
+                       "cannot infer a type from NULL; initialize the "
+                       "variable from a packet or subflow expression");
+        }
+        s.var_slot = declare(s.name, t, s.loc);
+        break;
+      }
+      case StmtKind::kIf: {
+        check_expr(s.expr, EffectCtx::kPure);
+        expect_type(s.expr, Type::kBool, "IF condition");
+        push_scope();
+        for (StmtId b : s.body) check_stmt(b);
+        pop_scope();
+        push_scope();
+        for (StmtId b : s.else_body) check_stmt(b);
+        pop_scope();
+        break;
+      }
+      case StmtKind::kForeach: {
+        check_expr(s.expr, EffectCtx::kPure);
+        if (expr(s.expr).type != Type::kSubflowList &&
+            expr(s.expr).type != Type::kInvalid) {
+          diags_.error(s.loc, "FOREACH iterates subflow lists, found " +
+                                  std::string(type_name(expr(s.expr).type)));
+        }
+        push_scope();
+        s.var_slot = declare(s.name, Type::kSubflow, s.loc);
+        for (StmtId b : s.body) check_stmt(b);
+        pop_scope();
+        break;
+      }
+      case StmtKind::kSet: {
+        if (s.int_value < 0 || s.int_value >= kNumRegisters) {
+          diags_.error(s.loc, "register out of range (R1..R" +
+                                  std::to_string(kNumRegisters) + ")");
+        }
+        check_expr(s.expr, EffectCtx::kPure);
+        expect_type(s.expr, Type::kInt, "SET value");
+        break;
+      }
+      case StmtKind::kDrop: {
+        check_expr(s.expr, EffectCtx::kConsumer);
+        expect_type(s.expr, Type::kPacket, "DROP argument");
+        break;
+      }
+      case StmtKind::kPrint: {
+        check_expr(s.expr, EffectCtx::kPure);
+        expect_type(s.expr, Type::kInt, "PRINT argument");
+        break;
+      }
+      case StmtKind::kReturn:
+        break;
+      case StmtKind::kExprStmt: {
+        check_expr(s.expr, EffectCtx::kStatement);
+        if (expr(s.expr).kind != ExprKind::kPush &&
+            expr(s.expr).type != Type::kInvalid) {
+          diags_.error(s.loc,
+                       "only PUSH calls may stand alone as statements — side "
+                       "effects are restricted to PUSH operations");
+        }
+        break;
+      }
+    }
+  }
+
+  // ---- Expressions ---------------------------------------------------------
+  void check_expr(ExprId id, EffectCtx effects) {
+    Expr& e = expr(id);
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        e.type = Type::kInt;
+        break;
+      case ExprKind::kBoolLit:
+        e.type = Type::kBool;
+        break;
+      case ExprKind::kNullLit:
+        e.type = Type::kNull;
+        break;
+      case ExprKind::kRegister:
+        if (e.int_value < 0 || e.int_value >= kNumRegisters) {
+          diags_.error(e.loc, "register out of range (R1..R" +
+                                  std::to_string(kNumRegisters) + ")");
+        }
+        e.type = Type::kInt;
+        break;
+      case ExprKind::kVarRef: {
+        Binding* binding = lookup(e.name);
+        if (binding == nullptr) {
+          diags_.error(e.loc, "unknown identifier '" + e.name + "'");
+          e.type = Type::kInvalid;
+        } else {
+          e.var_slot = binding->slot;
+          e.type = binding->type;
+        }
+        break;
+      }
+      case ExprKind::kSubflows:
+        e.type = Type::kSubflowList;
+        break;
+      case ExprKind::kQueue:
+        e.type = Type::kPacketQueue;
+        break;
+      case ExprKind::kCurrentTimeMs:
+        e.type = Type::kInt;
+        break;
+      case ExprKind::kUnary: {
+        check_expr(e.a, effects_for_operand(effects));
+        if (e.un_op == UnOp::kNeg) {
+          expect_type(e.a, Type::kInt, "operand of unary '-'");
+          e.type = Type::kInt;
+        } else {
+          expect_type(e.a, Type::kBool, "operand of NOT");
+          e.type = Type::kBool;
+        }
+        break;
+      }
+      case ExprKind::kBinary:
+        check_binary(id, effects);
+        break;
+      case ExprKind::kFilter:
+      case ExprKind::kMinBy:
+      case ExprKind::kMaxBy:
+      case ExprKind::kSumBy:
+        check_comprehension(id, effects);
+        break;
+      case ExprKind::kCount:
+      case ExprKind::kEmpty: {
+        check_expr(e.a, effects_for_operand(effects));
+        const Type base = expr(e.a).type;
+        if (base != Type::kSubflowList && base != Type::kPacketQueue &&
+            base != Type::kInvalid) {
+          diags_.error(e.loc, "COUNT/EMPTY applies to subflow lists and "
+                              "packet queues");
+        }
+        e.type = e.kind == ExprKind::kCount ? Type::kInt : Type::kBool;
+        break;
+      }
+      case ExprKind::kGet: {
+        check_expr(e.a, effects_for_operand(effects));
+        check_expr(e.b, EffectCtx::kPure);
+        expect_type(e.a, Type::kSubflowList, "GET receiver");
+        expect_type(e.b, Type::kInt, "GET index");
+        e.type = Type::kSubflow;
+        break;
+      }
+      case ExprKind::kTop: {
+        check_expr(e.a, effects_for_operand(effects));
+        expect_type(e.a, Type::kPacketQueue, "TOP receiver");
+        e.type = Type::kPacket;
+        break;
+      }
+      case ExprKind::kPop: {
+        check_expr(e.a, EffectCtx::kPure);
+        expect_type(e.a, Type::kPacketQueue, "POP receiver");
+        if (expr(e.a).kind != ExprKind::kQueue) {
+          diags_.error(e.loc,
+                       "POP applies to the base queues Q/QU/RQ only; to take "
+                       "a filtered packet, select it with FILTER(...).TOP");
+        }
+        if (effects != EffectCtx::kConsumer) {
+          diags_.error(e.loc,
+                       "POP has a side effect and may only appear as a VAR "
+                       "initializer or as the argument of PUSH/DROP");
+        }
+        e.type = Type::kPacket;
+        break;
+      }
+      case ExprKind::kSbfProp:
+      case ExprKind::kPktProp:
+        PROGMP_UNREACHABLE("property nodes are created by the analyzer");
+        break;
+      case ExprKind::kMember:
+        check_member(id, effects);
+        break;
+      case ExprKind::kHasWindowFor: {
+        check_expr(e.a, effects_for_operand(effects));
+        check_expr(e.b, EffectCtx::kPure);
+        expect_type(e.a, Type::kSubflow, "HAS_WINDOW_FOR receiver");
+        expect_type(e.b, Type::kPacket, "HAS_WINDOW_FOR argument");
+        e.type = Type::kBool;
+        break;
+      }
+      case ExprKind::kPush: {
+        if (effects != EffectCtx::kStatement) {
+          diags_.error(e.loc, "PUSH may only appear as a statement");
+        }
+        check_expr(e.a, EffectCtx::kPure);
+        check_expr(e.b, EffectCtx::kConsumer);
+        expect_type(e.a, Type::kSubflow, "PUSH receiver");
+        expect_type(e.b, Type::kPacket, "PUSH argument");
+        e.type = Type::kVoid;
+        break;
+      }
+    }
+  }
+
+  /// Receivers of chained operations keep the consumer context only for the
+  /// directly consumed value; sub-expressions like filter bases stay pure.
+  static EffectCtx effects_for_operand(EffectCtx /*outer*/) {
+    return EffectCtx::kPure;
+  }
+
+  void check_binary(ExprId id, EffectCtx effects) {
+    Expr& e = expr(id);
+    check_expr(e.a, effects_for_operand(effects));
+    check_expr(e.b, effects_for_operand(effects));
+    const Type ta = expr(e.a).type;
+    const Type tb = expr(e.b).type;
+    switch (e.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+      case BinOp::kMod:
+        expect_type(e.a, Type::kInt, "arithmetic operand");
+        expect_type(e.b, Type::kInt, "arithmetic operand");
+        e.type = Type::kInt;
+        break;
+      case BinOp::kLt:
+      case BinOp::kGt:
+      case BinOp::kLe:
+      case BinOp::kGe:
+        expect_type(e.a, Type::kInt, "comparison operand");
+        expect_type(e.b, Type::kInt, "comparison operand");
+        e.type = Type::kBool;
+        break;
+      case BinOp::kEq:
+      case BinOp::kNe: {
+        const bool nullable_a =
+            ta == Type::kPacket || ta == Type::kSubflow || ta == Type::kNull;
+        const bool nullable_b =
+            tb == Type::kPacket || tb == Type::kSubflow || tb == Type::kNull;
+        const bool ok =
+            (ta == tb && (ta == Type::kInt || ta == Type::kBool ||
+                          ta == Type::kPacket || ta == Type::kSubflow)) ||
+            (nullable_a && nullable_b &&
+             (ta == Type::kNull || tb == Type::kNull));
+        if (!ok && ta != Type::kInvalid && tb != Type::kInvalid) {
+          diags_.error(e.loc, std::string("cannot compare ") + type_name(ta) +
+                                  " with " + type_name(tb));
+        }
+        e.type = Type::kBool;
+        break;
+      }
+      case BinOp::kAnd:
+      case BinOp::kOr:
+        expect_type(e.a, Type::kBool, "logical operand");
+        expect_type(e.b, Type::kBool, "logical operand");
+        e.type = Type::kBool;
+        break;
+    }
+  }
+
+  void check_comprehension(ExprId id, EffectCtx effects) {
+    Expr& e = expr(id);
+    check_expr(e.a, effects_for_operand(effects));
+    const Type base = expr(e.a).type;
+    Type elem = Type::kInvalid;
+    if (base == Type::kSubflowList) {
+      elem = Type::kSubflow;
+    } else if (base == Type::kPacketQueue) {
+      elem = Type::kPacket;
+    } else if (base != Type::kInvalid) {
+      diags_.error(e.loc,
+                   "FILTER/MIN/MAX apply to subflow lists and packet queues");
+    }
+
+    push_scope();
+    e.var_slot = declare(e.name, elem, e.loc);
+    check_expr(e.b, EffectCtx::kPure);  // predicates must be pure
+    pop_scope();
+
+    if (e.kind == ExprKind::kFilter) {
+      expect_type(e.b, Type::kBool, "FILTER predicate");
+      e.type = base;
+    } else if (e.kind == ExprKind::kSumBy) {
+      expect_type(e.b, Type::kInt, "SUM key");
+      e.type = Type::kInt;
+    } else {
+      expect_type(e.b, Type::kInt, "MIN/MAX key");
+      e.type = elem == Type::kSubflow ? Type::kSubflow : Type::kPacket;
+    }
+  }
+
+  void check_member(ExprId id, EffectCtx effects) {
+    Expr& e = expr(id);
+    check_expr(e.a, effects_for_operand(effects));
+    const Type base = expr(e.a).type;
+    if (base == Type::kSubflow) {
+      if (auto info = lookup_sbf_prop(e.name)) {
+        if (e.b != kNoExpr) {
+          diags_.error(e.loc, "property '" + e.name + "' takes no argument");
+        }
+        e.kind = ExprKind::kSbfProp;
+        e.sbf_prop = info->prop;
+        e.type = info->type;
+        return;
+      }
+      diags_.error(e.loc, "unknown subflow property '" + e.name + "'");
+    } else if (base == Type::kPacket) {
+      if (auto info = lookup_pkt_prop(e.name)) {
+        if (info->takes_subflow_arg) {
+          if (e.b == kNoExpr) {
+            diags_.error(e.loc,
+                         "property '" + e.name + "' needs a subflow argument");
+          } else {
+            check_expr(e.b, EffectCtx::kPure);
+            expect_type(e.b, Type::kSubflow, "SENT_ON argument");
+          }
+        } else if (e.b != kNoExpr) {
+          diags_.error(e.loc, "property '" + e.name + "' takes no argument");
+        }
+        e.kind = ExprKind::kPktProp;
+        e.pkt_prop = info->prop;
+        e.type = info->type;
+        return;
+      }
+      diags_.error(e.loc, "unknown packet property '" + e.name + "'");
+    } else if (base != Type::kInvalid) {
+      diags_.error(e.loc, std::string("type ") + type_name(base) +
+                              " has no property '" + e.name + "'");
+    }
+    e.type = Type::kInvalid;
+  }
+
+  Program& program_;
+  DiagSink& diags_;
+  std::vector<std::unordered_map<std::string, Binding>> scopes_;
+  std::int32_t next_slot_ = 0;
+};
+
+}  // namespace
+
+bool analyze(Program& program, DiagSink& diags) {
+  return Analyzer(program, diags).run();
+}
+
+}  // namespace progmp::lang

@@ -1,0 +1,27 @@
+// Static analysis for ProgMP specifications.
+//
+// Implements the language rules of §3.3:
+//  * implicit static typing — each variable has the type of its initializer,
+//  * single assignment — guaranteed by the grammar (no assignment statement),
+//  * side effects restricted to PUSH/DROP/SET positions: POP may only appear
+//    as a VAR initializer or as the argument of PUSH/DROP; predicates of
+//    FILTER/MIN/MAX and all conditions are checked pure,
+//  * PUSH is a statement, never a nested expression,
+//  * packet-queue values cannot be stored in variables (queues mutate via
+//    POP; storing them would break the snapshot semantics that make the
+//    three execution back ends equivalent) — store the packet instead,
+//  * FOREACH iterates subflow lists only.
+//
+// On success every expression carries its type and every identifier is
+// resolved to a frame slot.
+#pragma once
+
+#include "core/diag.hpp"
+#include "lang/ast.hpp"
+
+namespace progmp::lang {
+
+/// Analyzes `program` in place. Returns true if the program is valid.
+bool analyze(Program& program, DiagSink& diags);
+
+}  // namespace progmp::lang

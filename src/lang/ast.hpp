@@ -1,0 +1,173 @@
+// Abstract syntax for ProgMP scheduler specifications.
+//
+// Nodes live in flat arenas inside `Program` and reference each other by
+// index — compact, cache-friendly, and convenient for the three execution
+// back ends that all traverse the same tree. The analyzer decorates
+// expressions with their static type and resolves identifiers to frame
+// slots; the single-assignment / immutability rules of §3.3 mean a resolved
+// program needs no further symbol machinery at run time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/diag.hpp"
+
+namespace progmp::lang {
+
+using ExprId = std::int32_t;
+using StmtId = std::int32_t;
+inline constexpr ExprId kNoExpr = -1;
+
+/// Static types of the language (Table 1: int, bool, packet, subflow,
+/// subflow list, packet queue). kNull is the type of the NULL literal and
+/// unifies with packet/subflow in comparisons.
+enum class Type : std::uint8_t {
+  kInvalid,
+  kInt,
+  kBool,
+  kPacket,
+  kSubflow,
+  kSubflowList,
+  kPacketQueue,
+  kNull,
+  kVoid,
+};
+
+const char* type_name(Type t);
+
+/// Subflow properties exposed to specifications. Time-valued properties are
+/// in microseconds; rates in bytes/second.
+enum class SbfProp : std::uint8_t {
+  kRtt,            // smoothed RTT (us)
+  kRttVar,         // RTT mean deviation (us)
+  kRttMin,         // minimum RTT sample (us)
+  kRttLast,        // latest raw RTT sample (us)
+  kCwnd,           // congestion window (segments)
+  kSkbsInFlight,   // transmitted, unacked segments
+  kQueued,         // scheduled, not yet transmitted segments
+  kIsBackup,       // bool
+  kIsPreferred,    // bool: application preference (cheap vs metered path)
+  kTsqThrottled,   // bool
+  kLossy,          // bool: in loss recovery
+  kId,             // stable slot index
+  kMss,            // bytes
+  kRate,           // observed delivery rate (bytes/sec)
+  kCapacity,       // cwnd*mss/srtt (bytes/sec)
+  kAgeMs,          // ms since establishment
+  kLastTxAgeMs,    // ms since last transmission (probing schedulers)
+  kCwndFree,       // bool: cwnd > in_flight + queued
+};
+
+/// Packet properties.
+enum class PktProp : std::uint8_t {
+  kSize,       // payload bytes
+  kSeq,        // meta sequence number
+  kProp1,      // application property 1 (e.g. content class)
+  kProp2,      // application property 2
+  kFlowEnd,    // bool: application end-of-flow signal
+  kAgeMs,      // ms since the packet entered Q
+  kSentCount,  // number of subflows it was scheduled on
+  kSentOn,     // bool: scheduled on the given subflow (takes an argument)
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot };
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kGt, kLe, kGe, kEq, kNe,
+  kAnd, kOr,
+};
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,        // int_value
+  kBoolLit,       // int_value 0/1
+  kNullLit,
+  kRegister,      // int_value = register index (R1 -> 0)
+  kVarRef,        // name; analyzer sets int_value = frame slot
+  kSubflows,      // the SUBFLOWS set
+  kQueue,         // int_value = QueueId (0=Q, 1=QU, 2=RQ)
+  kCurrentTimeMs,
+  kUnary,         // un_op, a
+  kBinary,        // bin_op, a, b
+  kFilter,        // a = base (list/queue), b = lambda body, name = param
+  kMinBy,         // like kFilter, result is element
+  kMaxBy,
+  kSumBy,         // like kFilter, result is the int sum of the key
+  kCount,         // a = list/queue
+  kEmpty,         // a = list/queue
+  kGet,           // a = list, b = index
+  kTop,           // a = queue
+  kPop,           // a = queue (bare queues only)
+  kSbfProp,       // a = subflow, sbf_prop
+  kPktProp,       // a = packet, pkt_prop, b = optional arg (SENT_ON)
+  kHasWindowFor,  // a = subflow, b = packet
+  kPush,          // a = subflow, b = packet (statement position only)
+  kMember,        // parse-only: name member on a; analyzer rewrites it to
+                  // kSbfProp / kPktProp once the receiver type is known
+};
+
+struct Expr {
+  ExprKind kind = ExprKind::kIntLit;
+  Type type = Type::kInvalid;  // set by the analyzer
+  SourceLoc loc;
+  ExprId a = kNoExpr;
+  ExprId b = kNoExpr;
+  std::int64_t int_value = 0;
+  UnOp un_op = UnOp::kNeg;
+  BinOp bin_op = BinOp::kAdd;
+  SbfProp sbf_prop = SbfProp::kRtt;
+  PktProp pkt_prop = PktProp::kSize;
+  std::string name;             // identifier / lambda parameter
+  std::int32_t var_slot = -1;   // resolved frame slot (kVarRef, lambda param)
+};
+
+enum class StmtKind : std::uint8_t {
+  kVarDecl,   // name, expr = initializer; var_slot resolved
+  kIf,        // expr = condition, body = then, else_body
+  kForeach,   // name = loop var, expr = subflow list, body
+  kSet,       // int_value = register index, expr = value
+  kDrop,      // expr = packet
+  kPrint,     // expr = int
+  kReturn,
+  kExprStmt,  // expr (must be a PUSH call)
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kReturn;
+  SourceLoc loc;
+  ExprId expr = kNoExpr;
+  std::vector<StmtId> body;
+  std::vector<StmtId> else_body;
+  std::int64_t int_value = 0;
+  std::string name;
+  std::int32_t var_slot = -1;
+};
+
+/// A parsed (and, after analysis, typed and resolved) specification.
+struct Program {
+  std::string name;    ///< scheduler name (for stats, bench tables)
+  std::string source;  ///< original spec text
+  std::vector<Expr> exprs;
+  std::vector<Stmt> stmts;
+  std::vector<StmtId> top;  ///< top-level statement list
+  std::int32_t frame_slots = 0;  ///< variables + lambda params (analyzer)
+
+  [[nodiscard]] const Expr& expr(ExprId id) const {
+    return exprs[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] Expr& expr(ExprId id) {
+    return exprs[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const Stmt& stmt(StmtId id) const {
+    return stmts[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] Stmt& stmt(StmtId id) {
+    return stmts[static_cast<std::size_t>(id)];
+  }
+};
+
+/// Number of scheduler registers addressable from specifications (R1..R8).
+inline constexpr int kNumRegisters = 8;
+
+}  // namespace progmp::lang

@@ -1,0 +1,238 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace progmp::lang {
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokKind> table = {
+      {"VAR", TokKind::kVar},       {"IF", TokKind::kIf},
+      {"ELSE", TokKind::kElse},     {"FOREACH", TokKind::kForeach},
+      {"IN", TokKind::kIn},         {"SET", TokKind::kSet},
+      {"DROP", TokKind::kDrop},     {"RETURN", TokKind::kReturn},
+      {"PRINT", TokKind::kPrint},   {"AND", TokKind::kAnd},
+      {"OR", TokKind::kOr},         {"NOT", TokKind::kNot},
+      {"NULL", TokKind::kNull},     {"TRUE", TokKind::kTrue},
+      {"FALSE", TokKind::kFalse},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, DiagSink& diags) : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_trivia();
+      Token tok = next();
+      const bool eof = tok.kind == TokKind::kEof;
+      out.push_back(std::move(tok));
+      if (eof) break;
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc loc() const { return {line_, col_}; }
+
+  void skip_trivia() {
+    for (;;) {
+      if (at_end()) return;
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        const SourceLoc start = loc();
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (at_end()) {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(TokKind kind, SourceLoc at) { return Token{kind, at, {}, 0}; }
+
+  Token next() {
+    if (at_end()) return make(TokKind::kEof, loc());
+    const SourceLoc at = loc();
+    const char c = advance();
+
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = c - '0';
+      bool overflow = false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        const int digit = advance() - '0';
+        if (value > (INT64_MAX - digit) / 10) overflow = true;
+        if (!overflow) value = value * 10 + digit;
+      }
+      if (overflow) {
+        diags_.error(at, "integer literal overflows 64 bits");
+        return Token{TokKind::kError, at, "overflow", 0};
+      }
+      Token tok = make(TokKind::kIntLit, at);
+      tok.int_value = value;
+      return tok;
+    }
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident(1, c);
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_') {
+        ident += advance();
+      }
+      if (auto it = keyword_table().find(ident); it != keyword_table().end()) {
+        return make(it->second, at);
+      }
+      Token tok = make(TokKind::kIdent, at);
+      tok.text = std::move(ident);
+      return tok;
+    }
+
+    switch (c) {
+      case '(':
+        return make(TokKind::kLParen, at);
+      case ')':
+        return make(TokKind::kRParen, at);
+      case '{':
+        return make(TokKind::kLBrace, at);
+      case '}':
+        return make(TokKind::kRBrace, at);
+      case ';':
+        return make(TokKind::kSemi, at);
+      case ',':
+        return make(TokKind::kComma, at);
+      case '.':
+        return make(TokKind::kDot, at);
+      case '+':
+        return make(TokKind::kPlus, at);
+      case '-':
+        return make(TokKind::kMinus, at);
+      case '*':
+        return make(TokKind::kStar, at);
+      case '/':
+        return make(TokKind::kSlash, at);
+      case '%':
+        return make(TokKind::kPercent, at);
+      case '<':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kLe, at);
+        }
+        return make(TokKind::kLt, at);
+      case '>':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kGe, at);
+        }
+        return make(TokKind::kGt, at);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kEq, at);
+        }
+        if (peek() == '>') {
+          advance();
+          return make(TokKind::kArrow, at);
+        }
+        return make(TokKind::kAssign, at);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(TokKind::kNe, at);
+        }
+        return make(TokKind::kBang, at);
+      default:
+        break;
+    }
+    diags_.error(at, std::string("unexpected character '") + c + "'");
+    return Token{TokKind::kError, at, std::string(1, c), 0};
+  }
+
+  std::string_view src_;
+  DiagSink& diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagSink& diags) {
+  return Lexer(source, diags).run();
+}
+
+const char* tok_kind_name(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "end of input";
+    case TokKind::kError: return "invalid token";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kIntLit: return "integer";
+    case TokKind::kVar: return "VAR";
+    case TokKind::kIf: return "IF";
+    case TokKind::kElse: return "ELSE";
+    case TokKind::kForeach: return "FOREACH";
+    case TokKind::kIn: return "IN";
+    case TokKind::kSet: return "SET";
+    case TokKind::kDrop: return "DROP";
+    case TokKind::kReturn: return "RETURN";
+    case TokKind::kPrint: return "PRINT";
+    case TokKind::kAnd: return "AND";
+    case TokKind::kOr: return "OR";
+    case TokKind::kNot: return "NOT";
+    case TokKind::kNull: return "NULL";
+    case TokKind::kTrue: return "TRUE";
+    case TokKind::kFalse: return "FALSE";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kComma: return "','";
+    case TokKind::kDot: return "'.'";
+    case TokKind::kArrow: return "'=>'";
+    case TokKind::kAssign: return "'='";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kBang: return "'!'";
+  }
+  return "?";
+}
+
+}  // namespace progmp::lang

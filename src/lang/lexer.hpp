@@ -1,0 +1,19 @@
+// Lexer for the ProgMP specification language.
+//
+// Supports `/* ... */` and `//` comments so spec strings embedded in C++ can
+// be annotated the way the paper annotates its listings.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/diag.hpp"
+#include "lang/token.hpp"
+
+namespace progmp::lang {
+
+/// Tokenizes the whole input. Lexical errors are reported to `diags` and
+/// produce kError tokens; the stream always ends with kEof.
+std::vector<Token> lex(std::string_view source, DiagSink& diags);
+
+}  // namespace progmp::lang

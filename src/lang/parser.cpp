@@ -1,0 +1,475 @@
+#include "lang/parser.hpp"
+
+#include <utility>
+
+#include "lang/lexer.hpp"
+
+namespace progmp::lang {
+namespace {
+
+/// True for identifiers naming a scheduler register (R1..R99); the analyzer
+/// range-checks against kNumRegisters.
+bool parse_register_name(std::string_view name, int* index) {
+  if (name.size() < 2 || name.size() > 3 || name[0] != 'R') return false;
+  int value = 0;
+  for (char c : name.substr(1)) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value < 1) return false;
+  *index = value - 1;
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string name, DiagSink& diags)
+      : diags_(diags) {
+    program_.name = std::move(name);
+    program_.source = std::string(source);
+    tokens_ = lex(source, diags);
+  }
+
+  Program run() {
+    while (!at(TokKind::kEof) && diags_.error_count() == 0) {
+      const StmtId stmt = parse_stmt();
+      if (stmt >= 0) program_.top.push_back(stmt);
+    }
+    return std::move(program_);
+  }
+
+ private:
+  // ---- Token helpers -------------------------------------------------------
+  [[nodiscard]] const Token& cur() const { return tokens_[pos_]; }
+  [[nodiscard]] bool at(TokKind kind) const { return cur().kind == kind; }
+  Token advance() {
+    // Never step past the trailing kEof: error-recovery paths advance
+    // unconditionally and must stay inside the token stream.
+    const Token token = tokens_[pos_];
+    if (token.kind != TokKind::kEof) ++pos_;
+    return token;
+  }
+  bool accept(TokKind kind) {
+    if (!at(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(TokKind kind) {
+    if (at(kind)) return advance();
+    diags_.error(cur().loc, std::string("expected ") + tok_kind_name(kind) +
+                                ", found " + tok_kind_name(cur().kind));
+    return Token{kind, cur().loc, {}, 0};
+  }
+
+  // ---- Node factories ------------------------------------------------------
+  ExprId new_expr(ExprKind kind, SourceLoc loc) {
+    Expr e;
+    e.kind = kind;
+    e.loc = loc;
+    program_.exprs.push_back(std::move(e));
+    return static_cast<ExprId>(program_.exprs.size() - 1);
+  }
+  StmtId new_stmt(StmtKind kind, SourceLoc loc) {
+    Stmt s;
+    s.kind = kind;
+    s.loc = loc;
+    program_.stmts.push_back(std::move(s));
+    return static_cast<StmtId>(program_.stmts.size() - 1);
+  }
+  Expr& expr(ExprId id) { return program_.expr(id); }
+  Stmt& stmt(StmtId id) { return program_.stmt(id); }
+
+  // ---- Statements ----------------------------------------------------------
+  StmtId parse_stmt() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::kVar:
+        return parse_var_decl();
+      case TokKind::kIf:
+        return parse_if();
+      case TokKind::kForeach:
+        return parse_foreach();
+      case TokKind::kSet:
+        return parse_set();
+      case TokKind::kDrop: {
+        advance();
+        expect(TokKind::kLParen);
+        const ExprId value = parse_expr();
+        expect(TokKind::kRParen);
+        expect(TokKind::kSemi);
+        const StmtId s = new_stmt(StmtKind::kDrop, loc);
+        stmt(s).expr = value;
+        return s;
+      }
+      case TokKind::kPrint: {
+        advance();
+        expect(TokKind::kLParen);
+        const ExprId value = parse_expr();
+        expect(TokKind::kRParen);
+        expect(TokKind::kSemi);
+        const StmtId s = new_stmt(StmtKind::kPrint, loc);
+        stmt(s).expr = value;
+        return s;
+      }
+      case TokKind::kReturn: {
+        advance();
+        expect(TokKind::kSemi);
+        return new_stmt(StmtKind::kReturn, loc);
+      }
+      default: {
+        const ExprId value = parse_expr();
+        expect(TokKind::kSemi);
+        const StmtId s = new_stmt(StmtKind::kExprStmt, loc);
+        stmt(s).expr = value;
+        return s;
+      }
+    }
+  }
+
+  StmtId parse_var_decl() {
+    const SourceLoc loc = cur().loc;
+    expect(TokKind::kVar);
+    const Token name = expect(TokKind::kIdent);
+    expect(TokKind::kAssign);
+    const ExprId init = parse_expr();
+    expect(TokKind::kSemi);
+    const StmtId s = new_stmt(StmtKind::kVarDecl, loc);
+    stmt(s).name = name.text;
+    stmt(s).expr = init;
+    return s;
+  }
+
+  StmtId parse_if() {
+    const SourceLoc loc = cur().loc;
+    expect(TokKind::kIf);
+    expect(TokKind::kLParen);
+    const ExprId cond = parse_expr();
+    expect(TokKind::kRParen);
+    std::vector<StmtId> then_body = parse_block();
+    std::vector<StmtId> else_body;
+    if (accept(TokKind::kElse)) {
+      if (at(TokKind::kIf)) {
+        else_body.push_back(parse_if());  // ELSE IF chains
+      } else {
+        else_body = parse_block();
+      }
+    }
+    const StmtId s = new_stmt(StmtKind::kIf, loc);
+    stmt(s).expr = cond;
+    stmt(s).body = std::move(then_body);
+    stmt(s).else_body = std::move(else_body);
+    return s;
+  }
+
+  StmtId parse_foreach() {
+    const SourceLoc loc = cur().loc;
+    expect(TokKind::kForeach);
+    expect(TokKind::kLParen);
+    expect(TokKind::kVar);
+    const Token name = expect(TokKind::kIdent);
+    expect(TokKind::kIn);
+    const ExprId list = parse_expr();
+    expect(TokKind::kRParen);
+    std::vector<StmtId> body = parse_block();
+    const StmtId s = new_stmt(StmtKind::kForeach, loc);
+    stmt(s).name = name.text;
+    stmt(s).expr = list;
+    stmt(s).body = std::move(body);
+    return s;
+  }
+
+  StmtId parse_set() {
+    const SourceLoc loc = cur().loc;
+    expect(TokKind::kSet);
+    expect(TokKind::kLParen);
+    const Token reg = expect(TokKind::kIdent);
+    int reg_index = -1;
+    if (!parse_register_name(reg.text, &reg_index)) {
+      diags_.error(reg.loc, "SET expects a register (R1..R" +
+                                std::to_string(kNumRegisters) + "), found '" +
+                                reg.text + "'");
+    }
+    expect(TokKind::kComma);
+    const ExprId value = parse_expr();
+    expect(TokKind::kRParen);
+    expect(TokKind::kSemi);
+    const StmtId s = new_stmt(StmtKind::kSet, loc);
+    stmt(s).int_value = reg_index;
+    stmt(s).expr = value;
+    return s;
+  }
+
+  std::vector<StmtId> parse_block() {
+    std::vector<StmtId> body;
+    expect(TokKind::kLBrace);
+    while (!at(TokKind::kRBrace) && !at(TokKind::kEof) &&
+           diags_.error_count() == 0) {
+      body.push_back(parse_stmt());
+    }
+    expect(TokKind::kRBrace);
+    return body;
+  }
+
+  // ---- Expressions (precedence climbing) ------------------------------------
+  ExprId parse_expr() { return parse_or(); }
+
+  ExprId parse_or() {
+    ExprId lhs = parse_and();
+    while (at(TokKind::kOr)) {
+      const SourceLoc loc = advance().loc;
+      const ExprId rhs = parse_and();
+      const ExprId node = new_expr(ExprKind::kBinary, loc);
+      expr(node).bin_op = BinOp::kOr;
+      expr(node).a = lhs;
+      expr(node).b = rhs;
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  ExprId parse_and() {
+    ExprId lhs = parse_not();
+    while (at(TokKind::kAnd)) {
+      const SourceLoc loc = advance().loc;
+      const ExprId rhs = parse_not();
+      const ExprId node = new_expr(ExprKind::kBinary, loc);
+      expr(node).bin_op = BinOp::kAnd;
+      expr(node).a = lhs;
+      expr(node).b = rhs;
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  ExprId parse_not() {
+    if (at(TokKind::kNot) || at(TokKind::kBang)) {
+      const SourceLoc loc = advance().loc;
+      const ExprId operand = parse_not();
+      const ExprId node = new_expr(ExprKind::kUnary, loc);
+      expr(node).un_op = UnOp::kNot;
+      expr(node).a = operand;
+      return node;
+    }
+    return parse_cmp();
+  }
+
+  ExprId parse_cmp() {
+    ExprId lhs = parse_add();
+    BinOp op;
+    switch (cur().kind) {
+      case TokKind::kLt: op = BinOp::kLt; break;
+      case TokKind::kGt: op = BinOp::kGt; break;
+      case TokKind::kLe: op = BinOp::kLe; break;
+      case TokKind::kGe: op = BinOp::kGe; break;
+      case TokKind::kEq: op = BinOp::kEq; break;
+      case TokKind::kNe: op = BinOp::kNe; break;
+      default:
+        return lhs;
+    }
+    const SourceLoc loc = advance().loc;
+    const ExprId rhs = parse_add();
+    const ExprId node = new_expr(ExprKind::kBinary, loc);
+    expr(node).bin_op = op;
+    expr(node).a = lhs;
+    expr(node).b = rhs;
+    return node;
+  }
+
+  ExprId parse_add() {
+    ExprId lhs = parse_mul();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      const BinOp op = at(TokKind::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      const SourceLoc loc = advance().loc;
+      const ExprId rhs = parse_mul();
+      const ExprId node = new_expr(ExprKind::kBinary, loc);
+      expr(node).bin_op = op;
+      expr(node).a = lhs;
+      expr(node).b = rhs;
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  ExprId parse_mul() {
+    ExprId lhs = parse_unary();
+    while (at(TokKind::kStar) || at(TokKind::kSlash) ||
+           at(TokKind::kPercent)) {
+      BinOp op = BinOp::kMul;
+      if (at(TokKind::kSlash)) op = BinOp::kDiv;
+      if (at(TokKind::kPercent)) op = BinOp::kMod;
+      const SourceLoc loc = advance().loc;
+      const ExprId rhs = parse_unary();
+      const ExprId node = new_expr(ExprKind::kBinary, loc);
+      expr(node).bin_op = op;
+      expr(node).a = lhs;
+      expr(node).b = rhs;
+      lhs = node;
+    }
+    return lhs;
+  }
+
+  ExprId parse_unary() {
+    if (at(TokKind::kMinus)) {
+      const SourceLoc loc = advance().loc;
+      const ExprId operand = parse_unary();
+      const ExprId node = new_expr(ExprKind::kUnary, loc);
+      expr(node).un_op = UnOp::kNeg;
+      expr(node).a = operand;
+      return node;
+    }
+    return parse_postfix();
+  }
+
+  ExprId parse_postfix() {
+    ExprId base = parse_primary();
+    while (accept(TokKind::kDot)) {
+      base = parse_member(base);
+    }
+    return base;
+  }
+
+  /// One `.MEMBER` or `.METHOD(...)` application on `base`.
+  ExprId parse_member(ExprId base) {
+    const Token name = expect(TokKind::kIdent);
+    const SourceLoc loc = name.loc;
+
+    if (name.text == "FILTER" || name.text == "MIN" || name.text == "MAX" ||
+        name.text == "SUM") {
+      expect(TokKind::kLParen);
+      const Token param = expect(TokKind::kIdent);
+      expect(TokKind::kArrow);
+      const ExprId body = parse_expr();
+      expect(TokKind::kRParen);
+      ExprKind kind = ExprKind::kFilter;
+      if (name.text == "MIN") kind = ExprKind::kMinBy;
+      if (name.text == "MAX") kind = ExprKind::kMaxBy;
+      if (name.text == "SUM") kind = ExprKind::kSumBy;
+      const ExprId node = new_expr(kind, loc);
+      expr(node).a = base;
+      expr(node).b = body;
+      expr(node).name = param.text;
+      return node;
+    }
+    if (name.text == "COUNT" || name.text == "EMPTY" ||
+        name.text == "TOP") {
+      ExprKind kind = ExprKind::kCount;
+      if (name.text == "EMPTY") kind = ExprKind::kEmpty;
+      if (name.text == "TOP") kind = ExprKind::kTop;
+      const ExprId node = new_expr(kind, loc);
+      expr(node).a = base;
+      return node;
+    }
+    if (name.text == "POP") {
+      expect(TokKind::kLParen);
+      expect(TokKind::kRParen);
+      const ExprId node = new_expr(ExprKind::kPop, loc);
+      expr(node).a = base;
+      return node;
+    }
+    if (name.text == "GET") {
+      expect(TokKind::kLParen);
+      const ExprId index = parse_expr();
+      expect(TokKind::kRParen);
+      const ExprId node = new_expr(ExprKind::kGet, loc);
+      expr(node).a = base;
+      expr(node).b = index;
+      return node;
+    }
+    if (name.text == "PUSH") {
+      expect(TokKind::kLParen);
+      const ExprId packet = parse_expr();
+      expect(TokKind::kRParen);
+      const ExprId node = new_expr(ExprKind::kPush, loc);
+      expr(node).a = base;
+      expr(node).b = packet;
+      return node;
+    }
+    if (name.text == "HAS_WINDOW_FOR") {
+      expect(TokKind::kLParen);
+      const ExprId packet = parse_expr();
+      expect(TokKind::kRParen);
+      const ExprId node = new_expr(ExprKind::kHasWindowFor, loc);
+      expr(node).a = base;
+      expr(node).b = packet;
+      return node;
+    }
+
+    // Plain property (possibly with one argument, e.g. SENT_ON(sbf)); the
+    // analyzer resolves it against the receiver type.
+    const ExprId node = new_expr(ExprKind::kMember, loc);
+    expr(node).a = base;
+    expr(node).name = name.text;
+    if (accept(TokKind::kLParen)) {
+      expr(node).b = parse_expr();
+      expect(TokKind::kRParen);
+    }
+    return node;
+  }
+
+  ExprId parse_primary() {
+    const SourceLoc loc = cur().loc;
+    switch (cur().kind) {
+      case TokKind::kIntLit: {
+        const Token tok = advance();
+        const ExprId node = new_expr(ExprKind::kIntLit, loc);
+        expr(node).int_value = tok.int_value;
+        return node;
+      }
+      case TokKind::kTrue:
+      case TokKind::kFalse: {
+        const bool value = advance().kind == TokKind::kTrue;
+        const ExprId node = new_expr(ExprKind::kBoolLit, loc);
+        expr(node).int_value = value ? 1 : 0;
+        return node;
+      }
+      case TokKind::kNull:
+        advance();
+        return new_expr(ExprKind::kNullLit, loc);
+      case TokKind::kLParen: {
+        advance();
+        const ExprId inner = parse_expr();
+        expect(TokKind::kRParen);
+        return inner;
+      }
+      case TokKind::kIdent: {
+        const Token tok = advance();
+        if (tok.text == "SUBFLOWS") return new_expr(ExprKind::kSubflows, loc);
+        if (tok.text == "Q" || tok.text == "QU" || tok.text == "RQ") {
+          const ExprId node = new_expr(ExprKind::kQueue, loc);
+          expr(node).int_value = tok.text == "Q" ? 0 : (tok.text == "QU" ? 1 : 2);
+          return node;
+        }
+        if (tok.text == "CURRENT_TIME_MS") {
+          return new_expr(ExprKind::kCurrentTimeMs, loc);
+        }
+        int reg_index = -1;
+        if (parse_register_name(tok.text, &reg_index)) {
+          const ExprId node = new_expr(ExprKind::kRegister, loc);
+          expr(node).int_value = reg_index;
+          return node;
+        }
+        const ExprId node = new_expr(ExprKind::kVarRef, loc);
+        expr(node).name = tok.text;
+        return node;
+      }
+      default:
+        diags_.error(loc, std::string("expected expression, found ") +
+                              tok_kind_name(cur().kind));
+        advance();
+        return new_expr(ExprKind::kNullLit, loc);
+    }
+  }
+
+  DiagSink& diags_;
+  Program program_;
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source, std::string name, DiagSink& diags) {
+  return Parser(source, std::move(name), diags).run();
+}
+
+}  // namespace progmp::lang

@@ -1,0 +1,16 @@
+// Recursive-descent parser for ProgMP specifications.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/diag.hpp"
+#include "lang/ast.hpp"
+
+namespace progmp::lang {
+
+/// Parses `source` into a Program named `name`. On error the returned
+/// program is partial; check `diags.ok()`.
+Program parse(std::string_view source, std::string name, DiagSink& diags);
+
+}  // namespace progmp::lang

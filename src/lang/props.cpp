@@ -1,0 +1,117 @@
+#include "lang/props.hpp"
+
+#include <unordered_map>
+
+namespace progmp::lang {
+namespace {
+
+const std::unordered_map<std::string_view, SbfPropInfo>& sbf_table() {
+  static const std::unordered_map<std::string_view, SbfPropInfo> table = {
+      {"RTT", {SbfProp::kRtt, Type::kInt}},
+      // Alias used in the paper's listings for the smoothed average.
+      {"RTT_AVG", {SbfProp::kRtt, Type::kInt}},
+      {"RTT_VAR", {SbfProp::kRttVar, Type::kInt}},
+      {"RTT_MIN", {SbfProp::kRttMin, Type::kInt}},
+      {"RTT_LAST", {SbfProp::kRttLast, Type::kInt}},
+      {"CWND", {SbfProp::kCwnd, Type::kInt}},
+      {"SKBS_IN_FLIGHT", {SbfProp::kSkbsInFlight, Type::kInt}},
+      {"QUEUED", {SbfProp::kQueued, Type::kInt}},
+      {"IS_BACKUP", {SbfProp::kIsBackup, Type::kBool}},
+      {"IS_PREFERRED", {SbfProp::kIsPreferred, Type::kBool}},
+      {"TSQ_THROTTLED", {SbfProp::kTsqThrottled, Type::kBool}},
+      {"LOSSY", {SbfProp::kLossy, Type::kBool}},
+      {"ID", {SbfProp::kId, Type::kInt}},
+      {"MSS", {SbfProp::kMss, Type::kInt}},
+      {"RATE", {SbfProp::kRate, Type::kInt}},
+      {"CAPACITY", {SbfProp::kCapacity, Type::kInt}},
+      {"AGE_MS", {SbfProp::kAgeMs, Type::kInt}},
+      {"LAST_TX_AGE_MS", {SbfProp::kLastTxAgeMs, Type::kInt}},
+      {"CWND_FREE", {SbfProp::kCwndFree, Type::kBool}},
+  };
+  return table;
+}
+
+const std::unordered_map<std::string_view, PktPropInfo>& pkt_table() {
+  static const std::unordered_map<std::string_view, PktPropInfo> table = {
+      {"SIZE", {PktProp::kSize, Type::kInt, false}},
+      {"SEQ", {PktProp::kSeq, Type::kInt, false}},
+      {"PROP1", {PktProp::kProp1, Type::kInt, false}},
+      {"PROP2", {PktProp::kProp2, Type::kInt, false}},
+      {"FLOW_END", {PktProp::kFlowEnd, Type::kBool, false}},
+      {"AGE_MS", {PktProp::kAgeMs, Type::kInt, false}},
+      {"SENT_COUNT", {PktProp::kSentCount, Type::kInt, false}},
+      {"SENT_ON", {PktProp::kSentOn, Type::kBool, true}},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::optional<SbfPropInfo> lookup_sbf_prop(std::string_view name) {
+  if (auto it = sbf_table().find(name); it != sbf_table().end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<PktPropInfo> lookup_pkt_prop(std::string_view name) {
+  if (auto it = pkt_table().find(name); it != pkt_table().end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+const char* sbf_prop_name(SbfProp p) {
+  switch (p) {
+    case SbfProp::kRtt: return "RTT";
+    case SbfProp::kRttVar: return "RTT_VAR";
+    case SbfProp::kRttMin: return "RTT_MIN";
+    case SbfProp::kRttLast: return "RTT_LAST";
+    case SbfProp::kCwnd: return "CWND";
+    case SbfProp::kSkbsInFlight: return "SKBS_IN_FLIGHT";
+    case SbfProp::kQueued: return "QUEUED";
+    case SbfProp::kIsBackup: return "IS_BACKUP";
+    case SbfProp::kIsPreferred: return "IS_PREFERRED";
+    case SbfProp::kTsqThrottled: return "TSQ_THROTTLED";
+    case SbfProp::kLossy: return "LOSSY";
+    case SbfProp::kId: return "ID";
+    case SbfProp::kMss: return "MSS";
+    case SbfProp::kRate: return "RATE";
+    case SbfProp::kCapacity: return "CAPACITY";
+    case SbfProp::kAgeMs: return "AGE_MS";
+    case SbfProp::kLastTxAgeMs: return "LAST_TX_AGE_MS";
+    case SbfProp::kCwndFree: return "CWND_FREE";
+  }
+  return "?";
+}
+
+const char* pkt_prop_name(PktProp p) {
+  switch (p) {
+    case PktProp::kSize: return "SIZE";
+    case PktProp::kSeq: return "SEQ";
+    case PktProp::kProp1: return "PROP1";
+    case PktProp::kProp2: return "PROP2";
+    case PktProp::kFlowEnd: return "FLOW_END";
+    case PktProp::kAgeMs: return "AGE_MS";
+    case PktProp::kSentCount: return "SENT_COUNT";
+    case PktProp::kSentOn: return "SENT_ON";
+  }
+  return "?";
+}
+
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::kInvalid: return "<invalid>";
+    case Type::kInt: return "int";
+    case Type::kBool: return "bool";
+    case Type::kPacket: return "packet";
+    case Type::kSubflow: return "subflow";
+    case Type::kSubflowList: return "subflow list";
+    case Type::kPacketQueue: return "packet queue";
+    case Type::kNull: return "null";
+    case Type::kVoid: return "void";
+  }
+  return "?";
+}
+
+}  // namespace progmp::lang

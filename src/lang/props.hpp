@@ -1,0 +1,32 @@
+// Name tables for member properties/methods of the specification language —
+// shared by the parser (name resolution) and the documentation tooling.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "lang/ast.hpp"
+
+namespace progmp::lang {
+
+struct SbfPropInfo {
+  SbfProp prop;
+  Type type;  ///< kInt or kBool
+};
+
+struct PktPropInfo {
+  PktProp prop;
+  Type type;
+  bool takes_subflow_arg;
+};
+
+/// Looks up a subflow property by spelling (e.g. "RTT", "IS_BACKUP").
+std::optional<SbfPropInfo> lookup_sbf_prop(std::string_view name);
+
+/// Looks up a packet property by spelling (e.g. "SIZE", "SENT_ON").
+std::optional<PktPropInfo> lookup_pkt_prop(std::string_view name);
+
+const char* sbf_prop_name(SbfProp p);
+const char* pkt_prop_name(PktProp p);
+
+}  // namespace progmp::lang

@@ -1,0 +1,69 @@
+// Token definitions for the ProgMP scheduler specification language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/diag.hpp"
+
+namespace progmp::lang {
+
+enum class TokKind {
+  kEof,
+  kError,
+
+  kIdent,     // identifiers, property names, keywords are resolved later
+  kIntLit,    // integer literal
+
+  // Keywords (upper-case, as in the paper's listings).
+  kVar,
+  kIf,
+  kElse,
+  kForeach,
+  kIn,
+  kSet,
+  kDrop,
+  kReturn,
+  kPrint,
+  kAnd,
+  kOr,
+  kNot,
+  kNull,
+  kTrue,
+  kFalse,
+
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kSemi,
+  kComma,
+  kDot,
+  kArrow,   // =>
+  kAssign,  // =
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kEq,  // ==
+  kNe,  // !=
+  kBang,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  SourceLoc loc;
+  std::string text;        // identifier spelling / error detail
+  std::int64_t int_value = 0;
+};
+
+/// Spelling of a token kind for diagnostics.
+const char* tok_kind_name(TokKind kind);
+
+}  // namespace progmp::lang

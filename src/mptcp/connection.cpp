@@ -1,0 +1,259 @@
+#include "mptcp/connection.hpp"
+
+#include <algorithm>
+
+namespace progmp::mptcp {
+
+MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
+    : sim_(sim), cfg_(std::move(cfg)), rng_(rng) {
+  PROGMP_CHECK(!cfg_.subflows.empty());
+  PROGMP_CHECK(cfg_.num_registers > 0 && cfg_.num_registers <= 64);
+  registers_.assign(static_cast<std::size_t>(cfg_.num_registers), 0);
+
+  receiver_ = std::make_unique<Receiver>(sim_, cfg_.receiver);
+  rwnd_ = cfg_.receiver.recv_buf_bytes;
+  receiver_->set_deliver_fn([this](std::uint64_t meta_seq, std::int32_t size) {
+    delivered_bytes_ += size;
+    if (on_deliver_) on_deliver_(meta_seq, size, sim_.now());
+  });
+  receiver_->set_window_update_fn([this](std::int64_t rwnd) {
+    // A window update travels back like an ACK; model it with the first
+    // subflow's reverse-path delay.
+    const TimeNs delay = paths_.empty() ? TimeNs{0}
+                                        : paths_.front()->reverse.config().delay;
+    std::weak_ptr<int> guard{alive_};
+    sim_.schedule_after(delay, [this, guard, rwnd] {
+      if (guard.expired()) return;
+      rwnd_ = rwnd;
+      for (auto& sbf : subflows_) sbf->pump();
+      trigger({TriggerKind::kWindowUpdate, -1});
+    });
+  });
+
+  if (cfg_.cc == CcKind::kLia) {
+    lia_group_ = std::make_shared<tcp::LiaCoupling>();
+  }
+  for (const SubflowSpec& spec : cfg_.subflows) {
+    create_subflow(spec);
+  }
+}
+
+std::unique_ptr<tcp::CongestionControl> MptcpConnection::make_cc() {
+  switch (cfg_.cc) {
+    case CcKind::kLia:
+      return std::make_unique<tcp::LiaCc>(lia_group_);
+    case CcKind::kCubic:
+      return std::make_unique<tcp::CubicCc>();
+    case CcKind::kReno:
+      break;
+  }
+  return std::make_unique<tcp::RenoCc>();
+}
+
+int MptcpConnection::create_subflow(const SubflowSpec& spec) {
+  const int slot = static_cast<int>(subflows_.size());
+  PROGMP_CHECK_MSG(slot < kMaxSubflows, "too many subflows");
+  paths_.push_back(std::make_unique<sim::NetPath>(sim_, spec.forward,
+                                                  spec.reverse, rng_.fork()));
+  SubflowSender::Host host;
+  host.may_transmit = [this](const SkbPtr& skb) {
+    // TCP window check on the right edge: offsets below it always fit.
+    return skb->byte_offset + static_cast<std::uint64_t>(skb->size) <=
+           meta_una_bytes_ + static_cast<std::uint64_t>(rwnd_);
+  };
+  host.on_transmitted = [this](const SkbPtr& skb) {
+    right_edge_bytes_ =
+        std::max(right_edge_bytes_,
+                 skb->byte_offset + static_cast<std::uint64_t>(skb->size));
+    if (!skb->in_qu && !skb->acked && !skb->dropped) {
+      skb->in_qu = true;
+      qu_.push_back(skb);
+      qu_bytes_ += skb->size;
+    }
+  };
+  host.on_ack_done = [this](int s) { trigger({TriggerKind::kAck, s}); };
+  host.on_loss_suspected = [this](int s, const SkbPtr& skb) {
+    handle_loss_suspected(s, skb);
+  };
+  host.on_meta_ack = [this](std::uint64_t meta_ack, std::int64_t rwnd) {
+    handle_meta_ack(meta_ack, rwnd);
+  };
+  host.on_tsq_freed = [this](int s) { trigger({TriggerKind::kTsqFreed, s}); };
+
+  subflows_.push_back(std::make_unique<SubflowSender>(
+      sim_, *paths_.back(), *receiver_, slot, spec.sender, make_cc(),
+      std::move(host)));
+  return slot;
+}
+
+void MptcpConnection::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  scheduler_ = std::move(scheduler);
+}
+
+void MptcpConnection::write(std::int64_t bytes, const SkbProps& props) {
+  PROGMP_CHECK_MSG(scheduler_ != nullptr, "no scheduler installed");
+  PROGMP_CHECK(bytes > 0);
+  const std::int64_t mss =
+      subflows_.front()->config().mss;  // uniform across subflows
+  std::int64_t remaining = bytes;
+  while (remaining > 0) {
+    const auto size = static_cast<std::int32_t>(std::min(remaining, mss));
+    remaining -= size;
+    auto skb = std::make_shared<Skb>();
+    skb->meta_seq = next_meta_seq_++;
+    skb->byte_offset = next_byte_offset_;
+    next_byte_offset_ += static_cast<std::uint64_t>(size);
+    skb->size = size;
+    skb->props = props;
+    // Only the last packet of the burst carries the application's
+    // end-of-flow signal.
+    skb->props.flow_end = props.flow_end && remaining == 0;
+    skb->queued_at = sim_.now();
+    skb->in_q = true;
+    q_.push_back(skb);
+    unacked_.emplace(skb->meta_seq, skb);
+  }
+  written_bytes_ += bytes;
+  trigger({TriggerKind::kDataPushed, -1});
+}
+
+void MptcpConnection::set_register(int idx, std::int64_t value) {
+  PROGMP_CHECK(idx >= 0 && idx < cfg_.num_registers);
+  registers_[static_cast<std::size_t>(idx)] = value;
+  trigger({TriggerKind::kRegisterSet, -1});
+}
+
+std::int64_t MptcpConnection::get_register(int idx) const {
+  PROGMP_CHECK(idx >= 0 && idx < cfg_.num_registers);
+  return registers_[static_cast<std::size_t>(idx)];
+}
+
+int MptcpConnection::add_subflow(const SubflowSpec& spec) {
+  const int slot = create_subflow(spec);
+  trigger({TriggerKind::kSubflowAdded, slot});
+  return slot;
+}
+
+void MptcpConnection::close_subflow(int slot) {
+  PROGMP_CHECK(slot >= 0 && slot < subflow_count());
+  std::vector<SkbPtr> orphans = subflows_[static_cast<std::size_t>(slot)]->close();
+  for (const SkbPtr& skb : orphans) {
+    // Unsent/unacked packets of the dead subflow become reinjection
+    // candidates unless they are still waiting in Q anyway.
+    if (!skb->in_q && !skb->in_rq) {
+      skb->in_rq = true;
+      rq_.push_back(skb);
+    }
+  }
+  trigger({TriggerKind::kSubflowClosed, slot});
+}
+
+std::int64_t MptcpConnection::wire_bytes_sent() const {
+  std::int64_t total = 0;
+  for (const auto& sbf : subflows_) total += sbf->stats().bytes_sent;
+  return total;
+}
+
+void MptcpConnection::trigger(Trigger t) {
+  if (scheduler_ == nullptr) return;
+  pending_.push_back(t);
+  if (in_engine_) return;  // will be drained by the active engine loop
+  run_engine();
+}
+
+void MptcpConnection::run_engine() {
+  in_engine_ = true;
+  int executions = 0;
+  while (!pending_.empty() && executions < cfg_.max_executions_per_trigger) {
+    const Trigger t = pending_.front();
+    pending_.pop_front();
+    ++executions;
+    const bool progress = run_scheduler_once(t);
+    // Push-until-blocked: a productive execution is re-run until the
+    // scheduler stops acting (the kernel keeps calling the scheduler until
+    // it stops pushing). Schedulers like Compensating act even with Q
+    // empty, so progress alone decides.
+    if (progress) {
+      pending_.push_back(t);
+    }
+  }
+  pending_.clear();
+  in_engine_ = false;
+}
+
+bool MptcpConnection::run_scheduler_once(Trigger t) {
+  std::vector<SubflowInfo> infos;
+  infos.reserve(subflows_.size());
+  const TimeNs now = sim_.now();
+  for (const auto& sbf : subflows_) infos.push_back(sbf->info(now));
+
+  // Free window for *new* data: advertised window minus the span already
+  // claimed by the transmitted right edge.
+  const std::int64_t claimed =
+      static_cast<std::int64_t>(right_edge_bytes_ - meta_una_bytes_);
+  SchedulerContext ctx(now, t, infos, &q_, &qu_, &rq_, registers_.data(),
+                       cfg_.num_registers,
+                       std::max<std::int64_t>(0, rwnd_ - claimed),
+                       &sched_stats_);
+  ++sched_stats_.executions;
+  const std::int64_t drops_before = sched_stats_.drops;
+  scheduler_->schedule(ctx);
+  apply_actions(ctx);
+  if (sched_stats_.drops != drops_before) {
+    // DROPped packets were detached from QU behind our back; refresh the
+    // meta-level in-flight byte counter.
+    qu_bytes_ = 0;
+    for (const SkbPtr& skb : qu_) qu_bytes_ += skb->size;
+  }
+  return ctx.performed_action();
+}
+
+void MptcpConnection::apply_actions(const SchedulerContext& ctx) {
+  for (const SchedulerContext::PushAction& action : ctx.actions()) {
+    const SkbPtr& skb = action.skb;
+    if (skb == nullptr || skb->acked || skb->dropped) continue;
+    auto& sbf = *subflows_[static_cast<std::size_t>(action.subflow_slot)];
+    if (!sbf.established()) continue;  // subflow vanished: graceful no-op
+    skb->mark_sent_on(action.subflow_slot, sim_.now());
+    sbf.enqueue(skb);
+  }
+}
+
+void MptcpConnection::handle_meta_ack(std::uint64_t meta_ack,
+                                      std::int64_t rwnd) {
+  rwnd_ = rwnd;
+  while (meta_una_ < meta_ack) {
+    auto it = unacked_.find(meta_una_);
+    if (it != unacked_.end()) {
+      const SkbPtr skb = it->second;
+      skb->acked = true;
+      meta_una_bytes_ = skb->byte_offset + static_cast<std::uint64_t>(skb->size);
+      detach_everywhere(skb);
+      unacked_.erase(it);
+    }
+    ++meta_una_;
+  }
+}
+
+void MptcpConnection::handle_loss_suspected(int slot, const SkbPtr& skb) {
+  if (skb->acked || skb->dropped || skb->in_rq || skb->in_q) return;
+  skb->in_rq = true;
+  rq_.push_back(skb);
+  trigger({TriggerKind::kReinject, slot});
+}
+
+void MptcpConnection::detach_everywhere(const SkbPtr& skb) {
+  auto detach = [&](std::deque<SkbPtr>& queue, bool Skb::* flag) {
+    if (!(skb.get()->*flag)) return;
+    auto it = std::find(queue.begin(), queue.end(), skb);
+    if (it != queue.end()) queue.erase(it);
+    skb.get()->*flag = false;
+  };
+  detach(q_, &Skb::in_q);
+  if (skb->in_qu) qu_bytes_ -= skb->size;
+  detach(qu_, &Skb::in_qu);
+  detach(rq_, &Skb::in_rq);
+  for (auto& sbf : subflows_) sbf->purge_acked(skb);
+}
+
+}  // namespace progmp::mptcp

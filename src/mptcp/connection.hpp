@@ -1,0 +1,165 @@
+// The MPTCP connection: meta socket, scheduler engine and path management.
+//
+// Owns the three meta-level queues (Q, QU, RQ), the subflows with their
+// network paths, the receiver model, the scheduler registers, and the
+// trigger loop of Fig 4: every relevant event (data pushed, ACK, RTO,
+// reinjection, subflow lifecycle, register writes, freed TSQ budget) runs
+// the installed scheduler; executions that performed actions are repeated
+// until the scheduler blocks (bounded), matching the kernel's
+// push-until-blocked behaviour.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "mptcp/receiver.hpp"
+#include "mptcp/scheduler.hpp"
+#include "mptcp/skb.hpp"
+#include "mptcp/subflow.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/congestion.hpp"
+
+namespace progmp::mptcp {
+
+enum class CcKind { kReno, kLia, kCubic };
+
+class MptcpConnection {
+ public:
+  /// Everything needed to bring up one subflow and its network path.
+  struct SubflowSpec {
+    SubflowSender::Config sender;
+    sim::Link::Config forward;   ///< data direction
+    sim::Link::Config reverse;   ///< ACK direction
+  };
+
+  struct Config {
+    std::vector<SubflowSpec> subflows;
+    Receiver::Config receiver;
+    CcKind cc = CcKind::kReno;
+    int num_registers = 8;
+    /// Bound on scheduler executions per external trigger (defensive cap on
+    /// the push-until-blocked loop). Generous: schedulers that compensate
+    /// whole flights (§5.3) legitimately act many times per trigger.
+    int max_executions_per_trigger = 512;
+  };
+
+  /// Called for every segment delivered in order to the receiving
+  /// application: (meta_seq, size, delivery time).
+  using DeliverFn =
+      std::function<void(std::uint64_t meta_seq, std::int32_t size, TimeNs at)>;
+
+  MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng);
+
+  // ---- Application interface (wrapped by api::ProgmpSocket) ---------------
+  /// Installs the scheduler for this connection (per-connection choice,
+  /// §3.2). Must be set before the first write.
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+  [[nodiscard]] Scheduler* scheduler() { return scheduler_.get(); }
+
+  /// Pushes `bytes` of application data into the sending queue Q, split
+  /// into MSS-sized packets carrying `props`. Triggers the scheduler.
+  void write(std::int64_t bytes, const SkbProps& props = {});
+
+  /// Sets a scheduler register (application -> scheduler signalling, §3.2).
+  void set_register(int idx, std::int64_t value);
+  [[nodiscard]] std::int64_t get_register(int idx) const;
+
+  void set_on_deliver(DeliverFn fn) { on_deliver_ = std::move(fn); }
+
+  // ---- Path manager --------------------------------------------------------
+  /// Establishes an additional subflow at the current time (e.g. the LTE
+  /// leg of a handover). Returns its slot.
+  int add_subflow(const SubflowSpec& spec);
+
+  /// Closes/fails a subflow; its unsent and unacked packets move to RQ and
+  /// the scheduler is triggered — packets must not be lost (§3.3).
+  void close_subflow(int slot);
+
+  // ---- Introspection -------------------------------------------------------
+  [[nodiscard]] int subflow_count() const {
+    return static_cast<int>(subflows_.size());
+  }
+  [[nodiscard]] SubflowSender& subflow(int slot) {
+    return *subflows_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] Receiver& receiver() { return *receiver_; }
+  [[nodiscard]] sim::NetPath& path(int slot) {
+    return *paths_[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] std::int64_t delivered_bytes() const {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::int64_t written_bytes() const { return written_bytes_; }
+  [[nodiscard]] std::size_t q_len() const { return q_.size(); }
+  [[nodiscard]] std::size_t qu_len() const { return qu_.size(); }
+  [[nodiscard]] std::size_t rq_len() const { return rq_.size(); }
+  [[nodiscard]] const SchedulerStats& scheduler_stats() const {
+    return sched_stats_;
+  }
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Sum of payload bytes sent on the wire across subflows (incl.
+  /// retransmissions and redundant copies) — the transmission-overhead
+  /// metric of §5.1/§5.3.
+  [[nodiscard]] std::int64_t wire_bytes_sent() const;
+
+  /// Fires the scheduler manually (used by tests and the playground).
+  void trigger(Trigger t);
+
+ private:
+  int create_subflow(const SubflowSpec& spec);
+  std::unique_ptr<tcp::CongestionControl> make_cc();
+  void run_engine();
+  bool run_scheduler_once(Trigger t);
+  void apply_actions(const SchedulerContext& ctx);
+  void handle_meta_ack(std::uint64_t meta_ack, std::int64_t rwnd);
+  void handle_loss_suspected(int slot, const SkbPtr& skb);
+  void detach_everywhere(const SkbPtr& skb);
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  Rng rng_;
+
+  std::unique_ptr<Receiver> receiver_;
+  std::vector<std::unique_ptr<sim::NetPath>> paths_;
+  std::vector<std::unique_ptr<SubflowSender>> subflows_;
+  std::shared_ptr<tcp::LiaCoupling> lia_group_;
+
+  std::unique_ptr<Scheduler> scheduler_;
+  SchedulerStats sched_stats_;
+
+  std::deque<SkbPtr> q_;   ///< sending queue (unscheduled packets)
+  std::deque<SkbPtr> qu_;  ///< transmitted, un-data-acked
+  std::deque<SkbPtr> rq_;  ///< reinjection queue (suspected losses)
+  std::unordered_map<std::uint64_t, SkbPtr> unacked_;  ///< meta_seq -> skb
+
+  std::vector<std::int64_t> registers_;
+
+  std::uint64_t next_meta_seq_ = 0;
+  std::uint64_t next_byte_offset_ = 0;
+  std::uint64_t meta_una_ = 0;        ///< cumulative data-level ACK
+  std::uint64_t meta_una_bytes_ = 0;  ///< byte offset of the data-level ACK
+  std::uint64_t right_edge_bytes_ = 0;  ///< highest transmitted byte + 1
+  std::int64_t qu_bytes_ = 0;         ///< bytes in flight at the meta level
+  std::int64_t rwnd_ = 0;             ///< last advertised receive window
+  std::int64_t written_bytes_ = 0;
+  std::int64_t delivered_bytes_ = 0;
+
+  DeliverFn on_deliver_;
+
+  bool in_engine_ = false;
+  std::deque<Trigger> pending_;
+
+  /// Lifetime token for simulator events scheduled by the connection.
+  std::shared_ptr<int> alive_ = std::make_shared<int>(0);
+};
+
+}  // namespace progmp::mptcp

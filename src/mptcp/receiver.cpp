@@ -1,0 +1,102 @@
+#include "mptcp/receiver.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace progmp::mptcp {
+
+AckInfo Receiver::on_data(const DataSegment& seg) {
+  PROGMP_CHECK(seg.sbf_slot >= 0 && seg.sbf_slot < kMaxSubflows);
+  SubflowRx& rx = subflows_[static_cast<std::size_t>(seg.sbf_slot)];
+
+  bool first_seen = true;
+  if (seg.sbf_seq < rx.expected || rx.ooo.contains(seg.sbf_seq)) {
+    // Subflow-level duplicate (spurious retransmission); re-ACK.
+    first_seen = false;
+    ++dup_segs_;
+  } else if (seg.sbf_seq == rx.expected) {
+    // In subflow order: advance and drain any now-contiguous held segments.
+    ++rx.expected;
+    if (cfg_.model == ReceiverModel::kMultiLayer) {
+      meta_receive(seg);
+    }
+    auto it = rx.ooo.begin();
+    while (it != rx.ooo.end() && it->first == rx.expected) {
+      ++rx.expected;
+      if (cfg_.model == ReceiverModel::kMultiLayer) {
+        sbf_ooo_bytes_ -= it->second.size;
+        meta_receive(it->second);
+      }
+      it = rx.ooo.erase(it);
+    }
+  } else {
+    // Subflow-level out of order: hold (multilayer keeps the data hostage
+    // here; optimized only remembers the seq for ACK bookkeeping).
+    rx.ooo.emplace(seg.sbf_seq, seg);
+    if (cfg_.model == ReceiverModel::kMultiLayer) {
+      sbf_ooo_bytes_ += seg.size;
+    }
+  }
+
+  if (first_seen && cfg_.model == ReceiverModel::kOptimized) {
+    // The optimized receiver hands every first-seen segment to the meta
+    // layer immediately, regardless of subflow ordering.
+    meta_receive(seg);
+  }
+
+  return AckInfo{seg.sbf_slot, rx.expected, meta_expected_, rwnd_bytes()};
+}
+
+void Receiver::meta_receive(const DataSegment& seg) {
+  if (seg.meta_seq < meta_expected_ || meta_ooo_.contains(seg.meta_seq)) {
+    // Meta-level duplicate — a redundant copy arrived on another subflow.
+    ++dup_segs_;
+    return;
+  }
+  meta_ooo_.emplace(seg.meta_seq, seg.size);
+  meta_ooo_bytes_ += seg.size;
+  deliver_contiguous();
+}
+
+void Receiver::deliver_contiguous() {
+  auto it = meta_ooo_.begin();
+  while (it != meta_ooo_.end() && it->first == meta_expected_) {
+    const std::int32_t size = it->second;
+    meta_ooo_bytes_ -= size;
+    delivered_bytes_ += size;
+    deliveries_.push_back({sim_.now(), it->first});
+    if (cfg_.app_read_bytes_per_sec > 0) {
+      unread_bytes_ += size;
+      schedule_app_read();
+    }
+    if (deliver_fn_) deliver_fn_(it->first, size);
+    ++meta_expected_;
+    it = meta_ooo_.erase(it);
+  }
+}
+
+std::int64_t Receiver::rwnd_bytes() const {
+  // The window is advertised from the cumulative ACK point (rcv_nxt), so
+  // out-of-order data — which lies *inside* the advertised span — must not
+  // shrink it; otherwise the sender could never fit the gap-filling
+  // retransmission and the connection would deadlock. Only data the
+  // application has not read yet reduces the window.
+  return std::max<std::int64_t>(0, cfg_.recv_buf_bytes - unread_bytes_);
+}
+
+void Receiver::schedule_app_read() {
+  if (read_scheduled_ || unread_bytes_ <= 0) return;
+  read_scheduled_ = true;
+  // Drain in ~4KB chunks at the configured application read rate.
+  const std::int64_t chunk = std::min<std::int64_t>(unread_bytes_, 4096);
+  const TimeNs delay = transmission_time(chunk, cfg_.app_read_bytes_per_sec * 8);
+  sim_.schedule_after(delay, [this, chunk] {
+    read_scheduled_ = false;
+    unread_bytes_ = std::max<std::int64_t>(0, unread_bytes_ - chunk);
+    if (window_update_fn_) window_update_fn_(rwnd_bytes());
+    schedule_app_read();
+  });
+}
+
+}  // namespace progmp::mptcp

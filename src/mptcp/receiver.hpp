@@ -1,0 +1,130 @@
+// Receiver-side packet handling (§4.2).
+//
+// MPTCP receivers juggle two sequence spaces: each subflow's TCP sequence
+// numbers and the connection-wide meta (data) sequence numbers. The paper
+// found that the mainline Linux receiver — which only forwards *in-subflow-
+// order* data from the subflow queue to the meta socket — withholds data
+// that is already deliverable in meta order. Both models are implemented:
+//
+//  * kMultiLayer  — the mainline behaviour: a subflow's out-of-order packets
+//                   stay in the subflow queue; the meta socket never sees
+//                   them until the subflow gap closes.
+//  * kOptimized   — the paper's fix: every arriving packet is handed to the
+//                   meta reassembly immediately; delivery happens as soon as
+//                   data is contiguous in *meta* order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/time.hpp"
+#include "mptcp/skb.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::mptcp {
+
+/// One data segment as it arrives at the receiver.
+struct DataSegment {
+  int sbf_slot = 0;
+  std::uint64_t sbf_seq = 0;   ///< subflow-level sequence (segments)
+  std::uint64_t meta_seq = 0;  ///< data-level sequence (segments)
+  std::int32_t size = 0;
+};
+
+/// Acknowledgement flowing back to the sender: cumulative on both levels
+/// plus the advertised receive window.
+struct AckInfo {
+  int sbf_slot = 0;
+  std::uint64_t sbf_ack = 0;   ///< next expected subflow seq
+  std::uint64_t meta_ack = 0;  ///< next expected meta seq
+  std::int64_t rwnd_bytes = 0;
+};
+
+enum class ReceiverModel { kMultiLayer, kOptimized };
+
+class Receiver {
+ public:
+  struct Config {
+    ReceiverModel model = ReceiverModel::kOptimized;
+    std::int64_t recv_buf_bytes = 8 * 1024 * 1024;
+    /// 0 means the application reads delivered data instantly; otherwise
+    /// delivered bytes drain at this rate, shrinking the advertised window.
+    std::int64_t app_read_bytes_per_sec = 0;
+  };
+
+  /// Called for every segment that becomes deliverable to the application,
+  /// in meta order.
+  using DeliverFn =
+      std::function<void(std::uint64_t meta_seq, std::int32_t size)>;
+
+  /// Fired when the application reader frees buffer space — the TCP window
+  /// update that reopens a closed window (otherwise a sender blocked on a
+  /// zero window would deadlock, since no data means no ACKs).
+  using WindowUpdateFn = std::function<void(std::int64_t rwnd_bytes)>;
+
+  Receiver(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+
+  void set_deliver_fn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
+  void set_window_update_fn(WindowUpdateFn fn) {
+    window_update_fn_ = std::move(fn);
+  }
+
+  /// Processes one arriving segment and returns the ACK to send back on the
+  /// same subflow.
+  AckInfo on_data(const DataSegment& seg);
+
+  [[nodiscard]] std::uint64_t meta_expected() const { return meta_expected_; }
+  [[nodiscard]] std::uint64_t subflow_expected(int slot) const {
+    return subflows_[static_cast<std::size_t>(slot)].expected;
+  }
+  [[nodiscard]] std::int64_t rwnd_bytes() const;
+  [[nodiscard]] std::int64_t delivered_bytes() const {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::int64_t duplicate_segments() const { return dup_segs_; }
+
+  /// Chronological log of (delivery time, meta_seq) — the packetdrill-style
+  /// receiver trace tests assert on this.
+  struct Delivery {
+    TimeNs at;
+    std::uint64_t meta_seq;
+  };
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const {
+    return deliveries_;
+  }
+
+ private:
+  struct SubflowRx {
+    std::uint64_t expected = 0;
+    /// Out-of-order segments held at the subflow level, keyed by sbf_seq.
+    std::map<std::uint64_t, DataSegment> ooo;
+  };
+
+  void meta_receive(const DataSegment& seg);
+  void deliver_contiguous();
+  void schedule_app_read();
+
+  sim::Simulator& sim_;
+  Config cfg_;
+  DeliverFn deliver_fn_;
+  WindowUpdateFn window_update_fn_;
+
+  std::array<SubflowRx, kMaxSubflows> subflows_{};
+
+  std::uint64_t meta_expected_ = 0;
+  std::map<std::uint64_t, std::int32_t> meta_ooo_;  ///< meta_seq -> size
+  std::int64_t meta_ooo_bytes_ = 0;
+  std::int64_t sbf_ooo_bytes_ = 0;
+
+  std::int64_t unread_bytes_ = 0;  ///< delivered but not yet read by the app
+  bool read_scheduled_ = false;
+
+  std::int64_t delivered_bytes_ = 0;
+  std::int64_t dup_segs_ = 0;
+  std::vector<Delivery> deliveries_;
+};
+
+}  // namespace progmp::mptcp

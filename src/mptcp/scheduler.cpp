@@ -1,0 +1,85 @@
+#include "mptcp/scheduler.hpp"
+
+#include <algorithm>
+
+namespace progmp::mptcp {
+namespace {
+
+std::deque<SkbPtr>* mutable_queue(std::deque<SkbPtr>* q, std::deque<SkbPtr>* qu,
+                                  std::deque<SkbPtr>* rq, QueueId id) {
+  switch (id) {
+    case QueueId::kQ:
+      return q;
+    case QueueId::kQu:
+      return qu;
+    case QueueId::kRq:
+      return rq;
+  }
+  PROGMP_UNREACHABLE("bad queue id");
+}
+
+}  // namespace
+
+SkbPtr SchedulerContext::pop_at(QueueId id, std::size_t index) {
+  std::deque<SkbPtr>* queue = mutable_queue(q_, qu_, rq_, id);
+  if (index >= queue->size()) return nullptr;
+  SkbPtr skb = (*queue)[index];
+  queue->erase(queue->begin() + static_cast<std::ptrdiff_t>(index));
+  switch (id) {
+    case QueueId::kQ:
+      skb->in_q = false;
+      break;
+    case QueueId::kQu:
+      skb->in_qu = false;
+      break;
+    case QueueId::kRq:
+      skb->in_rq = false;
+      break;
+  }
+  popped_ = true;
+  ++stats_->pops;
+  return skb;
+}
+
+void SchedulerContext::push(int slot, const SkbPtr& skb) {
+  const bool slot_ok =
+      slot >= 0 && slot < static_cast<int>(subflows_.size()) &&
+      subflows_[static_cast<std::size_t>(slot)].established;
+  if (skb == nullptr || skb->acked || skb->dropped || !slot_ok) {
+    ++stats_->null_pushes;
+    return;
+  }
+  if (skb->sent_on(slot)) {
+    // Scheduling the same packet on the same subflow twice within/across
+    // executions is almost always a spec bug for fresh data — but it is the
+    // defined way to request a (re)transmission of an in-flight packet, so
+    // the engine decides; here we only count it.
+    ++stats_->redundant_pushes;
+  }
+  actions_.push_back({slot, skb});
+  ++stats_->pushes;
+}
+
+void SchedulerContext::drop(const SkbPtr& skb) {
+  if (skb == nullptr || skb->acked || skb->dropped) {
+    return;
+  }
+  skb->dropped = true;
+  detach_from_all_queues(skb);
+  dropped_ = true;
+  ++stats_->drops;
+}
+
+void SchedulerContext::detach_from_all_queues(const SkbPtr& skb) {
+  auto detach = [&](std::deque<SkbPtr>* queue, bool Skb::* flag) {
+    if (!(skb.get()->*flag)) return;
+    auto it = std::find(queue->begin(), queue->end(), skb);
+    if (it != queue->end()) queue->erase(it);
+    skb.get()->*flag = false;
+  };
+  detach(q_, &Skb::in_q);
+  detach(qu_, &Skb::in_qu);
+  detach(rq_, &Skb::in_rq);
+}
+
+}  // namespace progmp::mptcp

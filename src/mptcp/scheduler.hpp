@@ -1,0 +1,211 @@
+// The scheduler abstraction: trigger events (Fig 4), the execution context
+// with the environment model of §3.1 (SUBFLOWS, Q, QU, RQ), and the deferred
+// action queue of §4.1.
+//
+// Both the native ("C") reference schedulers and the three ProgMP execution
+// environments program against SchedulerContext, so overhead comparisons
+// (Fig 9) measure exactly the runtime difference.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/time.hpp"
+#include "mptcp/skb.hpp"
+
+namespace progmp::mptcp {
+
+/// Why the scheduler is being executed (the calling model of Fig 4).
+enum class TriggerKind {
+  kDataPushed,      ///< new packets arrived in Q from the application
+  kAck,             ///< a (subflow or data) ACK arrived
+  kRto,             ///< a retransmission timer fired
+  kReinject,        ///< a suspected loss queued a packet into RQ
+  kSubflowAdded,    ///< path manager established a new subflow
+  kSubflowClosed,   ///< a subflow closed or failed
+  kRegisterSet,     ///< the application changed a scheduler register
+  kTsqFreed,        ///< TSQ budget freed (packet left the local qdisc)
+  kWindowUpdate,    ///< the receiver reopened its window
+};
+
+struct Trigger {
+  TriggerKind kind = TriggerKind::kDataPushed;
+  int subflow_slot = -1;  ///< originating subflow where applicable
+};
+
+/// Read-only snapshot of one subflow's properties, refreshed before every
+/// scheduler execution. These are exactly the DSL's subflow properties
+/// (Table 1) plus the derived rate signals used by TAP (§5.4).
+struct SubflowInfo {
+  int slot = -1;            ///< stable index into the connection's slot table
+  std::string name;         ///< e.g. "wifi", "lte"
+  bool is_backup = false;
+  bool preferred = true;  ///< application preference (cheap vs metered path)
+  bool established = false;
+  bool tsq_throttled = false;
+  bool lossy = false;       ///< in loss recovery (fast recovery or post-RTO)
+  std::int64_t cwnd = 0;             ///< congestion window (segments)
+  std::int64_t skbs_in_flight = 0;   ///< transmitted, unacked (segments)
+  std::int64_t queued = 0;           ///< scheduled, not yet transmitted
+  TimeNs rtt{0};        ///< smoothed RTT
+  TimeNs rtt_var{0};
+  TimeNs min_rtt{0};
+  TimeNs last_rtt{0};
+  std::int64_t mss = 0;
+  double delivery_rate_bps = 0.0;  ///< observed goodput, bytes/sec
+  double capacity_bps = 0.0;       ///< cwnd * mss / srtt, bytes/sec
+  TimeNs established_at{0};
+  TimeNs last_tx_at{0};
+
+  /// The default scheduler's availability test: room in the congestion
+  /// window, not throttled, not in loss recovery.
+  [[nodiscard]] bool cwnd_free() const {
+    return cwnd > skbs_in_flight + queued;
+  }
+};
+
+enum class QueueId { kQ = 0, kQu = 1, kRq = 2 };
+
+/// Statistics the runtime keeps per scheduler instance (exposed through the
+/// proc-style API, §4.1).
+struct SchedulerStats {
+  std::int64_t executions = 0;
+  std::int64_t pushes = 0;
+  std::int64_t redundant_pushes = 0;  ///< pushes of already-sent packets
+  std::int64_t null_pushes = 0;       ///< graceful no-ops (NULL packet/subflow)
+  std::int64_t drops = 0;
+  std::int64_t pops = 0;
+};
+
+/// Execution context handed to the scheduler. Exposes immutable snapshots of
+/// the subflows and live views of the three queues; PUSH side effects are
+/// collected into a deferred action queue applied by the engine afterwards,
+/// while POP mutates the underlying queue immediately (visible side effect
+/// semantics of §4.1).
+class SchedulerContext {
+ public:
+  /// One deferred PUSH action.
+  struct PushAction {
+    int subflow_slot;
+    SkbPtr skb;
+  };
+
+  SchedulerContext(TimeNs now, Trigger trigger,
+                   std::span<const SubflowInfo> subflows,
+                   std::deque<SkbPtr>* q, std::deque<SkbPtr>* qu,
+                   std::deque<SkbPtr>* rq, std::int64_t* registers,
+                   int num_registers, std::int64_t rwnd_free_bytes,
+                   SchedulerStats* stats)
+      : now_(now),
+        trigger_(trigger),
+        subflows_(subflows),
+        q_(q),
+        qu_(qu),
+        rq_(rq),
+        registers_(registers),
+        num_registers_(num_registers),
+        rwnd_free_bytes_(rwnd_free_bytes),
+        stats_(stats) {}
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+  [[nodiscard]] const Trigger& trigger() const { return trigger_; }
+
+  // ---- Subflows -----------------------------------------------------------
+  [[nodiscard]] std::span<const SubflowInfo> subflows() const {
+    return subflows_;
+  }
+
+  // ---- Queues -------------------------------------------------------------
+  [[nodiscard]] const std::deque<SkbPtr>& queue(QueueId id) const {
+    switch (id) {
+      case QueueId::kQ:
+        return *q_;
+      case QueueId::kQu:
+        return *qu_;
+      case QueueId::kRq:
+        return *rq_;
+    }
+    PROGMP_UNREACHABLE("bad queue id");
+  }
+
+  /// Removes and returns the packet at `index` of the given queue (the
+  /// augmented queue allows POPs from the middle, §4.1). Returns nullptr if
+  /// out of range.
+  SkbPtr pop_at(QueueId id, std::size_t index);
+
+  /// POP of the queue front; nullptr when empty.
+  SkbPtr pop(QueueId id) { return pop_at(id, 0); }
+
+  // ---- Actions ------------------------------------------------------------
+  /// Defers a PUSH of `skb` onto the subflow in `slot`. NULL skb or invalid
+  /// slot is a counted no-op — graceful failure by design (§3.3).
+  void push(int slot, const SkbPtr& skb);
+
+  /// Removes the packet from all queues without transmitting it.
+  void drop(const SkbPtr& skb);
+
+  [[nodiscard]] const std::vector<PushAction>& actions() const {
+    return actions_;
+  }
+  [[nodiscard]] bool performed_action() const {
+    return !actions_.empty() || dropped_ || popped_;
+  }
+
+  // ---- Registers ----------------------------------------------------------
+  [[nodiscard]] std::int64_t reg(int i) const {
+    return (i >= 0 && i < num_registers_) ? registers_[i] : 0;
+  }
+  void set_reg(int i, std::int64_t v) {
+    if (i >= 0 && i < num_registers_) registers_[i] = v;
+  }
+  [[nodiscard]] int num_registers() const { return num_registers_; }
+
+  // ---- Misc ---------------------------------------------------------------
+  /// Whether the receiver's advertised window can accommodate `skb`
+  /// (HAS_WINDOW_FOR, §3.3). Window accounting is at the meta level, so the
+  /// subflow argument of the DSL call does not change the outcome here.
+  [[nodiscard]] bool has_window_for(const SkbPtr& skb) const {
+    return skb != nullptr && skb->size <= rwnd_free_bytes_;
+  }
+
+  [[nodiscard]] SchedulerStats& stats() { return *stats_; }
+
+ private:
+  void detach_from_all_queues(const SkbPtr& skb);
+
+  TimeNs now_;
+  Trigger trigger_;
+  std::span<const SubflowInfo> subflows_;
+  std::deque<SkbPtr>* q_;
+  std::deque<SkbPtr>* qu_;
+  std::deque<SkbPtr>* rq_;
+  std::int64_t* registers_;
+  int num_registers_;
+  std::int64_t rwnd_free_bytes_;
+  SchedulerStats* stats_;
+
+  std::vector<PushAction> actions_;
+  bool dropped_ = false;
+  bool popped_ = false;
+};
+
+/// A scheduler: one execution per trigger, reading and acting through the
+/// context. Implementations: native C++ schedulers (sched/native.hpp) and
+/// the ProgMP program runner (runtime/program.hpp).
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Executes one scheduling round.
+  virtual void schedule(SchedulerContext& ctx) = 0;
+
+  /// Human-readable identifier (for stats and bench tables).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace progmp::mptcp

@@ -1,0 +1,247 @@
+#include "mptcp/subflow.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace progmp::mptcp {
+
+SubflowSender::SubflowSender(sim::Simulator& sim, sim::NetPath& path,
+                             Receiver& receiver, int slot, Config cfg,
+                             std::unique_ptr<tcp::CongestionControl> cc,
+                             Host host)
+    : sim_(sim),
+      path_(path),
+      receiver_(receiver),
+      slot_(slot),
+      cfg_(std::move(cfg)),
+      cc_(std::move(cc)),
+      host_(std::move(host)),
+      established_at_(sim.now()),
+      alive_(std::make_shared<int>(0)) {
+  PROGMP_CHECK(slot_ >= 0 && slot_ < kMaxSubflows);
+  PROGMP_CHECK(cc_ != nullptr);
+}
+
+SubflowSender::~SubflowSender() { disarm_rto(); }
+
+void SubflowSender::enqueue(const SkbPtr& skb) {
+  if (!established_ || skb == nullptr || skb->acked || skb->dropped) return;
+  queue_.push_back(skb);
+  pump();
+}
+
+void SubflowSender::pump() {
+  while (established_ && !queue_.empty() &&
+         in_flight() < cc_->cwnd() &&
+         tsq_bytes_ < tsq_budget_bytes()) {
+    SkbPtr skb = queue_.front();
+    if (skb->acked || skb->dropped) {
+      queue_.pop_front();
+      continue;  // meta-acked while waiting: vanish from this queue too
+    }
+    if (host_.may_transmit && !host_.may_transmit(skb)) break;
+    queue_.pop_front();
+    transmit_fresh(skb);
+  }
+}
+
+void SubflowSender::transmit_fresh(const SkbPtr& skb) {
+  const TimeNs now = sim_.now();
+  TxSeg seg{next_seq_++, skb->meta_seq, skb->size, skb, now, false};
+  inflight_.push_back(seg);
+  if (skb->first_sent_at == TimeNs{0}) skb->first_sent_at = now;
+  ++stats_.segments_sent;
+  stats_.bytes_sent += skb->size;
+  if (host_.on_transmitted) host_.on_transmitted(skb);
+  put_on_wire(seg, /*is_retransmit=*/false);
+  if (!rto_armed_) arm_rto();
+}
+
+void SubflowSender::put_on_wire(const TxSeg& seg, bool is_retransmit) {
+  last_tx_at_ = sim_.now();
+  const DataSegment ds{slot_, seg.sbf_seq, seg.meta_seq, seg.size};
+  std::weak_ptr<int> guard{alive_};
+  const bool sent = path_.forward.send(
+      seg.size + cfg_.header_bytes,
+      /*on_serialized=*/
+      [this, guard, size = seg.size] {
+        if (guard.expired()) return;
+        tsq_bytes_ -= size;
+        pump();
+        if (host_.on_tsq_freed) host_.on_tsq_freed(slot_);
+      },
+      /*on_delivered=*/
+      [this, guard, ds] {
+        if (guard.expired()) return;
+        const AckInfo ack = receiver_.on_data(ds);
+        path_.reverse.send(kAckBytes, nullptr, [this, guard, ack] {
+          if (guard.expired()) return;
+          if (established_) on_ack(ack);
+        });
+      });
+  if (sent) {
+    tsq_bytes_ += seg.size;
+  }
+  // An enqueue-full drop means the packet is simply gone — the RTO recovers
+  // it exactly as a wire loss would.
+  (void)is_retransmit;
+}
+
+void SubflowSender::retransmit_head() {
+  if (inflight_.empty()) return;
+  TxSeg& head = inflight_.front();
+  head.retransmitted = true;  // Karn: no RTT sample from this segment
+  head.sent_at = sim_.now();
+  ++stats_.segments_retransmitted;
+  stats_.bytes_sent += head.size;
+  put_on_wire(head, /*is_retransmit=*/true);
+}
+
+void SubflowSender::on_ack(const AckInfo& ack) {
+  const TimeNs now = sim_.now();
+  // Congestion window validation (RFC 7661 spirit): an application-limited
+  // subflow whose window is not actually full must not grow it — otherwise
+  // thin streams inflate cwnd without bound and every capacity estimate
+  // derived from it (TAP, target-deadline) becomes meaningless.
+  const bool cwnd_limited = in_flight() >= cc_->cwnd();
+  if (ack.sbf_ack > snd_una_) {
+    const auto newly = static_cast<std::int64_t>(ack.sbf_ack - snd_una_);
+    snd_una_ = ack.sbf_ack;
+    dupacks_ = 0;
+    rto_backoff_ = 1;
+    while (!inflight_.empty() && inflight_.front().sbf_seq < snd_una_) {
+      const TxSeg& seg = inflight_.front();
+      if (!seg.retransmitted) {
+        rtt_.add_sample(now - seg.sent_at);
+        cc_->set_rtt_hint(rtt_.srtt());
+      }
+      rate_.on_delivered(now, seg.size);
+      inflight_.pop_front();
+    }
+    if (in_recovery_) {
+      if (ack.sbf_ack >= recover_) {
+        in_recovery_ = false;
+        if (cwnd_limited) cc_->on_ack(newly, now);  // recovery-exit progress
+      } else {
+        retransmit_head();  // NewReno partial ACK
+      }
+    } else if (cwnd_limited) {
+      cc_->on_ack(newly, now);
+    }
+    disarm_rto();
+    if (!inflight_.empty()) arm_rto();
+  } else if (!inflight_.empty()) {
+    ++dupacks_;
+    if (dupacks_ == kDupAckThreshold && !in_recovery_) {
+      ++stats_.fast_retransmits;
+      enter_recovery_and_reinject();
+    }
+  }
+  if (host_.on_meta_ack) host_.on_meta_ack(ack.meta_ack, ack.rwnd_bytes);
+  pump();
+  if (host_.on_ack_done) host_.on_ack_done(slot_);
+}
+
+void SubflowSender::enter_recovery_and_reinject() {
+  in_recovery_ = true;
+  recover_ = next_seq_;
+  cc_->on_loss();
+  if (inflight_.empty()) return;
+  const SkbPtr skb = inflight_.front().skb;
+  retransmit_head();
+  if (skb != nullptr && !skb->acked && !skb->dropped &&
+      host_.on_loss_suspected) {
+    host_.on_loss_suspected(slot_, skb);
+  }
+}
+
+void SubflowSender::on_rto_fired() {
+  rto_armed_ = false;
+  if (!established_ || inflight_.empty()) return;
+  ++stats_.rtos;
+  cc_->on_rto();
+  rto_backoff_ = std::min(rto_backoff_ * 2, 64);
+  in_recovery_ = true;
+  recover_ = next_seq_;
+  const SkbPtr skb = inflight_.front().skb;
+  retransmit_head();
+  arm_rto();
+  if (skb != nullptr && !skb->acked && !skb->dropped &&
+      host_.on_loss_suspected) {
+    host_.on_loss_suspected(slot_, skb);
+  }
+}
+
+void SubflowSender::arm_rto() {
+  PROGMP_CHECK(!rto_armed_);
+  std::weak_ptr<int> guard{alive_};
+  rto_event_ = sim_.schedule_after(rtt_.rto() * rto_backoff_, [this, guard] {
+    if (guard.expired()) return;
+    on_rto_fired();
+  });
+  rto_armed_ = true;
+}
+
+void SubflowSender::disarm_rto() {
+  if (!rto_armed_) return;
+  sim_.cancel(rto_event_);
+  rto_armed_ = false;
+}
+
+void SubflowSender::purge_acked(const SkbPtr& skb) {
+  std::erase(queue_, skb);
+}
+
+std::int64_t SubflowSender::tsq_budget_bytes() const {
+  // ~2 ms of data at twice the cwnd/srtt pacing-rate estimate, clamped —
+  // the kernel's small-queue rule in the TSO era.
+  const TimeNs srtt = rtt_.has_sample() ? rtt_.srtt() : path_.base_rtt();
+  const double pacing_bps =
+      2.0 * tcp::RateEstimator::cwnd_rate(cc_->cwnd(), cfg_.mss, srtt);
+  const auto two_ms_worth = static_cast<std::int64_t>(pacing_bps / 500.0);
+  return std::clamp(two_ms_worth, cfg_.tsq_min_bytes, cfg_.tsq_max_bytes);
+}
+
+SubflowInfo SubflowSender::info(TimeNs now) const {
+  SubflowInfo i;
+  i.slot = slot_;
+  i.name = cfg_.name;
+  i.is_backup = cfg_.backup;
+  i.preferred = cfg_.preferred;
+  i.established = established_;
+  i.tsq_throttled = tsq_bytes_ >= tsq_budget_bytes();
+  i.lossy = in_recovery_;
+  i.cwnd = cc_->cwnd();
+  i.skbs_in_flight = in_flight();
+  i.queued = queued();
+  // Before the first RTT sample, fall back to the path's base RTT — the
+  // kernel similarly seeds its estimate from the handshake.
+  i.rtt = rtt_.has_sample() ? rtt_.srtt() : path_.base_rtt();
+  i.rtt_var = rtt_.has_sample() ? rtt_.rttvar() : path_.base_rtt() / 2;
+  i.min_rtt = rtt_.has_sample() ? rtt_.min_rtt() : path_.base_rtt();
+  i.last_rtt = rtt_.has_sample() ? rtt_.last_rtt() : path_.base_rtt();
+  i.mss = cfg_.mss;
+  i.delivery_rate_bps = rate_.delivery_rate(now);
+  i.capacity_bps = tcp::RateEstimator::cwnd_rate(i.cwnd, i.mss, i.rtt);
+  i.established_at = established_at_;
+  i.last_tx_at = last_tx_at_;
+  return i;
+}
+
+std::vector<SkbPtr> SubflowSender::close() {
+  established_ = false;
+  disarm_rto();
+  std::vector<SkbPtr> orphans;
+  std::unordered_set<const Skb*> seen;
+  auto collect = [&](const SkbPtr& skb) {
+    if (skb == nullptr || skb->acked || skb->dropped) return;
+    if (seen.insert(skb.get()).second) orphans.push_back(skb);
+  };
+  for (const SkbPtr& skb : queue_) collect(skb);
+  for (const TxSeg& seg : inflight_) collect(seg.skb);
+  queue_.clear();
+  inflight_.clear();
+  return orphans;
+}
+
+}  // namespace progmp::mptcp

@@ -1,0 +1,192 @@
+// Sender-side subflow: one TCP connection inside the MPTCP bundle.
+//
+// Owns the per-subflow send queue (packets the scheduler PUSHed but that are
+// not yet on the wire), the in-flight segment list, congestion control, RTT
+// estimation, NewReno loss recovery (3 dup-ACK fast retransmit + RTO with
+// exponential backoff) and the TSQ throttle that limits how much data may sit
+// in the local qdisc — the mechanism footnote 2 of the paper points out as a
+// hidden input to the default scheduler.
+//
+// When the subflow suspects a loss it retransmits at the subflow level (TCP
+// must fill its own sequence space) and reports the affected packet to the
+// connection, which places it into the reinjection queue RQ (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/time.hpp"
+#include "mptcp/receiver.hpp"
+#include "mptcp/scheduler.hpp"
+#include "mptcp/skb.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+#include "tcp/congestion.hpp"
+#include "tcp/rate_estimator.hpp"
+#include "tcp/rtt_estimator.hpp"
+
+namespace progmp::mptcp {
+
+class SubflowSender {
+ public:
+  struct Config {
+    std::string name = "sbf";
+    bool backup = false;
+    /// Application preference (§5.4): preferred subflows are cheap/desired
+    /// (WiFi); non-preferred ones are costly/metered (LTE). Distinct from
+    /// the Linux `backup` flag, which makes the default scheduler avoid the
+    /// subflow entirely while any non-backup subflow exists.
+    bool preferred = true;
+    std::int64_t mss = 1400;
+    /// TSQ budget: at most ~2 ms of data at the estimated pacing rate may
+    /// sit in the local qdisc, clamped to [min, max] — mirroring the
+    /// kernel's TSO-era small-queue rule (2 full-size TSO packets floor,
+    /// tcp_limit_output_bytes ceiling).
+    std::int64_t tsq_min_bytes = 16 * 1024;
+    std::int64_t tsq_max_bytes = 256 * 1024;
+    std::int64_t header_bytes = 60;  ///< wire overhead per segment
+  };
+
+  /// Callbacks into the owning connection.
+  struct Host {
+    /// Meta-level receive-window gate. TCP window semantics: the packet may
+    /// be transmitted iff its end offset stays within snd_una + rwnd — a
+    /// packet below the current right edge (gap fill, reinjection) always
+    /// fits.
+    std::function<bool(const SkbPtr& skb)> may_transmit;
+    /// A packet was put on the wire for the first time on any subflow — the
+    /// connection moves it into QU.
+    std::function<void(const SkbPtr&)> on_transmitted;
+    /// ACK processing finished (cwnd may have opened, meta ack advanced).
+    std::function<void(int slot)> on_ack_done;
+    /// Loss suspected for this packet (fast retransmit or RTO) — the
+    /// connection adds it to RQ and triggers the scheduler.
+    std::function<void(int slot, const SkbPtr&)> on_loss_suspected;
+    /// Cumulative data-level ACK and advertised window from the receiver.
+    std::function<void(std::uint64_t meta_ack, std::int64_t rwnd)> on_meta_ack;
+    /// TSQ budget freed — the scheduler may want to run.
+    std::function<void(int slot)> on_tsq_freed;
+  };
+
+  struct Stats {
+    std::int64_t segments_sent = 0;       ///< fresh wire transmissions
+    std::int64_t segments_retransmitted = 0;  ///< subflow-level retransmits
+    std::int64_t bytes_sent = 0;          ///< payload bytes incl. retransmits
+    std::int64_t fast_retransmits = 0;
+    std::int64_t rtos = 0;
+  };
+
+  SubflowSender(sim::Simulator& sim, sim::NetPath& path, Receiver& receiver,
+                int slot, Config cfg,
+                std::unique_ptr<tcp::CongestionControl> cc, Host host);
+  ~SubflowSender();
+
+  SubflowSender(const SubflowSender&) = delete;
+  SubflowSender& operator=(const SubflowSender&) = delete;
+
+  // ---- Scheduler-facing ----------------------------------------------------
+  /// Appends a scheduled packet to the subflow queue and pumps.
+  void enqueue(const SkbPtr& skb);
+
+  /// Tries to transmit queued packets within cwnd / TSQ / window limits.
+  void pump();
+
+  /// Removes a (meta-)acknowledged packet from the not-yet-sent queue;
+  /// ACKed data must vanish from *all* queues (§3.1).
+  void purge_acked(const SkbPtr& skb);
+
+  /// Fresh property snapshot for the scheduler context.
+  [[nodiscard]] SubflowInfo info(TimeNs now) const;
+
+  // ---- Lifecycle ----------------------------------------------------------
+  [[nodiscard]] bool established() const { return established_; }
+
+  /// Closes the subflow (handover, failure). Unsent and unacked packets are
+  /// handed back through the returned vector so the connection can reinject
+  /// them — packets must not be lost when a subflow ceases to exist (§3.3).
+  std::vector<SkbPtr> close();
+
+  [[nodiscard]] int slot() const { return slot_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] sim::NetPath& path() { return path_; }
+  [[nodiscard]] std::int64_t queued() const {
+    return static_cast<std::int64_t>(queue_.size());
+  }
+  [[nodiscard]] std::int64_t in_flight() const {
+    return static_cast<std::int64_t>(inflight_.size());
+  }
+  [[nodiscard]] const tcp::RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] tcp::CongestionControl& cc() { return *cc_; }
+
+  /// Duplicate-ACK threshold for fast retransmit (RFC 5681).
+  static constexpr int kDupAckThreshold = 3;
+  /// Wire size of a pure ACK on the reverse path.
+  static constexpr std::int64_t kAckBytes = 64;
+
+ private:
+  /// One transmitted, not yet cumulatively ACKed segment. Keeps its own copy
+  /// of the mapping (meta_seq/size) because the skb may be meta-ACKed (via a
+  /// redundant copy on another subflow) while the subflow still has to
+  /// retransmit to fill its sequence space.
+  struct TxSeg {
+    std::uint64_t sbf_seq;
+    std::uint64_t meta_seq;
+    std::int32_t size;
+    SkbPtr skb;
+    TimeNs sent_at;
+    bool retransmitted = false;
+  };
+
+  void transmit_fresh(const SkbPtr& skb);
+  void put_on_wire(const TxSeg& seg, bool is_retransmit);
+  void retransmit_head();
+  void on_ack(const AckInfo& ack);
+  void enter_recovery_and_reinject();
+  void arm_rto();
+  void disarm_rto();
+  void on_rto_fired();
+
+  sim::Simulator& sim_;
+  sim::NetPath& path_;
+  Receiver& receiver_;
+  int slot_;
+  Config cfg_;
+  std::unique_ptr<tcp::CongestionControl> cc_;
+  Host host_;
+
+  bool established_ = true;
+  TimeNs established_at_{0};
+  TimeNs last_tx_at_{0};
+
+  std::deque<SkbPtr> queue_;    ///< scheduled, not yet transmitted
+  std::deque<TxSeg> inflight_;  ///< transmitted, unacked (sorted by sbf_seq)
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t snd_una_ = 0;
+
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  ///< NewReno recovery point
+
+  tcp::RttEstimator rtt_;
+  tcp::RateEstimator rate_;
+
+  [[nodiscard]] std::int64_t tsq_budget_bytes() const;
+
+  std::int64_t tsq_bytes_ = 0;  ///< bytes handed to the qdisc, unserialized
+
+  bool rto_armed_ = false;
+  sim::EventId rto_event_ = 0;
+  int rto_backoff_ = 1;
+
+  Stats stats_;
+
+  /// Lifetime token: simulator events capture a weak reference and become
+  /// no-ops if the subflow has been destroyed (e.g. after a handover).
+  std::shared_ptr<int> alive_;
+};
+
+}  // namespace progmp::mptcp

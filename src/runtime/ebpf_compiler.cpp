@@ -1,0 +1,569 @@
+#include "runtime/ebpf_compiler.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace progmp::rt::ebpf {
+namespace {
+
+/// Physical registers available to the allocator (callee-saved across
+/// helper calls in the eBPF ABI).
+constexpr int kAllocatable[] = {6, 7, 8, 9};
+constexpr int kNumAllocatable = 4;
+
+class Compiler {
+ public:
+  explicit Compiler(const IrProgram& ir) : ir_(ir) {
+    positions_.resize(static_cast<std::size_t>(ir.num_vregs));
+    for (std::size_t i = 0; i < ir_.insts.size(); ++i) {
+      const IrInst& inst = ir_.insts[i];
+      auto record = [&](VReg v) {
+        if (v >= 0) positions_[static_cast<std::size_t>(v)].push_back(
+            static_cast<int>(i));
+      };
+      record(inst.a);
+      record(inst.b);
+      record(inst.dst);
+    }
+    slot_of_.assign(static_cast<std::size_t>(ir.num_vregs), 0);
+    label_pos_.assign(static_cast<std::size_t>(ir.num_labels), -1);
+  }
+
+  CompileResult run() {
+    for (std::size_t i = 0; i < ir_.insts.size() && result_.error.empty();
+         ++i) {
+      cur_pos_ = static_cast<int>(i);
+      // Peephole: a comparison whose only consumer is the following kJz
+      // fuses into one conditional branch (the dominant pattern — every
+      // fused scan loop's bound check).
+      if (can_fuse_cmp_branch(i)) {
+        translate_fused_branch(ir_.insts[i], ir_.insts[i + 1]);
+        ++i;
+        continue;
+      }
+      translate(ir_.insts[i]);
+    }
+    if (!result_.error.empty()) {
+      result_.ok = false;
+      return std::move(result_);
+    }
+    // Ensure the program always terminates with EXIT even if the IR fell off
+    // the end (the IR generator appends kRet, so this is belt-and-braces).
+    if (out_.empty() || out_.back().op != Op::kExit) {
+      emit({Op::kMovImm, 0, 0, 0, 0});
+      emit({Op::kExit});
+    }
+    // Patch branch fixups now that every label's code offset is known.
+    for (const Fixup& fixup : fixups_) {
+      const int target = label_pos_[static_cast<std::size_t>(fixup.label)];
+      if (target < 0) {
+        fail("branch to unplaced label");
+        break;
+      }
+      const int off = target - (fixup.insn + 1);
+      if (off < INT16_MIN || off > INT16_MAX) {
+        fail("branch displacement out of range");
+        break;
+      }
+      out_[static_cast<std::size_t>(fixup.insn)].off =
+          static_cast<std::int16_t>(off);
+    }
+    result_.ok = result_.error.empty();
+    result_.code = std::move(out_);
+    result_.spill_slots = -next_slot_off_ / 8;
+    return std::move(result_);
+  }
+
+ private:
+  struct Fixup {
+    int insn;
+    LabelId label;
+  };
+  struct Binding {
+    VReg owner = -1;
+    bool dirty = false;
+  };
+
+  void fail(const std::string& msg) {
+    if (result_.error.empty()) result_.error = msg;
+  }
+
+  void emit(Insn insn) { out_.push_back(insn); }
+
+  // ---- Stack homes -----------------------------------------------------------
+  /// Offset of the vreg's stack home, allocating one on first need.
+  std::int16_t home(VReg v) {
+    std::int16_t& slot = slot_of_[static_cast<std::size_t>(v)];
+    if (slot == 0) {
+      next_slot_off_ -= 8;
+      if (-next_slot_off_ > kStackBytes) {
+        fail("out of spill slots (specification too large)");
+        next_slot_off_ += 8;
+        return -8;
+      }
+      slot = static_cast<std::int16_t>(next_slot_off_);
+    }
+    return slot;
+  }
+
+  // ---- Allocation ------------------------------------------------------------
+  [[nodiscard]] int binding_index_of(VReg v) const {
+    for (int i = 0; i < kNumAllocatable; ++i) {
+      if (bindings_[static_cast<std::size_t>(i)].owner == v) return i;
+    }
+    return -1;
+  }
+
+  /// Next IR position at which `v` is referenced after the current one;
+  /// INT_MAX if never again (best eviction victim).
+  [[nodiscard]] int next_use(VReg v) const {
+    const auto& pos = positions_[static_cast<std::size_t>(v)];
+    auto it = std::upper_bound(pos.begin(), pos.end(), cur_pos_);
+    return it == pos.end() ? std::numeric_limits<int>::max() : *it;
+  }
+
+  /// Picks a register for a (re)binding: a free one if available, otherwise
+  /// evicts the unpinned binding with the furthest next use — the
+  /// binpacking heuristic; the evicted value keeps its stack home and gets
+  /// a second chance at its next use.
+  int take_register(unsigned pinned_mask) {
+    for (int i = 0; i < kNumAllocatable; ++i) {
+      if (bindings_[static_cast<std::size_t>(i)].owner < 0) return i;
+    }
+    int victim = -1;
+    int victim_next = -1;
+    for (int i = 0; i < kNumAllocatable; ++i) {
+      if (pinned_mask & (1u << i)) continue;
+      const int nu = next_use(bindings_[static_cast<std::size_t>(i)].owner);
+      if (nu > victim_next) {
+        victim_next = nu;
+        victim = i;
+      }
+    }
+    PROGMP_CHECK_MSG(victim >= 0, "all registers pinned");
+    Binding& b = bindings_[static_cast<std::size_t>(victim)];
+    if (b.dirty) {
+      emit({Op::kStxDw, kFp, static_cast<std::uint8_t>(kAllocatable[victim]),
+            home(b.owner), 0});
+    }
+    b.owner = -1;
+    b.dirty = false;
+    return victim;
+  }
+
+  /// Materializes the current value of `v` in an allocatable register.
+  int ensure(VReg v, unsigned* pinned_mask) {
+    int idx = binding_index_of(v);
+    if (idx < 0) {
+      idx = take_register(*pinned_mask);
+      // Reload from the stack home. Values are always defined before use
+      // (IR generator invariant), so the home exists or the VM-zeroed slot
+      // is semantically the vreg's initial 0.
+      emit({Op::kLdxDw, static_cast<std::uint8_t>(kAllocatable[idx]), kFp,
+            home(v), 0});
+      bindings_[static_cast<std::size_t>(idx)] = {v, false};
+    }
+    *pinned_mask |= 1u << idx;
+    return kAllocatable[idx];
+  }
+
+  /// Binds `v` to a register for a fresh definition (no reload).
+  int define(VReg v, unsigned* pinned_mask) {
+    int idx = binding_index_of(v);
+    if (idx < 0) {
+      idx = take_register(*pinned_mask);
+      bindings_[static_cast<std::size_t>(idx)].owner = v;
+    }
+    bindings_[static_cast<std::size_t>(idx)].dirty = true;
+    *pinned_mask |= 1u << idx;
+    return kAllocatable[idx];
+  }
+
+  /// Writes all dirty bindings back to their stack homes and clears the
+  /// register file — the canonical cross-block state lives on the stack.
+  void flush() {
+    for (int i = 0; i < kNumAllocatable; ++i) {
+      Binding& b = bindings_[static_cast<std::size_t>(i)];
+      if (b.owner >= 0 && b.dirty) {
+        emit({Op::kStxDw, kFp, static_cast<std::uint8_t>(kAllocatable[i]),
+              home(b.owner), 0});
+      }
+      b = Binding{};
+    }
+  }
+
+  void branch_fixup(Op op, int reg, std::int64_t imm, LabelId label) {
+    fixups_.push_back({static_cast<int>(out_.size()), label});
+    emit({op, static_cast<std::uint8_t>(reg), 0, 0, imm});
+  }
+
+  // ---- Helper calls ------------------------------------------------------------
+  /// Loads an argument value into r1..r5 without disturbing bindings.
+  void load_arg(int arg_reg, VReg v) {
+    const int idx = binding_index_of(v);
+    if (idx >= 0) {
+      emit({Op::kMovReg, static_cast<std::uint8_t>(arg_reg),
+            static_cast<std::uint8_t>(kAllocatable[idx]), 0, 0});
+    } else {
+      emit({Op::kLdxDw, static_cast<std::uint8_t>(arg_reg), kFp, home(v), 0});
+    }
+  }
+
+  void call(Helper helper) {
+    emit({Op::kCall, 0, 0, 0, static_cast<std::int64_t>(helper)});
+  }
+
+  void move_result_to(VReg dst) {
+    unsigned pinned = 0;
+    const int pd = define(dst, &pinned);
+    emit({Op::kMovReg, static_cast<std::uint8_t>(pd), 0, 0, 0});
+  }
+
+  // ---- Peepholes -----------------------------------------------------------
+  static bool is_comparison(lang::BinOp op) {
+    using lang::BinOp;
+    switch (op) {
+      case BinOp::kLt:
+      case BinOp::kGt:
+      case BinOp::kLe:
+      case BinOp::kGe:
+      case BinOp::kEq:
+      case BinOp::kNe:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Jump opcode taken when the comparison is FALSE (kJz semantics),
+  /// register and immediate forms.
+  static Op negated_jump(lang::BinOp op, bool imm_form) {
+    using lang::BinOp;
+    switch (op) {
+      case BinOp::kLt: return imm_form ? Op::kJsgeImm : Op::kJsgeReg;
+      case BinOp::kGt: return imm_form ? Op::kJsleImm : Op::kJsleReg;
+      case BinOp::kLe: return imm_form ? Op::kJsgtImm : Op::kJsgtReg;
+      case BinOp::kGe: return imm_form ? Op::kJsltImm : Op::kJsltReg;
+      case BinOp::kEq: return imm_form ? Op::kJneImm : Op::kJneReg;
+      case BinOp::kNe: return imm_form ? Op::kJeqImm : Op::kJeqReg;
+      default:
+        PROGMP_UNREACHABLE("not a comparison");
+    }
+  }
+
+  [[nodiscard]] bool can_fuse_cmp_branch(std::size_t i) const {
+    const IrInst& cmp = ir_.insts[i];
+    if (cmp.op != IrOp::kBin && cmp.op != IrOp::kBinImm) return false;
+    if (!is_comparison(cmp.bin_op)) return false;
+    if (i + 1 >= ir_.insts.size()) return false;
+    const IrInst& jz = ir_.insts[i + 1];
+    if (jz.op != IrOp::kJz || jz.a != cmp.dst) return false;
+    // The comparison result must have no other consumer.
+    const auto& uses = positions_[static_cast<std::size_t>(cmp.dst)];
+    return uses.size() == 2 && uses[0] == static_cast<int>(i) &&
+           uses[1] == static_cast<int>(i + 1);
+  }
+
+  void translate_fused_branch(const IrInst& cmp, const IrInst& jz) {
+    unsigned pinned = 0;
+    const int pa = ensure(cmp.a, &pinned);
+    if (cmp.op == IrOp::kBinImm) {
+      flush();
+      branch_fixup(negated_jump(cmp.bin_op, /*imm_form=*/true), pa, cmp.imm,
+                   static_cast<LabelId>(jz.imm));
+      return;
+    }
+    const int pb = ensure(cmp.b, &pinned);
+    flush();
+    fixups_.push_back({static_cast<int>(out_.size()),
+                       static_cast<LabelId>(jz.imm)});
+    Insn insn{negated_jump(cmp.bin_op, /*imm_form=*/false),
+              static_cast<std::uint8_t>(pa), static_cast<std::uint8_t>(pb),
+              0, 0};
+    emit(insn);
+  }
+
+  // ---- Translation ----------------------------------------------------------------
+  void translate(const IrInst& inst) {
+    switch (inst.op) {
+      case IrOp::kConst: {
+        unsigned pinned = 0;
+        const int pd = define(inst.dst, &pinned);
+        emit({Op::kMovImm, static_cast<std::uint8_t>(pd), 0, 0, inst.imm});
+        break;
+      }
+      case IrOp::kMov: {
+        unsigned pinned = 0;
+        const int pa = ensure(inst.a, &pinned);
+        const int pd = define(inst.dst, &pinned);
+        emit({Op::kMovReg, static_cast<std::uint8_t>(pd),
+              static_cast<std::uint8_t>(pa), 0, 0});
+        break;
+      }
+      case IrOp::kBin:
+        translate_bin(inst);
+        break;
+      case IrOp::kBinImm:
+        translate_bin_imm(inst);
+        break;
+      case IrOp::kNeg: {
+        unsigned pinned = 0;
+        const int pa = ensure(inst.a, &pinned);
+        emit({Op::kMovReg, 0, static_cast<std::uint8_t>(pa), 0, 0});
+        emit({Op::kNeg, 0, 0, 0, 0});
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kNot: {
+        unsigned pinned = 0;
+        const int pa = ensure(inst.a, &pinned);
+        emit({Op::kMovImm, 0, 0, 0, 1});
+        emit({Op::kJeqImm, static_cast<std::uint8_t>(pa), 0, 1, 0});
+        emit({Op::kMovImm, 0, 0, 0, 0});
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kLoadReg: {
+        emit({Op::kMovImm, 1, 0, 0, inst.imm});
+        call(Helper::kRegGet);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kStoreReg: {
+        emit({Op::kMovImm, 1, 0, 0, inst.imm});
+        load_arg(2, inst.a);
+        call(Helper::kRegSet);
+        break;
+      }
+      case IrOp::kTimeMs:
+        call(Helper::kTimeMs);
+        move_result_to(inst.dst);
+        break;
+      case IrOp::kSbfCount:
+        call(Helper::kSbfCount);
+        move_result_to(inst.dst);
+        break;
+      case IrOp::kSbfProp: {
+        load_arg(1, inst.a);
+        emit({Op::kMovImm, 2, 0, 0, inst.imm});
+        call(Helper::kSbfProp);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kPktProp: {
+        load_arg(1, inst.a);
+        emit({Op::kMovImm, 2, 0, 0, inst.imm});
+        load_arg(3, inst.b);
+        call(Helper::kPktProp);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kQueueLen: {
+        emit({Op::kMovImm, 1, 0, 0, inst.imm});
+        call(Helper::kQueueLen);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kQueueNth: {
+        emit({Op::kMovImm, 1, 0, 0, inst.imm});
+        load_arg(2, inst.a);
+        call(Helper::kQueueNth);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kPop: {
+        emit({Op::kMovImm, 1, 0, 0, inst.imm});
+        call(Helper::kPop);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kPush: {
+        load_arg(1, inst.a);
+        load_arg(2, inst.b);
+        call(Helper::kPush);
+        break;
+      }
+      case IrOp::kDrop: {
+        load_arg(1, inst.a);
+        call(Helper::kDrop);
+        break;
+      }
+      case IrOp::kHasWindow: {
+        load_arg(1, inst.a);
+        load_arg(2, inst.b);
+        call(Helper::kHasWindow);
+        move_result_to(inst.dst);
+        break;
+      }
+      case IrOp::kPrint: {
+        load_arg(1, inst.a);
+        call(Helper::kPrint);
+        break;
+      }
+      case IrOp::kLabel:
+        flush();
+        label_pos_[static_cast<std::size_t>(inst.imm)] =
+            static_cast<int>(out_.size());
+        break;
+      case IrOp::kJmp:
+        flush();
+        branch_fixup(Op::kJa, 0, 0, static_cast<LabelId>(inst.imm));
+        break;
+      case IrOp::kJz: {
+        unsigned pinned = 0;
+        const int pa = ensure(inst.a, &pinned);
+        flush();  // stores execute on both branch outcomes
+        branch_fixup(Op::kJeqImm, pa, 0, static_cast<LabelId>(inst.imm));
+        break;
+      }
+      case IrOp::kRet:
+        emit({Op::kMovImm, 0, 0, 0, 0});
+        emit({Op::kExit});
+        break;
+    }
+  }
+
+  static Op arith_reg_op(lang::BinOp op) {
+    using lang::BinOp;
+    switch (op) {
+      case BinOp::kAdd: return Op::kAddReg;
+      case BinOp::kSub: return Op::kSubReg;
+      case BinOp::kMul: return Op::kMulReg;
+      case BinOp::kDiv: return Op::kDivReg;
+      case BinOp::kMod: return Op::kModReg;
+      default:
+        PROGMP_UNREACHABLE("not arithmetic");
+    }
+  }
+  static Op arith_imm_op(lang::BinOp op) {
+    using lang::BinOp;
+    switch (op) {
+      case BinOp::kAdd: return Op::kAddImm;
+      case BinOp::kSub: return Op::kSubImm;
+      case BinOp::kMul: return Op::kMulImm;
+      case BinOp::kDiv: return Op::kDivImm;
+      case BinOp::kMod: return Op::kModImm;
+      default:
+        PROGMP_UNREACHABLE("not arithmetic");
+    }
+  }
+
+  void translate_bin_imm(const IrInst& inst) {
+    unsigned pinned = 0;
+    const int pa = ensure(inst.a, &pinned);
+    using lang::BinOp;
+    if (is_comparison(inst.bin_op)) {
+      emit({Op::kMovImm, 0, 0, 0, 1});
+      // Jump over the "false" store when the comparison holds: use the
+      // positive immediate jump.
+      Op op = Op::kJsltImm;
+      if (inst.bin_op == BinOp::kGt) op = Op::kJsgtImm;
+      if (inst.bin_op == BinOp::kLe) op = Op::kJsleImm;
+      if (inst.bin_op == BinOp::kGe) op = Op::kJsgeImm;
+      if (inst.bin_op == BinOp::kEq) op = Op::kJeqImm;
+      if (inst.bin_op == BinOp::kNe) op = Op::kJneImm;
+      emit({op, static_cast<std::uint8_t>(pa), 0, 1, inst.imm});
+      emit({Op::kMovImm, 0, 0, 0, 0});
+      move_result_to(inst.dst);
+      return;
+    }
+    // Two-address arithmetic with an immediate.
+    const int pd = define(inst.dst, &pinned);
+    if (pd != pa) {
+      emit({Op::kMovReg, static_cast<std::uint8_t>(pd),
+            static_cast<std::uint8_t>(pa), 0, 0});
+    }
+    emit({arith_imm_op(inst.bin_op), static_cast<std::uint8_t>(pd), 0, 0,
+          inst.imm});
+  }
+
+  void translate_bin(const IrInst& inst) {
+    unsigned pinned = 0;
+    const int pa = ensure(inst.a, &pinned);
+    const int pb = ensure(inst.b, &pinned);
+    using lang::BinOp;
+    switch (inst.bin_op) {
+      case BinOp::kAdd:
+      case BinOp::kSub:
+      case BinOp::kMul:
+      case BinOp::kDiv:
+      case BinOp::kMod: {
+        if (inst.dst != inst.b) {
+          // Two-address form: dst receives a, then combines with b. Safe
+          // because dst != b guarantees pd != pb (pb is pinned).
+          const int pd = define(inst.dst, &pinned);
+          if (pd != pa) {
+            emit({Op::kMovReg, static_cast<std::uint8_t>(pd),
+                  static_cast<std::uint8_t>(pa), 0, 0});
+          }
+          emit({arith_reg_op(inst.bin_op), static_cast<std::uint8_t>(pd),
+                static_cast<std::uint8_t>(pb), 0, 0});
+          break;
+        }
+        // dst aliases b: compute in r0 to avoid clobbering the operand.
+        emit({Op::kMovReg, 0, static_cast<std::uint8_t>(pa), 0, 0});
+        emit({arith_reg_op(inst.bin_op), 0, static_cast<std::uint8_t>(pb), 0,
+              0});
+        move_result_to(inst.dst);
+        break;
+      }
+      case BinOp::kLt:
+      case BinOp::kGt:
+      case BinOp::kLe:
+      case BinOp::kGe:
+      case BinOp::kEq:
+      case BinOp::kNe: {
+        Op op = Op::kJsltReg;
+        if (inst.bin_op == BinOp::kGt) op = Op::kJsgtReg;
+        if (inst.bin_op == BinOp::kLe) op = Op::kJsleReg;
+        if (inst.bin_op == BinOp::kGe) op = Op::kJsgeReg;
+        if (inst.bin_op == BinOp::kEq) op = Op::kJeqReg;
+        if (inst.bin_op == BinOp::kNe) op = Op::kJneReg;
+        emit({Op::kMovImm, 0, 0, 0, 1});
+        emit({op, static_cast<std::uint8_t>(pa),
+              static_cast<std::uint8_t>(pb), 1, 0});
+        emit({Op::kMovImm, 0, 0, 0, 0});
+        move_result_to(inst.dst);
+        break;
+      }
+      case BinOp::kAnd: {
+        emit({Op::kMovImm, 0, 0, 0, 0});
+        emit({Op::kJeqImm, static_cast<std::uint8_t>(pa), 0, 2, 0});
+        emit({Op::kJeqImm, static_cast<std::uint8_t>(pb), 0, 1, 0});
+        emit({Op::kMovImm, 0, 0, 0, 1});
+        move_result_to(inst.dst);
+        break;
+      }
+      case BinOp::kOr: {
+        emit({Op::kMovImm, 0, 0, 0, 1});
+        emit({Op::kJneImm, static_cast<std::uint8_t>(pa), 0, 2, 0});
+        emit({Op::kJneImm, static_cast<std::uint8_t>(pb), 0, 1, 0});
+        emit({Op::kMovImm, 0, 0, 0, 0});
+        move_result_to(inst.dst);
+        break;
+      }
+    }
+  }
+
+  const IrProgram& ir_;
+  Code out_;
+  CompileResult result_;
+  std::vector<std::vector<int>> positions_;
+  std::array<Binding, kNumAllocatable> bindings_{};
+  std::vector<std::int16_t> slot_of_;
+  int next_slot_off_ = 0;
+  std::vector<int> label_pos_;
+  std::vector<Fixup> fixups_;
+  int cur_pos_ = 0;
+};
+
+}  // namespace
+
+CompileResult compile(const IrProgram& ir) { return Compiler(ir).run(); }
+
+}  // namespace progmp::rt::ebpf

@@ -1,0 +1,40 @@
+// IR -> eBPF cross-compiler (§4.1 "eBPF Compilation").
+//
+// The paper implements its own in-kernel cross-compiler because the stock
+// C-to-eBPF toolchain cannot run inside the kernel; we mirror that design:
+// the compiler consumes the scheduler IR directly and performs register
+// allocation in the spirit of Second-Chance Binpacking linear-scan
+// allocation (Traub, Holloway, Smith, PLDI'98):
+//
+//  * virtual registers are assigned to the callee-saved machine registers
+//    r6..r9 on demand,
+//  * when no register is free, the binding whose owner has the furthest
+//    next use is evicted (binpacking heuristic) and the value moves to its
+//    stack home,
+//  * an evicted value gets a *second chance*: at its next use it is
+//    reloaded and may occupy a register again for the rest of its lifetime,
+//  * control-flow joins are handled by making the stack slot the canonical
+//    home across basic-block boundaries (all dirty bindings are written
+//    back at labels and branches), so no resolution moves are needed.
+//
+// r0 serves as the scratch/result register and r1..r5 carry helper
+// arguments, exactly like the kernel ABI.
+#pragma once
+
+#include <string>
+
+#include "runtime/ebpf_isa.hpp"
+#include "runtime/ir.hpp"
+
+namespace progmp::rt::ebpf {
+
+struct CompileResult {
+  bool ok = false;
+  std::string error;
+  Code code;
+  int spill_slots = 0;  ///< stack slots used (8 bytes each)
+};
+
+CompileResult compile(const IrProgram& ir);
+
+}  // namespace progmp::rt::ebpf

@@ -1,0 +1,84 @@
+#include "runtime/ebpf_isa.hpp"
+
+#include <cstdio>
+
+namespace progmp::rt::ebpf {
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kAddReg: return "add";
+    case Op::kAddImm: return "addi";
+    case Op::kSubReg: return "sub";
+    case Op::kSubImm: return "subi";
+    case Op::kMulReg: return "mul";
+    case Op::kMulImm: return "muli";
+    case Op::kDivReg: return "div";
+    case Op::kDivImm: return "divi";
+    case Op::kModReg: return "mod";
+    case Op::kModImm: return "modi";
+    case Op::kMovReg: return "mov";
+    case Op::kMovImm: return "movi";
+    case Op::kNeg: return "neg";
+    case Op::kJa: return "ja";
+    case Op::kJeqReg: return "jeq";
+    case Op::kJeqImm: return "jeqi";
+    case Op::kJneReg: return "jne";
+    case Op::kJneImm: return "jnei";
+    case Op::kJsgtReg: return "jsgt";
+    case Op::kJsgtImm: return "jsgti";
+    case Op::kJsgeReg: return "jsge";
+    case Op::kJsgeImm: return "jsgei";
+    case Op::kJsltReg: return "jslt";
+    case Op::kJsltImm: return "jslti";
+    case Op::kJsleReg: return "jsle";
+    case Op::kJsleImm: return "jslei";
+    case Op::kCall: return "call";
+    case Op::kExit: return "exit";
+    case Op::kLdxDw: return "ldxdw";
+    case Op::kStxDw: return "stxdw";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool is_jump(Op op) {
+  switch (op) {
+    case Op::kJa:
+    case Op::kJeqReg:
+    case Op::kJeqImm:
+    case Op::kJneReg:
+    case Op::kJneImm:
+    case Op::kJsgtReg:
+    case Op::kJsgtImm:
+    case Op::kJsgeReg:
+    case Op::kJsgeImm:
+    case Op::kJsltReg:
+    case Op::kJsltImm:
+    case Op::kJsleReg:
+    case Op::kJsleImm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Insn::str() const {
+  char buf[120];
+  std::snprintf(buf, sizeof buf, "%-6s r%d, r%d, off=%d, imm=%lld",
+                op_name(op), dst, src, off, static_cast<long long>(imm));
+  return buf;
+}
+
+std::string disassemble(const Code& code) {
+  std::string out;
+  char buf[140];
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%4zu: %s\n", i, code[i].str().c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace progmp::rt::ebpf

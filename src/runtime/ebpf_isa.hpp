@@ -1,0 +1,97 @@
+// Execution environment 3 of 3: an eBPF-style virtual machine (§4.1,
+// "Alternative 3").
+//
+// The instruction set mirrors the Linux eBPF machine: eleven 64-bit
+// registers (r0 return/scratch, r1-r5 helper arguments — clobbered by
+// calls, r6-r9 callee-saved, r10 read-only frame pointer), a small stack,
+// ALU64 and signed-jump opcodes, and CALLs into a fixed helper ABI that
+// exposes the scheduling environment (subflow properties, queue access,
+// PUSH/POP/DROP, registers) exactly like the paper's in-kernel helpers.
+//
+// Simplifications relative to kernel eBPF, documented here on purpose:
+//  * immediates are 64-bit in one slot (the kernel splits LD_IMM64 across
+//    two instructions),
+//  * the stack is 2048 bytes instead of 512 (specifications with many
+//    live variables spill more than kernel programs do),
+//  * backward jumps are allowed — the ProgMP model permits FOREACH loops
+//    (§6); the VM enforces an instruction budget instead of the kernel's
+//    loop-free check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace progmp::rt::ebpf {
+
+inline constexpr int kNumRegs = 11;   // r0..r10
+inline constexpr int kFp = 10;        // frame pointer (read-only)
+inline constexpr int kStackBytes = 2048;
+inline constexpr int kFirstCalleeSaved = 6;  // r6..r9 survive calls
+inline constexpr int kLastCalleeSaved = 9;
+
+enum class Op : std::uint8_t {
+  // ALU64, register and immediate forms.
+  kAddReg, kAddImm,
+  kSubReg, kSubImm,
+  kMulReg, kMulImm,
+  kDivReg, kDivImm,   // division by zero yields 0 (eBPF semantics)
+  kModReg, kModImm,   // modulo by zero yields 0
+  kMovReg, kMovImm,
+  kNeg,
+
+  // Jumps; comparisons are signed (the language is signed 64-bit).
+  kJa,
+  kJeqReg, kJeqImm,
+  kJneReg, kJneImm,
+  kJsgtReg, kJsgtImm,
+  kJsgeReg, kJsgeImm,
+  kJsltReg, kJsltImm,
+  kJsleReg, kJsleImm,
+
+  kCall,
+  kExit,
+
+  // Memory: 64-bit stack loads/stores (base register must be r10).
+  kLdxDw,  // dst = *(u64*)(src + off)
+  kStxDw,  // *(u64*)(dst + off) = src
+};
+
+/// Helper functions callable from bytecode. Arguments in r1..r3, result in
+/// r0; r1-r5 are clobbered.
+enum class Helper : std::int32_t {
+  kSbfCount = 1,    // () -> count
+  kSbfProp = 2,     // (sbf_idx, prop) -> value
+  kPktProp = 3,     // (handle, prop, sbf_arg) -> value
+  kQueueLen = 4,    // (queue) -> length
+  kQueueNth = 5,    // (queue, index) -> handle
+  kPop = 6,         // (queue) -> handle
+  kPush = 7,        // (sbf_idx, handle) -> 0
+  kDrop = 8,        // (handle) -> 0
+  kRegGet = 9,      // (index) -> value
+  kRegSet = 10,     // (index, value) -> 0
+  kTimeMs = 11,     // () -> ms
+  kHasWindow = 12,  // (sbf_idx, handle) -> bool
+  kPrint = 13,      // (value) -> 0
+};
+inline constexpr std::int32_t kMaxHelperId = 13;
+
+struct Insn {
+  Op op = Op::kExit;
+  std::uint8_t dst = 0;
+  std::uint8_t src = 0;
+  std::int16_t off = 0;   ///< jump displacement (insns) or memory offset
+  std::int64_t imm = 0;
+
+  [[nodiscard]] std::string str() const;
+};
+
+using Code = std::vector<Insn>;
+
+/// Disassembles a program for debugging and golden tests.
+std::string disassemble(const Code& code);
+
+/// True for jump instructions (including kJa, excluding kCall/kExit).
+bool is_jump(Op op);
+
+}  // namespace progmp::rt::ebpf

@@ -1,0 +1,197 @@
+#include "runtime/ebpf_verifier.hpp"
+
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+namespace progmp::rt::ebpf {
+namespace {
+
+std::string at(std::size_t pc, const std::string& msg) {
+  return "insn " + std::to_string(pc) + ": " + msg;
+}
+
+/// Which registers an instruction reads / writes.
+struct Access {
+  std::uint32_t reads = 0;
+  std::uint32_t writes = 0;
+};
+
+Access access_of(const Insn& insn) {
+  Access a;
+  auto read = [&](int r) { a.reads |= 1u << r; };
+  auto write = [&](int r) { a.writes |= 1u << r; };
+  switch (insn.op) {
+    case Op::kAddReg:
+    case Op::kSubReg:
+    case Op::kMulReg:
+    case Op::kDivReg:
+    case Op::kModReg:
+      read(insn.dst);
+      read(insn.src);
+      write(insn.dst);
+      break;
+    case Op::kAddImm:
+    case Op::kSubImm:
+    case Op::kMulImm:
+    case Op::kDivImm:
+    case Op::kModImm:
+    case Op::kNeg:
+      read(insn.dst);
+      write(insn.dst);
+      break;
+    case Op::kMovReg:
+      read(insn.src);
+      write(insn.dst);
+      break;
+    case Op::kMovImm:
+      write(insn.dst);
+      break;
+    case Op::kJa:
+      break;
+    case Op::kJeqReg:
+    case Op::kJneReg:
+    case Op::kJsgtReg:
+    case Op::kJsgeReg:
+    case Op::kJsltReg:
+    case Op::kJsleReg:
+      read(insn.dst);
+      read(insn.src);
+      break;
+    case Op::kJeqImm:
+    case Op::kJneImm:
+    case Op::kJsgtImm:
+    case Op::kJsgeImm:
+    case Op::kJsltImm:
+    case Op::kJsleImm:
+      read(insn.dst);
+      break;
+    case Op::kCall:
+      // Helpers read r1..r3 (we do not model per-helper arity — passing an
+      // uninitialized argument register is legal in the kernel for unused
+      // args too, since MOVs precede the call; we require only the ones our
+      // compiler always sets, which is enforced dynamically by tests).
+      write(0);  // result
+      // r1-r5 become scrambled (treated as written below in transfer()).
+      break;
+    case Op::kExit:
+      read(0);
+      break;
+    case Op::kLdxDw:
+      read(insn.src);
+      write(insn.dst);
+      break;
+    case Op::kStxDw:
+      read(insn.dst);
+      read(insn.src);
+      break;
+  }
+  return a;
+}
+
+}  // namespace
+
+VerifyResult verify(const Code& code) {
+  if (code.empty()) return {false, "empty program"};
+  if (code.size() > 65536) return {false, "program too large"};
+
+  // ---- Structural checks -----------------------------------------------------
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Insn& insn = code[pc];
+    if (insn.dst >= kNumRegs || insn.src >= kNumRegs) {
+      return {false, at(pc, "invalid register")};
+    }
+    const Access acc = access_of(insn);
+    if (acc.writes & (1u << kFp)) {
+      return {false, at(pc, "write to frame pointer r10")};
+    }
+    if (is_jump(insn.op)) {
+      const std::int64_t target =
+          static_cast<std::int64_t>(pc) + 1 + insn.off;
+      if (target < 0 || target >= static_cast<std::int64_t>(code.size())) {
+        return {false, at(pc, "jump out of bounds")};
+      }
+    }
+    if (insn.op == Op::kCall) {
+      if (insn.imm < 1 || insn.imm > kMaxHelperId) {
+        return {false, at(pc, "unknown helper id")};
+      }
+    }
+    if (insn.op == Op::kLdxDw || insn.op == Op::kStxDw) {
+      const int base = insn.op == Op::kLdxDw ? insn.src : insn.dst;
+      if (base != kFp) {
+        return {false, at(pc, "memory access must be r10-based")};
+      }
+      if (insn.off > -8 || insn.off < -kStackBytes || (insn.off % 8) != 0) {
+        return {false, at(pc, "stack access out of bounds or unaligned")};
+      }
+    }
+  }
+  // Fall-through off the end is a verifier error: the last reachable
+  // instruction of every path must be EXIT or a backward jump; the cheap
+  // sufficient check is that the final instruction is EXIT or JA.
+  if (code.back().op != Op::kExit && code.back().op != Op::kJa) {
+    return {false, "program may fall through past the last instruction"};
+  }
+
+  // ---- Init-before-read dataflow ------------------------------------------------
+  // in[pc] = set of definitely-initialized registers; meet = intersection.
+  constexpr std::uint32_t kTop = 0xffffffffu;
+  std::vector<std::uint32_t> in(code.size(), kTop);
+  in[0] = (1u << kFp);  // only the frame pointer is live at entry
+  std::deque<std::size_t> work{0};
+  std::vector<bool> reachable(code.size(), false);
+
+  auto transfer = [&](std::size_t pc, std::uint32_t state) -> std::uint32_t {
+    const Insn& insn = code[pc];
+    const Access acc = access_of(insn);
+    std::uint32_t out = state | acc.writes;
+    if (insn.op == Op::kCall) {
+      // r1-r5 are clobbered with unspecified values: treat as uninitialized
+      // afterwards so the compiler cannot rely on them surviving.
+      out &= ~0b111110u;
+      out |= 1u;  // r0 = result
+    }
+    return out;
+  };
+
+  while (!work.empty()) {
+    const std::size_t pc = work.front();
+    work.pop_front();
+    reachable[pc] = true;
+    const Insn& insn = code[pc];
+    const Access acc = access_of(insn);
+    if (const std::uint32_t uninit_reads = acc.reads & ~in[pc]) {
+      for (int r = 0; r < kNumRegs; ++r) {
+        if (uninit_reads & (1u << r)) {
+          return {false,
+                  at(pc, "register r" + std::to_string(r) +
+                             " may be read before initialization")};
+        }
+      }
+    }
+    if (insn.op == Op::kExit) continue;
+
+    const std::uint32_t out = transfer(pc, in[pc]);
+    auto propagate = [&](std::size_t succ) {
+      const std::uint32_t merged = in[succ] & out;
+      if (merged != in[succ] || !reachable[succ]) {
+        in[succ] = merged;
+        work.push_back(succ);
+      }
+    };
+    if (insn.op == Op::kJa) {
+      propagate(pc + 1 + static_cast<std::size_t>(insn.off));
+    } else if (is_jump(insn.op)) {
+      propagate(static_cast<std::size_t>(
+          static_cast<std::int64_t>(pc) + 1 + insn.off));
+      propagate(pc + 1);
+    } else {
+      propagate(pc + 1);
+    }
+  }
+
+  return {true, {}};
+}
+
+}  // namespace progmp::rt::ebpf

@@ -1,0 +1,33 @@
+// Static verifier for eBPF scheduler programs (§4.1).
+//
+// Mirrors the role of the kernel verifier: programs loaded from userspace
+// must be provably safe before they run next to the transport stack. Checks:
+//
+//  * all jump targets land on instructions of the program,
+//  * register numbers are valid; r10 (frame pointer) is never written,
+//  * memory accesses use r10 as base, stay inside the stack and are 8-byte
+//    aligned,
+//  * helper ids are known,
+//  * no register is read before it was written on *every* path (dataflow
+//    fixpoint over the CFG; r10 starts initialized, r1-r5 are clobbered by
+//    calls, r0 is defined by calls),
+//  * the program terminates with EXIT on every fall-through path.
+//
+// Unlike the kernel, backward jumps are legal (ProgMP allows FOREACH loops,
+// §6) — the VM bounds execution with an instruction budget instead.
+#pragma once
+
+#include <string>
+
+#include "runtime/ebpf_isa.hpp"
+
+namespace progmp::rt::ebpf {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;  ///< first violation, with instruction index
+};
+
+VerifyResult verify(const Code& code);
+
+}  // namespace progmp::rt::ebpf

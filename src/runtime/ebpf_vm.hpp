@@ -1,0 +1,37 @@
+// The eBPF virtual machine: executes verified scheduler bytecode against a
+// SchedulerEnv through the helper ABI. Deterministic and sandboxed: stack
+// accesses are bounds-checked (defense in depth behind the verifier), an
+// instruction budget bounds runaway loops, and helper-clobbered registers
+// are poisoned so compiled code can never rely on them surviving a call.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "runtime/ebpf_isa.hpp"
+#include "runtime/env.hpp"
+
+namespace progmp::rt::ebpf {
+
+class Vm {
+ public:
+  struct RunResult {
+    bool ok = false;
+    std::string error;
+    std::int64_t insns_executed = 0;
+  };
+
+  /// Runs `code` to EXIT (or error / budget exhaustion).
+  RunResult run(const Code& code, SchedulerEnv& env,
+                std::int64_t budget = 1'000'000);
+
+ private:
+  std::int64_t dispatch_helper(Helper helper, SchedulerEnv& env);
+
+  std::array<std::int64_t, kNumRegs> regs_{};
+  std::array<std::uint8_t, kStackBytes> stack_{};
+  bool stack_zeroed_ = false;
+};
+
+}  // namespace progmp::rt::ebpf

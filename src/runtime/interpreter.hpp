@@ -1,0 +1,16 @@
+// Execution environment 1 of 3: the baseline tree-walking interpreter
+// (§4.1, "Alternative 1"). Requires no code generation and serves as the
+// semantic reference the compiled back ends are property-tested against.
+#pragma once
+
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "runtime/env.hpp"
+
+namespace progmp::rt {
+
+/// Executes one scheduler run of an analyzed program against `env`.
+void interpret(const lang::Program& program, SchedulerEnv& env);
+
+}  // namespace progmp::rt

@@ -1,0 +1,100 @@
+#include "runtime/ir.hpp"
+
+#include <cstdio>
+
+namespace progmp::rt {
+namespace {
+
+const char* op_name(IrOp op) {
+  switch (op) {
+    case IrOp::kConst: return "const";
+    case IrOp::kMov: return "mov";
+    case IrOp::kBin: return "bin";
+    case IrOp::kBinImm: return "bini";
+    case IrOp::kNeg: return "neg";
+    case IrOp::kNot: return "not";
+    case IrOp::kLoadReg: return "ldreg";
+    case IrOp::kStoreReg: return "streg";
+    case IrOp::kTimeMs: return "time_ms";
+    case IrOp::kSbfCount: return "sbf_count";
+    case IrOp::kSbfProp: return "sbf_prop";
+    case IrOp::kPktProp: return "pkt_prop";
+    case IrOp::kQueueLen: return "q_len";
+    case IrOp::kQueueNth: return "q_nth";
+    case IrOp::kPop: return "pop";
+    case IrOp::kPush: return "push";
+    case IrOp::kDrop: return "drop";
+    case IrOp::kHasWindow: return "has_window";
+    case IrOp::kPrint: return "print";
+    case IrOp::kLabel: return "label";
+    case IrOp::kJmp: return "jmp";
+    case IrOp::kJz: return "jz";
+    case IrOp::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* bin_name(lang::BinOp op) {
+  using lang::BinOp;
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kGt: return ">";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kAnd: return "&&";
+    case BinOp::kOr: return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ir_is_pure(IrOp op) {
+  switch (op) {
+    case IrOp::kConst:
+    case IrOp::kMov:
+    case IrOp::kBin:
+    case IrOp::kBinImm:
+    case IrOp::kNeg:
+    case IrOp::kNot:
+    case IrOp::kLoadReg:
+    case IrOp::kTimeMs:
+    case IrOp::kSbfCount:
+    case IrOp::kSbfProp:
+    case IrOp::kPktProp:
+    case IrOp::kQueueLen:
+    case IrOp::kQueueNth:
+    case IrOp::kHasWindow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string IrProgram::str() const {
+  std::string out;
+  char buf[160];
+  for (std::size_t i = 0; i < insts.size(); ++i) {
+    const IrInst& inst = insts[i];
+    if (inst.op == IrOp::kBin) {
+      std::snprintf(buf, sizeof buf, "%4zu: v%d = v%d %s v%d\n", i, inst.dst,
+                    inst.a, bin_name(inst.bin_op), inst.b);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%4zu: %-10s dst=v%-3d a=v%-3d b=v%-3d imm=%lld\n", i,
+                    op_name(inst.op), inst.dst, inst.a, inst.b,
+                    static_cast<long long>(inst.imm));
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace progmp::rt

@@ -1,0 +1,74 @@
+// Linear intermediate representation.
+//
+// Lowering from the AST fuses all declarative chains (FILTER/MIN/MAX/COUNT/
+// EMPTY/GET/TOP and FOREACH) into explicit scan loops over live subflow/queue
+// indices — the "late materialization" and primitive-combining optimizations
+// of §4.1: list and queue values never exist at run time in the compiled
+// back ends. Values are untyped 64-bit virtual registers: packets are pin
+// handles (0 = NULL), subflows dense indices (-1 = NULL).
+//
+// The IR is executed directly by IrExecutor ("ahead-of-time compiled"
+// environment, Alternative 2) and cross-compiled to eBPF bytecode
+// (Alternative 3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace progmp::rt {
+
+using VReg = std::int32_t;
+using LabelId = std::int32_t;
+
+enum class IrOp : std::uint8_t {
+  kConst,      // dst <- imm
+  kMov,        // dst <- a
+  kBin,        // dst <- a <bin_op> b   (div/mod by zero yield 0)
+  kBinImm,     // dst <- a <bin_op> imm (immediate right operand)
+  kNeg,        // dst <- -a
+  kNot,        // dst <- a == 0
+  kLoadReg,    // dst <- scheduler register[imm]
+  kStoreReg,   // register[imm] <- a
+  kTimeMs,     // dst <- current time (ms)
+  kSbfCount,   // dst <- number of established subflows
+  kSbfProp,    // dst <- prop(imm) of subflow index a
+  kPktProp,    // dst <- prop(imm) of packet handle a (b: SENT_ON subflow)
+  kQueueLen,   // dst <- length of queue imm
+  kQueueNth,   // dst <- packet handle at index a of queue imm (0 if OOB)
+  kPop,        // dst <- pop front of queue imm (0 if empty)
+  kPush,       // push packet handle b on subflow index a
+  kDrop,       // drop packet handle a
+  kHasWindow,  // dst <- window check for packet handle b (a: subflow)
+  kPrint,      // print a
+  kLabel,      // label imm
+  kJmp,        // goto label imm
+  kJz,         // if a == 0 goto label imm
+  kRet,        // end of program
+};
+
+struct IrInst {
+  IrOp op = IrOp::kRet;
+  VReg dst = -1;
+  VReg a = -1;
+  VReg b = -1;
+  std::int64_t imm = 0;
+  lang::BinOp bin_op = lang::BinOp::kAdd;
+};
+
+struct IrProgram {
+  std::vector<IrInst> insts;
+  std::int32_t num_vregs = 0;
+  std::int32_t num_labels = 0;
+
+  /// Human-readable listing for debugging and golden tests.
+  [[nodiscard]] std::string str() const;
+};
+
+/// True if the instruction has no side effect and its result, when unused,
+/// can be removed.
+bool ir_is_pure(IrOp op);
+
+}  // namespace progmp::rt

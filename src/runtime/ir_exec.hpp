@@ -1,0 +1,40 @@
+// Execution environment 2 of 3: direct IR execution (§4.1, "Alternative 2" —
+// the ahead-of-time compiled environment). The IR is fully lowered,
+// optimized and jump-resolved at scheduler *load* time; execution is a flat
+// dispatch loop with no tree walking, name resolution or label lookup.
+#pragma once
+
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "runtime/ir.hpp"
+
+namespace progmp::rt {
+
+/// A load-time prepared IR program: labels removed, jump immediates rewritten
+/// to instruction indices, register file preallocated.
+class IrExecutable {
+ public:
+  explicit IrExecutable(const IrProgram& program);
+
+  /// Runs one scheduler execution. `fuel` is a defensive instruction cap.
+  void run(SchedulerEnv& env, std::int64_t fuel = 1'000'000);
+
+  [[nodiscard]] std::size_t code_size() const { return insts_.size(); }
+
+  /// Approximate resident size in bytes (for the §4.3 memory table).
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return insts_.capacity() * sizeof(IrInst) +
+           regs_.capacity() * sizeof(std::int64_t);
+  }
+
+ private:
+  std::vector<IrInst> insts_;        ///< kLabel stripped; jumps hold pc
+  std::vector<std::int64_t> regs_;   ///< reused across runs
+};
+
+/// Convenience: prepare and run once (tests).
+void exec_ir(const IrProgram& program, SchedulerEnv& env,
+             std::int64_t fuel = 1'000'000);
+
+}  // namespace progmp::rt

@@ -1,0 +1,419 @@
+#include "runtime/irgen.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "core/check.hpp"
+
+namespace progmp::rt {
+namespace {
+
+using lang::Expr;
+using lang::ExprId;
+using lang::ExprKind;
+using lang::Program;
+using lang::Stmt;
+using lang::StmtId;
+using lang::StmtKind;
+using lang::Type;
+
+class IrGen {
+ public:
+  explicit IrGen(const Program& program) : p_(program) {
+    out_.num_vregs = program.frame_slots;  // frame slots map to vregs 1:1
+  }
+
+  IrProgram run() {
+    for (StmtId id : p_.top) lower_stmt(id);
+    emit({IrOp::kRet});
+    return std::move(out_);
+  }
+
+ private:
+  // ---- Emission helpers -----------------------------------------------------
+  VReg fresh() { return out_.num_vregs++; }
+  LabelId fresh_label() { return out_.num_labels++; }
+  void emit(IrInst inst) { out_.insts.push_back(inst); }
+  void emit_label(LabelId l) { emit({IrOp::kLabel, -1, -1, -1, l}); }
+  void emit_jmp(LabelId l) { emit({IrOp::kJmp, -1, -1, -1, l}); }
+  void emit_jz(VReg cond, LabelId l) { emit({IrOp::kJz, -1, cond, -1, l}); }
+  VReg emit_const(std::int64_t v) {
+    const VReg dst = fresh();
+    emit({IrOp::kConst, dst, -1, -1, v});
+    return dst;
+  }
+  VReg emit_bin(lang::BinOp op, VReg a, VReg b) {
+    const VReg dst = fresh();
+    IrInst inst{IrOp::kBin, dst, a, b, 0};
+    inst.bin_op = op;
+    emit(inst);
+    return dst;
+  }
+  void emit_mov(VReg dst, VReg src) { emit({IrOp::kMov, dst, src, -1, 0}); }
+
+  // ---- Chains ----------------------------------------------------------------
+  /// A fused declarative chain: a base (SUBFLOWS or a queue) plus a sequence
+  /// of filter predicates. Lists never materialize — every terminal compiles
+  /// to one scan loop over the live base.
+  struct Chain {
+    bool over_subflows = true;
+    int queue_id = 0;
+    struct Pred {
+      std::int32_t param_slot;  ///< frame slot (== vreg) the element binds to
+      ExprId body;
+    };
+    std::vector<Pred> preds;
+  };
+
+  Chain resolve_chain(ExprId id) {
+    const Expr& e = p_.expr(id);
+    switch (e.kind) {
+      case ExprKind::kSubflows:
+        return Chain{};
+      case ExprKind::kQueue: {
+        Chain c;
+        c.over_subflows = false;
+        c.queue_id = static_cast<int>(e.int_value);
+        return c;
+      }
+      case ExprKind::kFilter: {
+        Chain c = resolve_chain(e.a);
+        c.preds.push_back({e.var_slot, e.b});
+        return c;
+      }
+      case ExprKind::kVarRef: {
+        // Subflow-list variables are re-evaluated chains: subflow properties
+        // are immutable snapshots during one execution, so re-evaluation is
+        // observationally identical to materializing at declaration.
+        auto it = list_vars_.find(e.var_slot);
+        PROGMP_CHECK_MSG(it != list_vars_.end(),
+                         "list variable without recorded chain");
+        return resolve_chain(it->second);
+      }
+      default:
+        PROGMP_UNREACHABLE("invalid chain base");
+    }
+  }
+
+  /// Emits a scan loop over `chain`. For each element passing all
+  /// predicates, `body(elem)` is emitted; `exit` is the loop's break target
+  /// (already allocated; emitted after the loop).
+  template <typename BodyFn>
+  void emit_scan(const Chain& chain, LabelId exit, BodyFn&& body) {
+    const VReg len = fresh();
+    if (chain.over_subflows) {
+      emit({IrOp::kSbfCount, len});
+    } else {
+      emit({IrOp::kQueueLen, len, -1, -1, chain.queue_id});
+    }
+    const VReg i = fresh();
+    {
+      IrInst zero{IrOp::kConst, i, -1, -1, 0};
+      emit(zero);
+    }
+    const LabelId head = fresh_label();
+    const LabelId next = fresh_label();
+    emit_label(head);
+    const VReg in_range = emit_bin(lang::BinOp::kLt, i, len);
+    emit_jz(in_range, exit);
+
+    VReg elem;
+    if (chain.over_subflows) {
+      elem = i;
+    } else {
+      elem = fresh();
+      emit({IrOp::kQueueNth, elem, i, -1, chain.queue_id});
+    }
+    for (const Chain::Pred& pred : chain.preds) {
+      emit_mov(pred.param_slot, elem);
+      const VReg ok = lower_expr(pred.body);
+      emit_jz(ok, next);
+    }
+    body(elem);
+    emit_label(next);
+    const VReg one = emit_const(1);
+    const VReg ipp = emit_bin(lang::BinOp::kAdd, i, one);
+    emit_mov(i, ipp);
+    emit_jmp(head);
+    // Caller emits `exit` after any post-loop code it needs at the break
+    // target... exit is the loop exit label; emit it here.
+    emit_label(exit);
+  }
+
+  // ---- Statements -------------------------------------------------------------
+  void lower_stmt(StmtId id) {
+    const Stmt& s = p_.stmt(id);
+    switch (s.kind) {
+      case StmtKind::kVarDecl: {
+        if (p_.expr(s.expr).type == Type::kSubflowList) {
+          list_vars_.emplace(s.var_slot, s.expr);
+          return;
+        }
+        const VReg value = lower_expr(s.expr);
+        emit_mov(s.var_slot, value);
+        return;
+      }
+      case StmtKind::kIf: {
+        const VReg cond = lower_expr(s.expr);
+        const LabelId else_label = fresh_label();
+        emit_jz(cond, else_label);
+        for (StmtId b : s.body) lower_stmt(b);
+        if (s.else_body.empty()) {
+          emit_label(else_label);
+        } else {
+          const LabelId end = fresh_label();
+          emit_jmp(end);
+          emit_label(else_label);
+          for (StmtId b : s.else_body) lower_stmt(b);
+          emit_label(end);
+        }
+        return;
+      }
+      case StmtKind::kForeach: {
+        const Chain chain = resolve_chain(s.expr);
+        const LabelId exit = fresh_label();
+        emit_scan(chain, exit, [&](VReg elem) {
+          emit_mov(s.var_slot, elem);
+          for (StmtId b : s.body) lower_stmt(b);
+        });
+        return;
+      }
+      case StmtKind::kSet: {
+        const VReg value = lower_expr(s.expr);
+        emit({IrOp::kStoreReg, -1, value, -1, s.int_value});
+        return;
+      }
+      case StmtKind::kDrop: {
+        const VReg pkt = lower_expr(s.expr);
+        emit({IrOp::kDrop, -1, pkt});
+        return;
+      }
+      case StmtKind::kPrint: {
+        const VReg value = lower_expr(s.expr);
+        emit({IrOp::kPrint, -1, value});
+        return;
+      }
+      case StmtKind::kReturn:
+        emit({IrOp::kRet});
+        return;
+      case StmtKind::kExprStmt:
+        lower_expr(s.expr);
+        return;
+    }
+  }
+
+  // ---- Expressions ---------------------------------------------------------------
+  VReg lower_expr(ExprId id) {
+    const Expr& e = p_.expr(id);
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+      case ExprKind::kBoolLit:
+        return emit_const(e.int_value);
+      case ExprKind::kNullLit:
+        return emit_const(0);  // packet NULL; subflow NULL handled at kEq/kNe
+      case ExprKind::kRegister: {
+        const VReg dst = fresh();
+        emit({IrOp::kLoadReg, dst, -1, -1, e.int_value});
+        return dst;
+      }
+      case ExprKind::kVarRef:
+        PROGMP_CHECK_MSG(e.type != Type::kSubflowList,
+                         "list vars are chains, not values");
+        return e.var_slot;
+      case ExprKind::kCurrentTimeMs: {
+        const VReg dst = fresh();
+        emit({IrOp::kTimeMs, dst});
+        return dst;
+      }
+      case ExprKind::kUnary: {
+        const VReg a = lower_expr(e.a);
+        const VReg dst = fresh();
+        emit({e.un_op == lang::UnOp::kNeg ? IrOp::kNeg : IrOp::kNot, dst, a});
+        return dst;
+      }
+      case ExprKind::kBinary:
+        return lower_binary(e);
+      case ExprKind::kFilter:
+        PROGMP_UNREACHABLE("bare FILTER value outside chain terminal");
+      case ExprKind::kMinBy:
+      case ExprKind::kMaxBy:
+        return lower_min_max(e);
+      case ExprKind::kSumBy:
+        return lower_sum(e);
+      case ExprKind::kCount:
+      case ExprKind::kEmpty:
+        return lower_count_empty(e);
+      case ExprKind::kGet:
+        return lower_get(e);
+      case ExprKind::kTop:
+        return lower_top(e);
+      case ExprKind::kPop: {
+        const Expr& q = p_.expr(e.a);
+        const VReg dst = fresh();
+        emit({IrOp::kPop, dst, -1, -1, q.int_value});
+        return dst;
+      }
+      case ExprKind::kSbfProp: {
+        const VReg sbf = lower_expr(e.a);
+        const VReg dst = fresh();
+        emit({IrOp::kSbfProp, dst, sbf, -1,
+              static_cast<std::int64_t>(e.sbf_prop)});
+        return dst;
+      }
+      case ExprKind::kPktProp: {
+        const VReg pkt = lower_expr(e.a);
+        const VReg arg =
+            e.b != lang::kNoExpr ? lower_expr(e.b) : emit_const(-1);
+        const VReg dst = fresh();
+        emit({IrOp::kPktProp, dst, pkt, arg,
+              static_cast<std::int64_t>(e.pkt_prop)});
+        return dst;
+      }
+      case ExprKind::kHasWindowFor: {
+        const VReg sbf = lower_expr(e.a);
+        const VReg pkt = lower_expr(e.b);
+        const VReg dst = fresh();
+        emit({IrOp::kHasWindow, dst, sbf, pkt});
+        return dst;
+      }
+      case ExprKind::kPush: {
+        const VReg sbf = lower_expr(e.a);
+        const VReg pkt = lower_expr(e.b);
+        emit({IrOp::kPush, -1, sbf, pkt});
+        return emit_const(0);  // void
+      }
+      case ExprKind::kMember:
+        PROGMP_UNREACHABLE("unresolved member in lowering");
+      case ExprKind::kSubflows:
+      case ExprKind::kQueue:
+        // Bare collection values never reach lowering: every use site is a
+        // chain terminal resolved through resolve_chain().
+        PROGMP_UNREACHABLE("bare collection outside a chain");
+    }
+    PROGMP_UNREACHABLE("unhandled expression kind");
+  }
+
+  VReg lower_binary(const Expr& e) {
+    // NULL comparisons normalize by the other side's static type: subflow
+    // NULL is -1, packet NULL is handle 0.
+    auto lower_side = [&](ExprId self, ExprId other) -> VReg {
+      const Expr& se = p_.expr(self);
+      if (se.kind == ExprKind::kNullLit &&
+          p_.expr(other).type == Type::kSubflow) {
+        return emit_const(-1);
+      }
+      return lower_expr(self);
+    };
+    if (e.bin_op == lang::BinOp::kEq || e.bin_op == lang::BinOp::kNe) {
+      const VReg a = lower_side(e.a, e.b);
+      const VReg b = lower_side(e.b, e.a);
+      return emit_bin(e.bin_op, a, b);
+    }
+    const VReg a = lower_expr(e.a);
+    const VReg b = lower_expr(e.b);
+    return emit_bin(e.bin_op, a, b);
+  }
+
+  VReg lower_min_max(const Expr& e) {
+    const Chain chain = resolve_chain(e.a);
+    const bool is_min = e.kind == ExprKind::kMinBy;
+    const VReg best = fresh();
+    const VReg best_key = fresh();
+    emit({IrOp::kConst, best, -1, -1, chain.over_subflows ? -1 : 0});
+    emit({IrOp::kConst, best_key, -1, -1,
+          is_min ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min()});
+    const LabelId exit = fresh_label();
+    emit_scan(chain, exit, [&](VReg elem) {
+      emit_mov(e.var_slot, elem);
+      const VReg key = lower_expr(e.b);
+      // Strictly better => first element wins ties (all back ends agree).
+      const VReg better = emit_bin(
+          is_min ? lang::BinOp::kLt : lang::BinOp::kGt, key, best_key);
+      const LabelId skip = fresh_label();
+      emit_jz(better, skip);
+      emit_mov(best_key, key);
+      emit_mov(best, elem);
+      emit_label(skip);
+    });
+    return best;
+  }
+
+  VReg lower_sum(const Expr& e) {
+    const Chain chain = resolve_chain(e.a);
+    const VReg sum = fresh();
+    emit({IrOp::kConst, sum, -1, -1, 0});
+    const LabelId exit = fresh_label();
+    emit_scan(chain, exit, [&](VReg elem) {
+      emit_mov(e.var_slot, elem);
+      const VReg key = lower_expr(e.b);
+      const VReg acc = emit_bin(lang::BinOp::kAdd, sum, key);
+      emit_mov(sum, acc);
+    });
+    return sum;
+  }
+
+  VReg lower_count_empty(const Expr& e) {
+    const Chain chain = resolve_chain(e.a);
+    const bool is_empty = e.kind == ExprKind::kEmpty;
+    const VReg result = fresh();
+    emit({IrOp::kConst, result, -1, -1, is_empty ? 1 : 0});
+    const LabelId exit = fresh_label();
+    emit_scan(chain, exit, [&](VReg /*elem*/) {
+      if (is_empty) {
+        const VReg zero = emit_const(0);
+        emit_mov(result, zero);
+        emit_jmp(exit);  // early exit: one match decides EMPTY
+      } else {
+        const VReg one = emit_const(1);
+        const VReg inc = emit_bin(lang::BinOp::kAdd, result, one);
+        emit_mov(result, inc);
+      }
+    });
+    return result;
+  }
+
+  VReg lower_get(const Expr& e) {
+    const Chain chain = resolve_chain(e.a);
+    const VReg wanted = lower_expr(e.b);
+    const VReg result = fresh();
+    const VReg seen = fresh();
+    emit({IrOp::kConst, result, -1, -1, -1});
+    emit({IrOp::kConst, seen, -1, -1, 0});
+    const LabelId exit = fresh_label();
+    emit_scan(chain, exit, [&](VReg elem) {
+      const VReg hit = emit_bin(lang::BinOp::kEq, seen, wanted);
+      const LabelId skip = fresh_label();
+      emit_jz(hit, skip);
+      emit_mov(result, elem);
+      emit_jmp(exit);
+      emit_label(skip);
+      const VReg one = emit_const(1);
+      const VReg inc = emit_bin(lang::BinOp::kAdd, seen, one);
+      emit_mov(seen, inc);
+    });
+    return result;
+  }
+
+  VReg lower_top(const Expr& e) {
+    const Chain chain = resolve_chain(e.a);
+    const VReg result = fresh();
+    emit({IrOp::kConst, result, -1, -1, 0});
+    const LabelId exit = fresh_label();
+    emit_scan(chain, exit, [&](VReg elem) {
+      emit_mov(result, elem);
+      emit_jmp(exit);  // first passing element
+    });
+    return result;
+  }
+
+  const Program& p_;
+  IrProgram out_;
+  std::unordered_map<std::int32_t, ExprId> list_vars_;
+};
+
+}  // namespace
+
+IrProgram lower(const lang::Program& program) { return IrGen(program).run(); }
+
+}  // namespace progmp::rt

@@ -1,0 +1,13 @@
+// AST -> IR lowering.
+#pragma once
+
+#include "lang/ast.hpp"
+#include "runtime/ir.hpp"
+
+namespace progmp::rt {
+
+/// Lowers an analyzed program. All declarative chains are fused into scan
+/// loops; the result is ready for IrExecutor or the eBPF cross-compiler.
+IrProgram lower(const lang::Program& program);
+
+}  // namespace progmp::rt

@@ -1,0 +1,138 @@
+#include "sched/native.hpp"
+
+#include <limits>
+
+namespace progmp::sched {
+namespace {
+
+using mptcp::QueueId;
+using mptcp::Scheduler;
+using mptcp::SchedulerContext;
+using mptcp::SkbPtr;
+using mptcp::SubflowInfo;
+
+/// Usable for fresh data: established, not throttled, not in loss state,
+/// with congestion window room.
+bool available(const SubflowInfo& s) {
+  return s.established && !s.tsq_throttled && !s.lossy && s.cwnd_free();
+}
+
+/// Lowest-RTT subflow among those satisfying `pred`; -1 if none.
+template <typename Pred>
+int min_rtt_slot(SchedulerContext& ctx, Pred&& pred) {
+  int best = -1;
+  TimeNs best_rtt{std::numeric_limits<std::int64_t>::max()};
+  for (const SubflowInfo& s : ctx.subflows()) {
+    if (!pred(s)) continue;
+    if (s.rtt < best_rtt) {
+      best_rtt = s.rtt;
+      best = s.slot;
+    }
+  }
+  return best;
+}
+
+class NativeMinRtt final : public Scheduler {
+ public:
+  void schedule(SchedulerContext& ctx) override {
+    // Reinjections first: place the suspected-lost packet on an available
+    // non-backup subflow that has not carried it.
+    if (!ctx.queue(QueueId::kRq).empty()) {
+      const SkbPtr& head = ctx.queue(QueueId::kRq).front();
+      const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
+        return available(s) && !s.is_backup && !head->sent_on(s.slot);
+      });
+      if (slot >= 0) {
+        ctx.push(slot, ctx.pop(QueueId::kRq));
+      }
+    }
+    if (ctx.queue(QueueId::kQ).empty()) return;
+
+    bool non_backup_exists = false;
+    for (const SubflowInfo& s : ctx.subflows()) {
+      if (s.established && !s.is_backup) non_backup_exists = true;
+    }
+    const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
+      if (!available(s)) return false;
+      // Backup subflows only when no non-backup subflow exists at all.
+      return non_backup_exists ? !s.is_backup : true;
+    });
+    if (slot >= 0) {
+      ctx.push(slot, ctx.pop(QueueId::kQ));
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "native_minrtt"; }
+};
+
+class NativeRoundRobin final : public Scheduler {
+ public:
+  void schedule(SchedulerContext& ctx) override {
+    std::vector<int> usable;
+    for (const SubflowInfo& s : ctx.subflows()) {
+      if (s.established && !s.tsq_throttled && !s.lossy) {
+        usable.push_back(s.slot);
+      }
+    }
+    std::int64_t index = ctx.reg(0);  // R1
+    if (index >= static_cast<std::int64_t>(usable.size())) {
+      index = 0;
+      ctx.set_reg(0, 0);
+    }
+    if (ctx.queue(QueueId::kQ).empty()) return;
+    if (index < static_cast<std::int64_t>(usable.size())) {
+      const SubflowInfo& s =
+          ctx.subflows()[static_cast<std::size_t>(
+              usable[static_cast<std::size_t>(index)])];
+      if (s.cwnd_free()) {
+        ctx.push(s.slot, ctx.pop(QueueId::kQ));
+      }
+    }
+    ctx.set_reg(0, index + 1);
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "native_roundrobin";
+  }
+};
+
+class NativeRedundant final : public Scheduler {
+ public:
+  void schedule(SchedulerContext& ctx) override {
+    for (const SubflowInfo& s : ctx.subflows()) {
+      if (!available(s)) continue;
+      // Oldest in-flight packet this subflow has not carried yet; fresh
+      // data once it has seen the whole flight.
+      SkbPtr skb;
+      for (const SkbPtr& candidate : ctx.queue(QueueId::kQu)) {
+        if (!candidate->sent_on(s.slot)) {
+          skb = candidate;
+          break;
+        }
+      }
+      if (skb != nullptr) {
+        ctx.push(s.slot, skb);
+      } else if (!ctx.queue(QueueId::kQ).empty()) {
+        ctx.push(s.slot, ctx.pop(QueueId::kQ));
+      }
+    }
+  }
+
+  [[nodiscard]] std::string name() const override {
+    return "native_redundant";
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_native_minrtt() {
+  return std::make_unique<NativeMinRtt>();
+}
+std::unique_ptr<Scheduler> make_native_roundrobin() {
+  return std::make_unique<NativeRoundRobin>();
+}
+std::unique_ptr<Scheduler> make_native_redundant() {
+  return std::make_unique<NativeRedundant>();
+}
+
+}  // namespace progmp::sched

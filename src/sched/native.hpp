@@ -1,0 +1,26 @@
+// Native ("C") reference schedulers.
+//
+// Hand-written C++ implementations of the three mainline Linux MPTCP
+// schedulers, programmed directly against SchedulerContext. They serve two
+// purposes: the baseline for the Fig 9 overhead comparison (native vs
+// interpreter vs eBPF), and behavioural cross-checks for the equivalent
+// ProgMP specifications.
+#pragma once
+
+#include <memory>
+
+#include "mptcp/scheduler.hpp"
+
+namespace progmp::sched {
+
+/// The default MinRTT scheduler: reinjections first, then fresh data on the
+/// lowest-RTT available subflow; backups only when no non-backup exists.
+std::unique_ptr<mptcp::Scheduler> make_native_minrtt();
+
+/// Round robin with the cyclic index kept in scheduler register R1.
+std::unique_ptr<mptcp::Scheduler> make_native_roundrobin();
+
+/// Full redundancy: every available subflow carries every packet.
+std::unique_ptr<mptcp::Scheduler> make_native_redundant();
+
+}  // namespace progmp::sched

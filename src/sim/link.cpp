@@ -1,0 +1,59 @@
+#include "sim/link.hpp"
+
+#include <utility>
+
+namespace progmp::sim {
+
+bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
+                std::function<void()> on_delivered) {
+  PROGMP_CHECK(bytes > 0);
+  if (queued_bytes_ + bytes > cfg_.queue_limit_bytes) {
+    ++stats_.drops_queue;
+    return false;
+  }
+  ++stats_.packets_sent;
+  queued_bytes_ += bytes;
+
+  const TimeNs now = sim_.now();
+  const TimeNs start = std::max(now, serializer_free_);
+  const TimeNs tx = transmission_time(bytes, cfg_.rate_bps);
+  serializer_free_ = start + tx;
+  const TimeNs serialized_at = serializer_free_;
+
+  const std::int64_t idx = pkt_index_++;
+  const bool lost = loss_fn_ ? loss_fn_(idx) : rng_.chance(cfg_.loss_rate);
+
+  sim_.schedule_at(serialized_at, [this, bytes,
+                                   cb = std::move(on_serialized)]() mutable {
+    queued_bytes_ -= bytes;
+    if (cb) cb();
+  });
+
+  if (lost) {
+    ++stats_.drops_loss;
+  } else {
+    TimeNs arrival = serialized_at + cfg_.delay;
+    if (cfg_.jitter > TimeNs{0}) {
+      arrival += TimeNs{static_cast<std::int64_t>(
+          rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter.ns()) + 1))};
+      arrival = std::max(arrival, last_arrival_);  // FIFO preserved
+    }
+    last_arrival_ = arrival;
+    sim_.schedule_at(arrival,
+                     [this, bytes, cb = std::move(on_delivered)]() mutable {
+                       ++stats_.packets_delivered;
+                       stats_.bytes_delivered += bytes;
+                       if (cb) cb();
+                     });
+  }
+  return true;
+}
+
+TimeNs Link::current_queue_delay(std::int64_t bytes) const {
+  const TimeNs now = sim_.now();
+  const TimeNs backlog =
+      serializer_free_ > now ? serializer_free_ - now : TimeNs{0};
+  return backlog + transmission_time(bytes, cfg_.rate_bps);
+}
+
+}  // namespace progmp::sim

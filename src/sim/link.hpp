@@ -1,0 +1,103 @@
+// Unidirectional link model: serialization at a fixed (but re-configurable)
+// rate, a drop-tail byte queue in front of the serializer (the source of the
+// bufferbloat-induced RTT inflation that MinRTT reacts to), fixed propagation
+// delay, and Bernoulli in-flight loss (wireless-style).
+//
+// The link is payload-agnostic: callers pass callbacks for the two moments
+// the transport cares about — when the packet has been fully serialized
+// (frees the local/TSQ budget) and when it arrives at the far end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::sim {
+
+class Link {
+ public:
+  struct Config {
+    std::int64_t rate_bps = 100'000'000;   ///< serialization rate
+    TimeNs delay = milliseconds(5);        ///< one-way propagation delay
+    std::int64_t queue_limit_bytes = 256 * 1024;  ///< drop-tail queue size
+    double loss_rate = 0.0;                ///< Bernoulli loss after the queue
+    /// Maximum extra per-packet delay, uniformly distributed. Delivery
+    /// stays FIFO (arrivals are clamped monotone), as on real paths where
+    /// jitter comes from cross-traffic, not reordering.
+    TimeNs jitter{0};
+  };
+
+  struct Stats {
+    std::int64_t packets_sent = 0;
+    std::int64_t packets_delivered = 0;
+    std::int64_t drops_queue = 0;  ///< drop-tail at enqueue
+    std::int64_t drops_loss = 0;   ///< random in-flight loss
+    std::int64_t bytes_delivered = 0;
+  };
+
+  Link(Simulator& sim, Config cfg, Rng rng)
+      : sim_(sim), cfg_(cfg), rng_(rng) {}
+
+  /// Enqueues a packet of `bytes`. Returns false if the drop-tail queue is
+  /// full (the packet is gone; neither callback fires). `on_serialized` fires
+  /// when the last bit left the local interface; `on_delivered` fires at the
+  /// far end unless the packet is lost in flight.
+  bool send(std::int64_t bytes, std::function<void()> on_serialized,
+            std::function<void()> on_delivered);
+
+  /// Bytes currently waiting in (or being serialized by) the local queue.
+  [[nodiscard]] std::int64_t queued_bytes() const { return queued_bytes_; }
+
+  /// Queueing + serialization delay a packet enqueued now would experience,
+  /// excluding propagation. Exposed for delay-aware tests.
+  [[nodiscard]] TimeNs current_queue_delay(std::int64_t bytes) const;
+
+  // Live reconfiguration, used by the time-varying "in the wild" scenarios.
+  void set_rate_bps(std::int64_t bps) { cfg_.rate_bps = bps; }
+  void set_delay(TimeNs d) { cfg_.delay = d; }
+  void set_loss_rate(double p) { cfg_.loss_rate = p; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Overrides the Bernoulli loss decision: called with the 0-based index of
+  /// each packet that survived the queue; return true to drop. Used by the
+  /// packetdrill-style receiver trace tests for exact loss patterns.
+  void set_loss_fn(std::function<bool(std::int64_t pkt_index)> fn) {
+    loss_fn_ = std::move(fn);
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  Simulator& sim_;
+  Config cfg_;
+  Rng rng_;
+  Stats stats_;
+  std::function<bool(std::int64_t)> loss_fn_;
+
+  TimeNs serializer_free_{0};    ///< when the serializer finishes current work
+  TimeNs last_arrival_{0};       ///< FIFO clamp for jittered deliveries
+  std::int64_t queued_bytes_ = 0;
+  std::int64_t pkt_index_ = 0;  ///< packets that entered the wire, for loss_fn
+};
+
+/// A bidirectional path: a forward (data) link and a reverse (ACK) link.
+/// ACK links are typically fast and lossless but can be configured freely.
+struct NetPath {
+  NetPath(Simulator& sim, Link::Config forward_cfg, Link::Config reverse_cfg,
+          Rng rng)
+      : forward(sim, forward_cfg, rng.fork()),
+        reverse(sim, reverse_cfg, rng.fork()) {}
+
+  Link forward;
+  Link reverse;
+
+  /// Base (unloaded) round-trip time of this path.
+  [[nodiscard]] TimeNs base_rtt() const {
+    return forward.config().delay + reverse.config().delay;
+  }
+};
+
+}  // namespace progmp::sim

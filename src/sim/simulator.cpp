@@ -1,0 +1,41 @@
+#include "sim/simulator.hpp"
+
+namespace progmp::sim {
+
+EventId Simulator::schedule_at(TimeNs at, Callback fn) {
+  PROGMP_CHECK_MSG(at >= now_, "event scheduled in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id,
+                   std::make_shared<Callback>(std::move(fn))});
+  return id;
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Entry e = heap_.top();
+    heap_.pop();
+    if (auto it = cancelled_.find(e.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = e.at;
+    ++executed_;
+    (*e.fn)();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run_until(TimeNs deadline) {
+  while (!heap_.empty() && heap_.top().at <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace progmp::sim

@@ -1,0 +1,82 @@
+// Discrete-event simulator.
+//
+// Single-threaded, deterministic: events scheduled for the same instant run
+// in FIFO scheduling order. Everything in the transport stack — link
+// serialization, packet arrival, retransmission timers, application sources —
+// is an event on this queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/time.hpp"
+
+namespace progmp::sim {
+
+/// Handle for a scheduled event, usable with Simulator::cancel().
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] TimeNs now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (must not be in the past).
+  EventId schedule_at(TimeNs at, Callback fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventId schedule_after(TimeNs delay, Callback fn) {
+    PROGMP_CHECK(delay >= TimeNs{0});
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (timers race with the events that disarm them).
+  void cancel(EventId id) { cancelled_.insert(id); }
+
+  /// Runs the next pending event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with time <= deadline, then advances the clock to the
+  /// deadline even if the queue drained earlier.
+  void run_until(TimeNs deadline);
+
+  /// Runs until the event queue is empty.
+  void run_all();
+
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() - cancelled_.size();
+  }
+
+  /// Total events executed — useful as a work/progress metric in tests.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    EventId id;
+    // Callbacks live out-of-line so the heap stays cheap to sift.
+    std::shared_ptr<Callback> fn;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  TimeNs now_{0};
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace progmp::sim

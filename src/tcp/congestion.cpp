@@ -1,0 +1,148 @@
+#include "tcp/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace progmp::tcp {
+
+void RenoCc::on_ack(std::int64_t acked_segments, TimeNs /*now*/) {
+  PROGMP_CHECK(acked_segments > 0);
+  for (std::int64_t i = 0; i < acked_segments; ++i) {
+    if (cwnd_ < ssthresh_) {
+      ++cwnd_;  // slow start: +1 per ACK
+    } else {
+      // Congestion avoidance: +1 per cwnd ACKs.
+      if (++ca_acc_ >= cwnd_) {
+        ca_acc_ = 0;
+        ++cwnd_;
+      }
+    }
+  }
+}
+
+void RenoCc::on_loss() {
+  ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
+  cwnd_ = ssthresh_;
+  ca_acc_ = 0;
+}
+
+void RenoCc::on_rto() {
+  ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
+  cwnd_ = 1;
+  ca_acc_ = 0;
+}
+
+void LiaCoupling::remove_member(LiaCc* cc) { std::erase(members_, cc); }
+
+double LiaCoupling::alpha() const {
+  // RFC 6356: alpha = cwnd_total * max_i(cwnd_i / rtt_i^2)
+  //                               / (sum_i(cwnd_i / rtt_i))^2
+  double total = 0.0;
+  double max_term = 0.0;
+  double sum_term = 0.0;
+  for (const LiaCc* cc : members_) {
+    const double w = static_cast<double>(cc->cwnd());
+    const double rtt = std::max(1e-6, cc->srtt_hint().sec());
+    total += w;
+    max_term = std::max(max_term, w / (rtt * rtt));
+    sum_term += w / rtt;
+  }
+  if (sum_term <= 0.0) return 1.0;
+  return total * max_term / (sum_term * sum_term);
+}
+
+std::int64_t LiaCoupling::cwnd_total() const {
+  std::int64_t total = 0;
+  for (const LiaCc* cc : members_) total += cc->cwnd();
+  return std::max<std::int64_t>(total, 1);
+}
+
+void LiaCc::on_ack(std::int64_t acked_segments, TimeNs /*now*/) {
+  PROGMP_CHECK(acked_segments > 0);
+  for (std::int64_t i = 0; i < acked_segments; ++i) {
+    if (cwnd_ < ssthresh_) {
+      ++cwnd_;
+      continue;
+    }
+    // RFC 6356 §4: per-ACK increase = min(alpha / cwnd_total, 1 / cwnd_i).
+    const double alpha = group_->alpha();
+    const auto total = static_cast<double>(group_->cwnd_total());
+    const double inc =
+        std::min(alpha / total, 1.0 / static_cast<double>(cwnd_));
+    ca_acc_ += inc;
+    if (ca_acc_ >= 1.0) {
+      ca_acc_ -= 1.0;
+      ++cwnd_;
+    }
+  }
+}
+
+double CubicCc::target_at(TimeNs now) const {
+  const double t = (now - epoch_start_).sec();
+  const double dt = t - k_;
+  return kC * dt * dt * dt + w_max_;
+}
+
+void CubicCc::on_ack(std::int64_t acked_segments, TimeNs now) {
+  PROGMP_CHECK(acked_segments > 0);
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += acked_segments;  // slow start
+    return;
+  }
+  if (epoch_start_ < TimeNs{0}) {
+    epoch_start_ = now;
+    const double w = static_cast<double>(cwnd_);
+    if (w_max_ < w) w_max_ = w;  // no prior reduction: probe from here
+    k_ = std::cbrt(w_max_ * (1.0 - kBeta) / kC);
+  }
+  // Cubic target plus the TCP-friendliness floor (RFC 8312 §4.2): in the
+  // Reno-dominated region grow at least as fast as Reno would.
+  const double t = (now - epoch_start_).sec();
+  const double rtt = std::max(1e-4, srtt_hint_.sec());
+  const double w_tcp =
+      w_max_ * kBeta + 3.0 * (1.0 - kBeta) / (1.0 + kBeta) * (t / rtt);
+  const double target = std::max(target_at(now), w_tcp);
+  const double w = static_cast<double>(cwnd_);
+  if (target > w) {
+    // Standard pacing of the increase: (target - cwnd)/cwnd per ACK.
+    ca_acc_ += (target - w) / w * static_cast<double>(acked_segments);
+    if (ca_acc_ >= 1.0) {
+      const auto whole = static_cast<std::int64_t>(ca_acc_);
+      cwnd_ += whole;
+      ca_acc_ -= static_cast<double>(whole);
+    }
+  }
+  // At or above target: hold (the cubic plateau around w_max).
+}
+
+void CubicCc::on_loss() {
+  w_max_ = static_cast<double>(cwnd_);
+  cwnd_ = std::max<std::int64_t>(
+      static_cast<std::int64_t>(static_cast<double>(cwnd_) * kBeta), 2);
+  ssthresh_ = cwnd_;
+  epoch_start_ = TimeNs{-1};
+  ca_acc_ = 0.0;
+}
+
+void CubicCc::on_rto() {
+  w_max_ = static_cast<double>(cwnd_);
+  ssthresh_ = std::max<std::int64_t>(
+      static_cast<std::int64_t>(static_cast<double>(cwnd_) * kBeta), 2);
+  cwnd_ = 1;
+  epoch_start_ = TimeNs{-1};
+  ca_acc_ = 0.0;
+}
+
+void LiaCc::on_loss() {
+  ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
+  cwnd_ = ssthresh_;
+  ca_acc_ = 0.0;
+}
+
+void LiaCc::on_rto() {
+  ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
+  cwnd_ = 1;
+  ca_acc_ = 0.0;
+}
+
+}  // namespace progmp::tcp

@@ -1,0 +1,161 @@
+// Per-subflow congestion control.
+//
+// The scheduler is "blocked by the congestion control" (§2.1): schedulers
+// consult the congestion window (CWND) maintained here. Two algorithms are
+// provided — uncoupled NewReno-style control and the coupled Linked-Increases
+// Algorithm (LIA, RFC 6356), which is the MPTCP default and keeps the
+// aggregate TCP-friendly on shared bottlenecks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/time.hpp"
+
+namespace progmp::tcp {
+
+/// Congestion control interface, counting in segments (the simulator
+/// transmits fixed-size MSS segments).
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  /// Congestion window in segments (>= 1 at all times except during RTO
+  /// recovery where it collapses to 1).
+  [[nodiscard]] virtual std::int64_t cwnd() const = 0;
+
+  /// One (or more) previously unsent segments were cumulatively ACKed at
+  /// simulated time `now` (time-driven algorithms — CUBIC — need it; the
+  /// ACK-clocked ones ignore it).
+  virtual void on_ack(std::int64_t acked_segments, TimeNs now) = 0;
+
+  /// Loss detected via three duplicate ACKs (fast retransmit): multiplicative
+  /// decrease, stay in congestion avoidance.
+  virtual void on_loss() = 0;
+
+  /// Retransmission timeout: collapse to the initial window.
+  virtual void on_rto() = 0;
+
+  [[nodiscard]] virtual bool in_slow_start() const = 0;
+
+  /// Latest smoothed RTT of the owning subflow. Coupled algorithms (LIA)
+  /// need it for the aggregate increase factor; others ignore it.
+  virtual void set_rtt_hint(TimeNs /*srtt*/) {}
+};
+
+/// Uncoupled NewReno: slow start to ssthresh, then +1 segment per RTT.
+class RenoCc final : public CongestionControl {
+ public:
+  explicit RenoCc(std::int64_t initial_cwnd = 10)
+      : cwnd_(initial_cwnd), initial_cwnd_(initial_cwnd) {}
+
+  [[nodiscard]] std::int64_t cwnd() const override { return cwnd_; }
+  void on_ack(std::int64_t acked_segments, TimeNs now) override;
+  void on_loss() override;
+  void on_rto() override;
+  [[nodiscard]] bool in_slow_start() const override {
+    return cwnd_ < ssthresh_;
+  }
+
+ private:
+  std::int64_t cwnd_;
+  std::int64_t initial_cwnd_;
+  std::int64_t ssthresh_ = 1'000'000;  // effectively infinite until first loss
+  std::int64_t ca_acc_ = 0;            // congestion-avoidance ACK accumulator
+};
+
+/// CUBIC (RFC 8312, simplified): the window grows as a cubic function of
+/// the time since the last congestion event — concave up to the previous
+/// maximum W_max, then convex probing beyond it. This is the Linux default
+/// congestion control, so MPTCP deployments in the wild pair the paper's
+/// schedulers with exactly this behaviour. TCP-friendliness (the Reno
+/// emulation floor) is included; fast convergence is not.
+class CubicCc final : public CongestionControl {
+ public:
+  explicit CubicCc(std::int64_t initial_cwnd = 10)
+      : cwnd_(initial_cwnd), initial_cwnd_(initial_cwnd) {}
+
+  [[nodiscard]] std::int64_t cwnd() const override { return cwnd_; }
+  void on_ack(std::int64_t acked_segments, TimeNs now) override;
+  void on_loss() override;
+  void on_rto() override;
+  [[nodiscard]] bool in_slow_start() const override {
+    return cwnd_ < ssthresh_;
+  }
+  void set_rtt_hint(TimeNs srtt) override { srtt_hint_ = srtt; }
+
+  static constexpr double kC = 0.4;     ///< cubic scaling constant
+  static constexpr double kBeta = 0.7;  ///< multiplicative decrease
+
+ private:
+  [[nodiscard]] double target_at(TimeNs now) const;
+
+  std::int64_t cwnd_;
+  std::int64_t initial_cwnd_;
+  std::int64_t ssthresh_ = 1'000'000;
+  double w_max_ = 0.0;          ///< window before the last reduction
+  TimeNs epoch_start_{-1};      ///< start of the current cubic epoch
+  double k_ = 0.0;              ///< time to reach w_max again (seconds)
+  double ca_acc_ = 0.0;
+  TimeNs srtt_hint_{milliseconds(100)};
+};
+
+class LiaCc;
+
+/// Shared state coupling the LIA instances of one MPTCP connection. The
+/// aggregate increase is capped by the `alpha` computed over all member
+/// subflows (RFC 6356 §4).
+class LiaCoupling {
+ public:
+  void add_member(LiaCc* cc) { members_.push_back(cc); }
+  void remove_member(LiaCc* cc);
+
+  /// Recomputes alpha from the members' cwnd and RTT. Called lazily on ACKs.
+  [[nodiscard]] double alpha() const;
+
+  /// Sum of the members' congestion windows (>= 1).
+  [[nodiscard]] std::int64_t cwnd_total() const;
+
+ private:
+  std::vector<LiaCc*> members_;
+};
+
+/// Coupled Linked-Increases congestion control (RFC 6356). Slow start and
+/// decrease behave like Reno; the congestion-avoidance increase per ACK is
+/// min(alpha/cwnd_total, 1/cwnd_i).
+class LiaCc final : public CongestionControl {
+ public:
+  LiaCc(std::shared_ptr<LiaCoupling> group, std::int64_t initial_cwnd = 10)
+      : group_(std::move(group)), cwnd_(initial_cwnd),
+        initial_cwnd_(initial_cwnd) {
+    PROGMP_CHECK(group_ != nullptr);
+    group_->add_member(this);
+  }
+  ~LiaCc() override { group_->remove_member(this); }
+  LiaCc(const LiaCc&) = delete;
+  LiaCc& operator=(const LiaCc&) = delete;
+
+  [[nodiscard]] std::int64_t cwnd() const override { return cwnd_; }
+  void on_ack(std::int64_t acked_segments, TimeNs now) override;
+  void on_loss() override;
+  void on_rto() override;
+  [[nodiscard]] bool in_slow_start() const override {
+    return cwnd_ < ssthresh_;
+  }
+
+  /// The coupling reads this to compute alpha.
+  [[nodiscard]] TimeNs srtt_hint() const { return srtt_hint_; }
+  void set_rtt_hint(TimeNs srtt) override { srtt_hint_ = srtt; }
+
+ private:
+  std::shared_ptr<LiaCoupling> group_;
+  std::int64_t cwnd_;
+  std::int64_t initial_cwnd_;
+  std::int64_t ssthresh_ = 1'000'000;
+  double ca_acc_ = 0.0;
+  TimeNs srtt_hint_{milliseconds(100)};
+};
+
+}  // namespace progmp::tcp

@@ -1,0 +1,42 @@
+// Delivery-rate estimation per subflow.
+//
+// The TAP scheduler (§5.4) computes the expected throughput of the preferred
+// subflow "per scheduling decision" from up-to-date subflow properties. We
+// expose two signals: a windowed ACK-rate estimate (what was actually
+// delivered recently) and the cwnd/RTT capacity estimate. The DSL surfaces
+// both as subflow properties.
+#pragma once
+
+#include <cstdint>
+
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace progmp::tcp {
+
+class RateEstimator {
+ public:
+  explicit RateEstimator(TimeNs window = milliseconds(500)) : meter_(window) {}
+
+  /// Records `bytes` newly cumulatively ACKed at `now`.
+  void on_delivered(TimeNs now, std::int64_t bytes) {
+    meter_.add(now, bytes);
+  }
+
+  /// Observed goodput (bytes/sec) over the sliding window.
+  [[nodiscard]] double delivery_rate(TimeNs now) const {
+    return meter_.bytes_per_sec(now);
+  }
+
+  /// Capacity estimate from congestion state: cwnd * mss / srtt.
+  [[nodiscard]] static double cwnd_rate(std::int64_t cwnd_segments,
+                                        std::int64_t mss, TimeNs srtt) {
+    if (srtt.ns() <= 0) return 0.0;
+    return static_cast<double>(cwnd_segments * mss) / srtt.sec();
+  }
+
+ private:
+  RateMeter meter_;
+};
+
+}  // namespace progmp::tcp

@@ -1,0 +1,30 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace progmp::tcp {
+
+void RttEstimator::add_sample(TimeNs rtt) {
+  last_rtt_ = rtt;
+  if (!has_sample_) {
+    has_sample_ = true;
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    min_rtt_ = rtt;
+    return;
+  }
+  min_rtt_ = std::min(min_rtt_, rtt);
+  // RFC 6298 with alpha = 1/8, beta = 1/4.
+  const TimeNs err{std::abs((rtt - srtt_).ns())};
+  rttvar_ = TimeNs{(3 * rttvar_.ns() + err.ns()) / 4};
+  srtt_ = TimeNs{(7 * srtt_.ns() + rtt.ns()) / 8};
+}
+
+TimeNs RttEstimator::rto() const {
+  if (!has_sample_) return kInitialRto;
+  const TimeNs raw = srtt_ + 4 * rttvar_;
+  return std::clamp(raw, kMinRto, kMaxRto);
+}
+
+}  // namespace progmp::tcp

@@ -1,0 +1,50 @@
+// RFC 6298 round-trip time estimation, per subflow.
+//
+// Tracks SRTT and RTTVAR and derives the retransmission timeout. Also keeps
+// the minimum and the latest sample because the scheduling language exposes
+// RTT (latest smoothed), RTT_AVG and RTT_VAR as first-class subflow
+// properties (§3.3).
+#pragma once
+
+#include "core/time.hpp"
+
+namespace progmp::tcp {
+
+class RttEstimator {
+ public:
+  /// Feeds one RTT sample (ACK arrival minus transmit time). Samples from
+  /// retransmitted segments must not be fed (Karn's algorithm) — the caller
+  /// enforces that.
+  void add_sample(TimeNs rtt);
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+
+  /// Smoothed RTT (SRTT). Zero until the first sample.
+  [[nodiscard]] TimeNs srtt() const { return srtt_; }
+
+  /// Mean deviation (RTTVAR).
+  [[nodiscard]] TimeNs rttvar() const { return rttvar_; }
+
+  /// Smallest sample seen — a proxy for propagation delay.
+  [[nodiscard]] TimeNs min_rtt() const { return min_rtt_; }
+
+  /// Most recent raw sample.
+  [[nodiscard]] TimeNs last_rtt() const { return last_rtt_; }
+
+  /// RFC 6298 retransmission timeout: SRTT + 4*RTTVAR, clamped to
+  /// [min_rto, max_rto]. Before any sample: 1 second (RFC initial value).
+  [[nodiscard]] TimeNs rto() const;
+
+  static constexpr TimeNs kMinRto = milliseconds(200);
+  static constexpr TimeNs kMaxRto = seconds(60);
+  static constexpr TimeNs kInitialRto = seconds(1);
+
+ private:
+  bool has_sample_ = false;
+  TimeNs srtt_{0};
+  TimeNs rttvar_{0};
+  TimeNs min_rtt_{0};
+  TimeNs last_rtt_{0};
+};
+
+}  // namespace progmp::tcp

@@ -1,0 +1,128 @@
+// The application-facing API (the Fig 8 usage pattern in C++).
+#include <gtest/gtest.h>
+
+#include "api/progmp_api.hpp"
+#include "apps/scenarios.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::api {
+namespace {
+
+TEST(ApiTest, Fig8UsagePattern) {
+  // The paper's Python example, transliterated: load, set, registers.
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(1));
+  ProgmpApi api;
+  std::string error;
+  ASSERT_TRUE(api.load_scheduler(sched::specs::kMinRtt, "mysched", &error))
+      << error;
+  ASSERT_TRUE(api.set_scheduler(conn, "mysched", &error)) << error;
+  ProgmpApi::set_register(conn, 1, 5);
+  EXPECT_EQ(conn.get_register(0), 5);
+  ProgmpApi::send(conn, 100 * 1400);
+  sim.run_until(seconds(10));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+}
+
+TEST(ApiTest, LoadErrorIsReported) {
+  ProgmpApi api;
+  std::string error;
+  EXPECT_FALSE(api.load_scheduler("THIS IS NOT A SCHEDULER", "bad", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ApiTest, SetUnknownSchedulerFails) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(2));
+  ProgmpApi api;
+  std::string error;
+  EXPECT_FALSE(api.set_scheduler(conn, "ghost", &error));
+  EXPECT_NE(error.find("not been loaded"), std::string::npos);
+}
+
+TEST(ApiTest, LoadBuiltins) {
+  ProgmpApi api;
+  std::string error;
+  for (const auto& spec : sched::specs::all_specs()) {
+    EXPECT_TRUE(api.load_builtin(std::string(spec.name), &error))
+        << spec.name << ": " << error;
+  }
+  EXPECT_FALSE(api.load_builtin("nope", &error));
+}
+
+TEST(ApiTest, LoadedSchedulersAreSharedAcrossConnections) {
+  sim::Simulator sim;
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_builtin("minrtt"));
+  auto image = api.find("minrtt");
+  ASSERT_NE(image, nullptr);
+  // Two connections share one compiled image: use_count grows.
+  mptcp::MptcpConnection c1(sim, apps::lossy_config(0.0), Rng(3));
+  mptcp::MptcpConnection c2(sim, apps::lossy_config(0.0), Rng(4));
+  ASSERT_TRUE(api.set_scheduler(c1, "minrtt"));
+  ASSERT_TRUE(api.set_scheduler(c2, "minrtt"));
+  EXPECT_GE(image.use_count(), 3);
+  c1.write(10 * 1400);
+  c2.write(10 * 1400);
+  sim.run_until(seconds(5));
+  EXPECT_EQ(c1.delivered_bytes(), c1.written_bytes());
+  EXPECT_EQ(c2.delivered_bytes(), c2.written_bytes());
+}
+
+TEST(ApiTest, PerPacketPropertiesFlowThrough) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(5));
+  ProgmpApi api;
+  // A scheduler that copies the head packet's PROP1 into R5 before pushing.
+  ASSERT_TRUE(api.load_scheduler(
+      "IF (!Q.EMPTY) {"
+      "  SET(R5, Q.TOP.PROP1);"
+      "  VAR s = SUBFLOWS.MIN(x => x.RTT);"
+      "  IF (s != NULL) { s.PUSH(Q.POP()); } }",
+      "prop_echo"));
+  ASSERT_TRUE(api.set_scheduler(conn, "prop_echo"));
+  mptcp::SkbProps props;
+  props.prop1 = 77;
+  ProgmpApi::send(conn, 1400, props);
+  sim.run_until(seconds(2));
+  EXPECT_EQ(conn.get_register(4), 77);
+}
+
+TEST(ApiTest, FlowEndSignalHelpers) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(6));
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_builtin("compensating"));
+  ASSERT_TRUE(api.set_scheduler(conn, "compensating"));
+  ProgmpApi::signal_flow_end(conn);
+  EXPECT_EQ(conn.get_register(1), 1);
+  ProgmpApi::clear_flow_end(conn);
+  EXPECT_EQ(conn.get_register(1), 0);
+}
+
+TEST(ApiTest, ProcStatsRendersState) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, apps::mobile_config(true), Rng(7));
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_builtin("minrtt"));
+  ASSERT_TRUE(api.set_scheduler(conn, "minrtt"));
+  conn.write(20 * 1400);
+  sim.run_until(seconds(2));
+  const std::string stats = ProgmpApi::proc_stats(conn);
+  EXPECT_NE(stats.find("scheduler: minrtt"), std::string::npos);
+  EXPECT_NE(stats.find("executions:"), std::string::npos);
+  EXPECT_NE(stats.find("wifi"), std::string::npos);
+  EXPECT_NE(stats.find("[backup]"), std::string::npos);
+}
+
+TEST(ApiTest, ReloadReplacesProgram) {
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_scheduler("SET(R1, 1);", "s"));
+  auto first = api.find("s");
+  ASSERT_TRUE(api.load_scheduler("SET(R1, 2);", "s"));
+  auto second = api.find("s");
+  EXPECT_NE(first.get(), second.get());
+}
+
+}  // namespace
+}  // namespace progmp::api

@@ -1,0 +1,68 @@
+#include "apps/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp::apps {
+namespace {
+
+TEST(ScenariosTest, MakeSubflowWiresRates) {
+  PathSpec path;
+  path.rate_mbps = 42;
+  path.one_way_delay = milliseconds(7);
+  path.loss = 0.01;
+  path.queue_kb = 128;
+  const auto spec = make_subflow("x", path, /*backup=*/true);
+  EXPECT_EQ(spec.sender.name, "x");
+  EXPECT_TRUE(spec.sender.backup);
+  EXPECT_TRUE(spec.sender.preferred);  // preference is orthogonal to backup
+  EXPECT_EQ(spec.forward.rate_bps, 42'000'000);
+  EXPECT_EQ(spec.forward.delay, milliseconds(7));
+  EXPECT_DOUBLE_EQ(spec.forward.loss_rate, 0.01);
+  EXPECT_EQ(spec.forward.queue_limit_bytes, 128 * 1024);
+  // Reverse (ACK) path: same delay, ample and lossless.
+  EXPECT_EQ(spec.reverse.delay, milliseconds(7));
+  EXPECT_DOUBLE_EQ(spec.reverse.loss_rate, 0.0);
+  EXPECT_GT(spec.reverse.rate_bps, spec.forward.rate_bps);
+}
+
+TEST(ScenariosTest, MobileConfigMatchesPaperSetup) {
+  const auto cfg = mobile_config(/*lte_backup_flag=*/true);
+  ASSERT_EQ(cfg.subflows.size(), 2u);
+  // WiFi: 10 ms RTT, preferred, never backup.
+  EXPECT_EQ(cfg.subflows[0].sender.name, "wifi");
+  EXPECT_EQ(cfg.subflows[0].forward.delay, milliseconds(5));
+  EXPECT_TRUE(cfg.subflows[0].sender.preferred);
+  EXPECT_FALSE(cfg.subflows[0].sender.backup);
+  // LTE: 40 ms RTT, metered (non-preferred), backup per flag.
+  EXPECT_EQ(cfg.subflows[1].sender.name, "lte");
+  EXPECT_EQ(cfg.subflows[1].forward.delay, milliseconds(20));
+  EXPECT_FALSE(cfg.subflows[1].sender.preferred);
+  EXPECT_TRUE(cfg.subflows[1].sender.backup);
+  EXPECT_FALSE(mobile_config(false).subflows[1].sender.backup);
+}
+
+TEST(ScenariosTest, LossyConfigBuildsNSymmetricSubflows) {
+  const auto cfg = lossy_config(0.02, 3, 55, milliseconds(9));
+  ASSERT_EQ(cfg.subflows.size(), 3u);
+  for (const auto& sbf : cfg.subflows) {
+    EXPECT_DOUBLE_EQ(sbf.forward.loss_rate, 0.02);
+    EXPECT_EQ(sbf.forward.rate_bps, 55'000'000);
+    EXPECT_EQ(sbf.forward.delay, milliseconds(9));
+  }
+}
+
+TEST(ScenariosTest, HeterogeneousConfigScalesRtt) {
+  const auto cfg = heterogeneous_config(4.0, milliseconds(20));
+  ASSERT_EQ(cfg.subflows.size(), 2u);
+  EXPECT_EQ(cfg.subflows[0].forward.delay, milliseconds(10));
+  EXPECT_EQ(cfg.subflows[1].forward.delay, milliseconds(40));  // 4x
+}
+
+TEST(ScenariosTest, SinglePathConfigHasOneSubflow) {
+  PathSpec path;
+  const auto cfg = single_path_config(path);
+  EXPECT_EQ(cfg.subflows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace progmp::apps

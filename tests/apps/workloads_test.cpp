@@ -1,0 +1,113 @@
+#include "apps/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/scenarios.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::apps {
+namespace {
+
+std::unique_ptr<mptcp::Scheduler> minrtt() {
+  return test::must_load(sched::specs::kMinRtt, rt::Backend::kEbpf, "minrtt");
+}
+
+TEST(BulkSourceTest, WritesEverythingAndKeepsQueueBounded) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, lossy_config(0.0), Rng(1));
+  conn.set_scheduler(minrtt());
+  BulkSource::Options opts;
+  opts.total_bytes = 2 * 1024 * 1024;
+  opts.max_queue_packets = 64;
+  BulkSource source(sim, conn, opts);
+  source.start();
+  EXPECT_LE(conn.q_len(), 64u + opts.chunk_bytes / 1400 + 1);
+  sim.run_until(seconds(30));
+  EXPECT_TRUE(source.finished_writing());
+  EXPECT_EQ(conn.delivered_bytes(), opts.total_bytes);
+}
+
+TEST(CbrSourceTest, FollowsBitrateSchedule) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, lossy_config(0.0, 2, 100), Rng(2));
+  conn.set_scheduler(minrtt());
+  CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, 1'000'000}, {seconds(2), 3'000'000}};
+  opts.duration = seconds(4);
+  CbrSource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(5));
+  // Delivered rate tracks the schedule in each phase.
+  EXPECT_NEAR(source.delivered_series().mean_between(seconds(1), seconds(2)),
+              1'000'000.0, 200'000.0);
+  EXPECT_NEAR(source.delivered_series().mean_between(seconds(3), seconds(4)),
+              3'000'000.0, 500'000.0);
+}
+
+TEST(CbrSourceTest, KeepsTargetRegisterCurrent) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, lossy_config(0.0, 2, 100), Rng(3));
+  conn.set_scheduler(minrtt());
+  CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, 500'000}, {seconds(1), 2'000'000}};
+  opts.duration = seconds(2);
+  opts.target_register = 1;
+  CbrSource source(sim, conn, opts);
+  source.start();
+  EXPECT_EQ(conn.get_register(0), 500'000);
+  sim.run_until(milliseconds(1500));
+  EXPECT_EQ(conn.get_register(0), 2'000'000);
+}
+
+TEST(FlowRunnerTest, MeasuresPerFlowCompletionTimes) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, lossy_config(0.0), Rng(4));
+  conn.set_scheduler(minrtt());
+  FlowRunner::Options opts;
+  opts.flow_bytes = 20 * 1400;
+  opts.flow_count = 5;
+  opts.gap = milliseconds(100);
+  FlowRunner runner(sim, conn, opts);
+  runner.start();
+  sim.run_until(seconds(30));
+  EXPECT_TRUE(runner.done());
+  EXPECT_EQ(runner.fct_ms().count(), 5u);
+  // Each flow takes at least the one-way delay (10 ms) and finishes quickly
+  // on these clean paths.
+  EXPECT_GE(runner.fct_ms().min(), 10.0);
+  EXPECT_LT(runner.fct_ms().max(), 1000.0);
+}
+
+TEST(FlowRunnerTest, FlowEndSignalToggle) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, lossy_config(0.0), Rng(5));
+  conn.set_scheduler(minrtt());
+  FlowRunner::Options opts;
+  opts.flow_bytes = 10 * 1400;
+  opts.flow_count = 2;
+  opts.signal_flow_end = true;
+  FlowRunner runner(sim, conn, opts);
+  runner.start();
+  EXPECT_EQ(conn.get_register(1), 1);  // raised with the first flow
+  sim.run_until(seconds(10));
+  EXPECT_TRUE(runner.done());
+}
+
+TEST(BurstySourceTest, EmitsBurstsUntilDuration) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, lossy_config(0.0, 2, 100), Rng(6));
+  conn.set_scheduler(minrtt());
+  BurstySource::Options opts;
+  opts.burst_bytes = 100'000;
+  opts.period = milliseconds(100);
+  opts.duration = seconds(1);
+  BurstySource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(5));
+  EXPECT_EQ(source.written_bytes(), 10 * 100'000);
+  EXPECT_EQ(conn.delivered_bytes(), source.written_bytes());
+}
+
+}  // namespace
+}  // namespace progmp::apps

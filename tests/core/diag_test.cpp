@@ -1,0 +1,27 @@
+#include "core/diag.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp {
+namespace {
+
+TEST(DiagTest, CountsErrorsOnly) {
+  DiagSink sink;
+  EXPECT_TRUE(sink.ok());
+  sink.warning({1, 2}, "watch out");
+  sink.note({1, 3}, "fyi");
+  EXPECT_TRUE(sink.ok());
+  sink.error({2, 5}, "boom");
+  EXPECT_FALSE(sink.ok());
+  EXPECT_EQ(sink.error_count(), 1);
+  EXPECT_EQ(sink.all().size(), 3u);
+}
+
+TEST(DiagTest, Rendering) {
+  DiagSink sink;
+  sink.error({3, 7}, "unexpected token");
+  EXPECT_EQ(sink.str(), "3:7: error: unexpected token\n");
+}
+
+}  // namespace
+}  // namespace progmp

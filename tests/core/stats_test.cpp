@@ -1,0 +1,87 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp {
+namespace {
+
+TEST(EwmaTest, SeedsWithFirstSample) {
+  Ewma e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.add(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, MovesTowardSamples) {
+  Ewma e(0.5);
+  e.add(0.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.4142, 1e-3);
+}
+
+TEST(SummaryTest, Percentiles) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.0, 1.0);
+  EXPECT_NEAR(s.percentile(95), 95.0, 1.0);
+}
+
+TEST(SummaryTest, PercentileAfterMoreSamples) {
+  Summary s;
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 1.0);
+  s.add(100.0);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+}
+
+TEST(RateMeterTest, MeasuresWindowedRate) {
+  RateMeter meter(milliseconds(1000));
+  meter.add(milliseconds(0), 1000);
+  meter.add(milliseconds(500), 1000);
+  EXPECT_DOUBLE_EQ(meter.bytes_per_sec(milliseconds(500)), 2000.0);
+}
+
+TEST(RateMeterTest, ExpiresOldEvents) {
+  RateMeter meter(milliseconds(1000));
+  meter.add(milliseconds(0), 1000);
+  meter.add(milliseconds(1500), 500);
+  // The first event is outside the window at t=1.5s.
+  EXPECT_DOUBLE_EQ(meter.bytes_per_sec(milliseconds(1500)), 500.0);
+}
+
+TEST(TimeSeriesTest, MeanBetween) {
+  TimeSeries ts;
+  ts.add(milliseconds(0), 1.0);
+  ts.add(milliseconds(10), 3.0);
+  ts.add(milliseconds(20), 100.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(milliseconds(0), milliseconds(20)), 2.0);
+  EXPECT_DOUBLE_EQ(ts.mean_between(milliseconds(50), milliseconds(60)), 0.0);
+}
+
+TEST(TimeSeriesTest, AsciiPlotRendersWithoutData) {
+  TimeSeries ts;
+  EXPECT_NE(ts.ascii_plot("empty").find("no data"), std::string::npos);
+  ts.add(milliseconds(0), 1.0);
+  ts.add(milliseconds(10), 2.0);
+  const std::string plot = ts.ascii_plot("series", 20, 4);
+  EXPECT_NE(plot.find("series"), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace progmp

@@ -1,0 +1,53 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp {
+namespace {
+
+TEST(TimeTest, ConstructorsAndAccessors) {
+  EXPECT_EQ(milliseconds(5).ns(), 5'000'000);
+  EXPECT_EQ(microseconds(5).ns(), 5'000);
+  EXPECT_EQ(seconds(2).ms(), 2'000);
+  EXPECT_DOUBLE_EQ(milliseconds(1500).sec(), 1.5);
+  EXPECT_EQ(seconds_d(0.25).ms(), 250);
+}
+
+TEST(TimeTest, Arithmetic) {
+  EXPECT_EQ((milliseconds(3) + milliseconds(4)).ms(), 7);
+  EXPECT_EQ((milliseconds(10) - milliseconds(4)).ms(), 6);
+  EXPECT_EQ((milliseconds(3) * 4).ms(), 12);
+  EXPECT_EQ((milliseconds(12) / 4).ms(), 3);
+  TimeNs t = milliseconds(1);
+  t += milliseconds(2);
+  EXPECT_EQ(t.ms(), 3);
+  t -= milliseconds(1);
+  EXPECT_EQ(t.ms(), 2);
+}
+
+TEST(TimeTest, DurationRatio) {
+  EXPECT_DOUBLE_EQ(milliseconds(40) / milliseconds(10), 4.0);
+}
+
+TEST(TimeTest, Comparisons) {
+  EXPECT_LT(milliseconds(1), milliseconds(2));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_GE(seconds(1), milliseconds(1000));
+}
+
+TEST(TimeTest, TransmissionTime) {
+  // 1250 bytes at 10 Mbit/s: 1250*8 / 1e7 s = 1 ms.
+  EXPECT_EQ(transmission_time(1250, 10'000'000).ms(), 1);
+  // 1 byte at 1 Gbit/s: 8 ns.
+  EXPECT_EQ(transmission_time(1, 1'000'000'000).ns(), 8);
+}
+
+TEST(TimeTest, StringRendering) {
+  EXPECT_EQ(nanoseconds(12).str(), "12ns");
+  EXPECT_EQ(microseconds(1500).str(), "1.500ms");
+  EXPECT_EQ(seconds(2).str(), "2.000s");
+  EXPECT_EQ(microseconds(12).str(), "12.000us");
+}
+
+}  // namespace
+}  // namespace progmp

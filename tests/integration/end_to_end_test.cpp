@@ -1,0 +1,163 @@
+// Whole-stack invariants: for every built-in scheduler on every backend,
+// simulated transfers must conserve data, deliver in order, and leave no
+// queue residue — including under loss.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "api/progmp_api.hpp"
+#include "apps/scenarios.hpp"
+#include "mptcp/connection.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp {
+namespace {
+
+struct Case {
+  std::string scheduler;
+  rt::Backend backend;
+  double loss;
+};
+
+class EndToEnd : public ::testing::TestWithParam<Case> {};
+
+TEST_P(EndToEnd, TransferConservesAndOrdersData) {
+  const Case& c = GetParam();
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(c.loss);
+  mptcp::MptcpConnection conn(sim, cfg, Rng(99));
+  const auto spec = sched::specs::find_spec(c.scheduler);
+  ASSERT_TRUE(spec.has_value());
+  conn.set_scheduler(test::must_load(spec->source, c.backend, c.scheduler));
+
+  // Schedulers that need application signals get benign defaults.
+  conn.set_register(0, 1'000'000);     // R1: TAP target
+  conn.set_register(2, 200'000);       // R3: target RTT (us)
+  conn.set_register(3, 60'000);        // R4: deadline far away (ms)
+  conn.set_register(6, 100);           // R7: probe threshold
+
+  std::uint64_t expected = 0;
+  bool in_order = true;
+  conn.set_on_deliver([&](std::uint64_t meta, std::int32_t, TimeNs) {
+    in_order &= meta == expected;
+    ++expected;
+  });
+
+  const std::int64_t total = 150 * 1400;
+  conn.write(total);
+  sim.run_until(seconds(180));
+
+  EXPECT_EQ(conn.delivered_bytes(), total)
+      << c.scheduler << " on " << rt::backend_name(c.backend);
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(conn.q_len(), 0u);
+  EXPECT_EQ(conn.qu_len(), 0u);
+  EXPECT_EQ(conn.rq_len(), 0u);
+}
+
+std::vector<Case> end_to_end_cases() {
+  std::vector<Case> cases;
+  for (const auto& spec : sched::specs::all_specs()) {
+    // Every scheduler with the eBPF backend, lossless and lossy.
+    cases.push_back({std::string(spec.name), rt::Backend::kEbpf, 0.0});
+    cases.push_back({std::string(spec.name), rt::Backend::kEbpf, 0.02});
+    // Interpreter and compiled backends sampled on the default scheduler.
+    if (spec.name == "minrtt" || spec.name == "redundant") {
+      cases.push_back(
+          {std::string(spec.name), rt::Backend::kInterpreter, 0.02});
+      cases.push_back({std::string(spec.name), rt::Backend::kCompiled, 0.02});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.scheduler + "_" +
+         rt::backend_name(info.param.backend) +
+         (info.param.loss > 0 ? "_lossy" : "_clean");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, EndToEnd,
+                         ::testing::ValuesIn(end_to_end_cases()), case_name);
+
+TEST(EndToEndMisc, TwoConnectionsWithDifferentSchedulersCoexist) {
+  // Per-connection scheduler choice (§3.2): different programs, isolated
+  // registers, one simulator.
+  sim::Simulator sim;
+  api::ProgmpApi papi;
+  ASSERT_TRUE(papi.load_builtin("minrtt"));
+  ASSERT_TRUE(papi.load_builtin("redundant"));
+  mptcp::MptcpConnection a(sim, apps::lossy_config(0.0), Rng(1));
+  mptcp::MptcpConnection b(sim, apps::lossy_config(0.0), Rng(2));
+  ASSERT_TRUE(papi.set_scheduler(a, "minrtt"));
+  ASSERT_TRUE(papi.set_scheduler(b, "redundant"));
+  a.set_register(0, 111);
+  b.set_register(0, 222);
+  a.write(100 * 1400);
+  b.write(100 * 1400);
+  sim.run_until(seconds(30));
+  EXPECT_EQ(a.delivered_bytes(), a.written_bytes());
+  EXPECT_EQ(b.delivered_bytes(), b.written_bytes());
+  EXPECT_EQ(a.get_register(0), 111);  // isolation of register state
+  EXPECT_EQ(b.get_register(0), 222);
+  EXPECT_GT(b.wire_bytes_sent(), a.wire_bytes_sent());
+}
+
+TEST(EndToEndMisc, CubicCompletesTransfersAndOutgrowsReno) {
+  auto goodput = [&](mptcp::CcKind cc) {
+    sim::Simulator sim;
+    // Long fat path: CUBIC's raison d'etre.
+    auto cfg = apps::lossy_config(0.0, 1, 400, milliseconds(40));
+    cfg.subflows[0].forward.queue_limit_bytes = 8 << 20;
+    cfg.cc = cc;
+    mptcp::MptcpConnection conn(sim, cfg, Rng(17));
+    conn.set_scheduler(test::must_load(sched::specs::kMinRtt,
+                                       rt::Backend::kEbpf, "minrtt"));
+    conn.write(30'000LL * 1400);
+    sim.run_until(seconds(20));
+    return conn.delivered_bytes();
+  };
+  const std::int64_t reno = goodput(mptcp::CcKind::kReno);
+  const std::int64_t cubic = goodput(mptcp::CcKind::kCubic);
+  EXPECT_GT(cubic, 0);
+  // Same clean path: both complete work; CUBIC must not be slower.
+  EXPECT_GE(cubic, reno);
+}
+
+TEST(EndToEndMisc, CubicCompletesLossyTransfers) {
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(0.02);
+  cfg.cc = mptcp::CcKind::kCubic;
+  mptcp::MptcpConnection conn(sim, cfg, Rng(18));
+  conn.set_scheduler(test::must_load(sched::specs::kMinRtt,
+                                     rt::Backend::kEbpf, "minrtt"));
+  conn.write(300 * 1400);
+  sim.run_until(seconds(60));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+}
+
+TEST(EndToEndMisc, LiaCouplingCompletesTransfers) {
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(0.01);
+  cfg.cc = mptcp::CcKind::kLia;
+  mptcp::MptcpConnection conn(sim, cfg, Rng(3));
+  conn.set_scheduler(test::must_load(sched::specs::kMinRtt,
+                                     rt::Backend::kEbpf, "minrtt"));
+  conn.write(300 * 1400);
+  sim.run_until(seconds(60));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+}
+
+TEST(EndToEndMisc, MultiLayerReceiverStillDeliversEverything) {
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(0.03);
+  cfg.receiver.model = mptcp::ReceiverModel::kMultiLayer;
+  mptcp::MptcpConnection conn(sim, cfg, Rng(4));
+  conn.set_scheduler(test::must_load(sched::specs::kMinRtt,
+                                     rt::Backend::kEbpf, "minrtt"));
+  conn.write(200 * 1400);
+  sim.run_until(seconds(120));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+}
+
+}  // namespace
+}  // namespace progmp

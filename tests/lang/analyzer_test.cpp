@@ -1,0 +1,230 @@
+#include "lang/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+
+namespace progmp::lang {
+namespace {
+
+Program analyze_ok(std::string_view src) {
+  DiagSink diags;
+  Program p = parse(src, "t", diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  EXPECT_TRUE(analyze(p, diags)) << diags.str();
+  return p;
+}
+
+std::string analyze_err(std::string_view src) {
+  DiagSink diags;
+  Program p = parse(src, "t", diags);
+  EXPECT_TRUE(diags.ok()) << "parse failed instead: " << diags.str();
+  EXPECT_FALSE(analyze(p, diags));
+  return diags.str();
+}
+
+TEST(AnalyzerTest, TypesSimpleProgram) {
+  Program p = analyze_ok(
+      "VAR sbf = SUBFLOWS.MIN(s => s.RTT);"
+      "IF (sbf != NULL) { sbf.PUSH(Q.POP()); }");
+  const Stmt& decl = p.stmt(p.top[0]);
+  EXPECT_EQ(p.expr(decl.expr).type, Type::kSubflow);
+  EXPECT_GE(p.frame_slots, 2);  // sbf + lambda param
+}
+
+TEST(AnalyzerTest, ImplicitTypingFromInitializer) {
+  Program p = analyze_ok(
+      "VAR n = SUBFLOWS.COUNT;"
+      "VAR b = Q.EMPTY;"
+      "VAR pk = Q.TOP;"
+      "IF (b AND n > 0 AND pk != NULL) { RETURN; }");
+  EXPECT_EQ(p.expr(p.stmt(p.top[0]).expr).type, Type::kInt);
+  EXPECT_EQ(p.expr(p.stmt(p.top[1]).expr).type, Type::kBool);
+  EXPECT_EQ(p.expr(p.stmt(p.top[2]).expr).type, Type::kPacket);
+}
+
+TEST(AnalyzerTest, MemberResolutionByReceiverType) {
+  Program p = analyze_ok(
+      "VAR s = SUBFLOWS.GET(0);"
+      "VAR x = s.CWND + Q.TOP.SIZE;");
+  (void)p;
+}
+
+TEST(AnalyzerTest, SubflowListVarsAllowed) {
+  analyze_ok(
+      "VAR sbfs = SUBFLOWS.FILTER(s => !s.IS_BACKUP);"
+      "IF (R1 >= sbfs.COUNT) { SET(R1, 0); }"
+      "VAR s = sbfs.GET(R1);"
+      "IF (s != NULL) { s.PUSH(Q.POP()); }");
+}
+
+// ---- Rule: single assignment / no shadowing --------------------------------
+
+TEST(AnalyzerTest, RedefinitionRejected) {
+  const std::string err = analyze_err("VAR x = 1; VAR x = 2;");
+  EXPECT_NE(err.find("single-assignment"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ShadowingInNestedScopeRejected) {
+  const std::string err =
+      analyze_err("VAR x = 1; IF (x == 1) { VAR x = 2; }");
+  EXPECT_NE(err.find("single-assignment"), std::string::npos);
+}
+
+TEST(AnalyzerTest, DisjointScopesMayReuseNames) {
+  analyze_ok(
+      "IF (Q.EMPTY) { VAR s = SUBFLOWS.GET(0); IF (s != NULL) { s.PUSH(Q.TOP); } }"
+      "ELSE { VAR s = SUBFLOWS.GET(1); IF (s != NULL) { s.PUSH(Q.TOP); } }");
+}
+
+TEST(AnalyzerTest, UnknownIdentifierRejected) {
+  const std::string err = analyze_err("VAR x = nope;");
+  EXPECT_NE(err.find("unknown identifier"), std::string::npos);
+}
+
+// ---- Rule: side effects restricted ------------------------------------------
+
+TEST(AnalyzerTest, PopInIfConditionRejected) {
+  const std::string err = analyze_err("IF (Q.POP() != NULL) { RETURN; }");
+  EXPECT_NE(err.find("side effect"), std::string::npos);
+}
+
+TEST(AnalyzerTest, PopInPredicateRejected) {
+  const std::string err = analyze_err(
+      "VAR s = SUBFLOWS.MIN(x => Q.POP().SIZE);"
+      "IF (s != NULL) { RETURN; }");
+  EXPECT_NE(err.find("side effect"), std::string::npos);
+}
+
+TEST(AnalyzerTest, PopOnFilteredQueueRejected) {
+  const std::string err =
+      analyze_err("VAR p = Q.FILTER(x => x.SIZE > 0).POP();");
+  EXPECT_NE(err.find("base queues"), std::string::npos);
+}
+
+TEST(AnalyzerTest, PopAllowedAsVarInitAndPushArg) {
+  analyze_ok(
+      "VAR skb = Q.POP();"
+      "VAR s = SUBFLOWS.GET(0);"
+      "IF (s != NULL) { s.PUSH(RQ.POP()); }"
+      "DROP(skb);");
+}
+
+TEST(AnalyzerTest, PushOnlyAsStatement) {
+  const std::string err =
+      analyze_err("VAR x = SUBFLOWS.GET(0).PUSH(Q.TOP);");
+  EXPECT_NE(err.find("PUSH"), std::string::npos);
+}
+
+TEST(AnalyzerTest, BareExpressionStatementMustBePush) {
+  const std::string err = analyze_err("Q.TOP.SIZE;");
+  EXPECT_NE(err.find("PUSH"), std::string::npos);
+}
+
+// ---- Rule: no queue-typed variables ------------------------------------------
+
+TEST(AnalyzerTest, QueueVarRejected) {
+  const std::string err = analyze_err("VAR q = Q.FILTER(p => p.SIZE > 100);");
+  EXPECT_NE(err.find("packet queues cannot be stored"), std::string::npos);
+}
+
+TEST(AnalyzerTest, NullVarRejected) {
+  const std::string err = analyze_err("VAR x = NULL;");
+  EXPECT_NE(err.find("NULL"), std::string::npos);
+}
+
+// ---- Type errors ---------------------------------------------------------------
+
+TEST(AnalyzerTest, ArithmeticOnPacketsRejected) {
+  const std::string err = analyze_err("VAR x = Q.TOP + 1;");
+  EXPECT_NE(err.find("int"), std::string::npos);
+}
+
+TEST(AnalyzerTest, IfConditionMustBeBool) {
+  const std::string err = analyze_err("IF (1 + 1) { RETURN; }");
+  EXPECT_NE(err.find("bool"), std::string::npos);
+}
+
+TEST(AnalyzerTest, CrossTypeComparisonRejected) {
+  const std::string err = analyze_err(
+      "IF (Q.TOP == SUBFLOWS.GET(0)) { RETURN; }");
+  EXPECT_NE(err.find("cannot compare"), std::string::npos);
+}
+
+TEST(AnalyzerTest, NullComparableWithPacketAndSubflow) {
+  analyze_ok(
+      "IF (Q.TOP == NULL OR SUBFLOWS.GET(0) != NULL) { RETURN; }");
+}
+
+TEST(AnalyzerTest, ForeachRequiresSubflowList) {
+  const std::string err =
+      analyze_err("FOREACH (VAR p IN Q) { DROP(p); }");
+  EXPECT_NE(err.find("subflow lists"), std::string::npos);
+}
+
+TEST(AnalyzerTest, UnknownPropertyRejected) {
+  const std::string err = analyze_err("VAR x = SUBFLOWS.GET(0).BANANAS;");
+  EXPECT_NE(err.find("unknown subflow property"), std::string::npos);
+}
+
+TEST(AnalyzerTest, SentOnRequiresSubflowArgument) {
+  const std::string err = analyze_err("VAR x = Q.TOP.SENT_ON(5);");
+  EXPECT_NE(err.find("SENT_ON argument"), std::string::npos);
+}
+
+TEST(AnalyzerTest, PropertyArityChecked) {
+  const std::string err = analyze_err("VAR x = Q.TOP.SIZE(3);");
+  EXPECT_NE(err.find("takes no argument"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RegisterRangeChecked) {
+  const std::string err = analyze_err("VAR x = R99;");
+  EXPECT_NE(err.find("register out of range"), std::string::npos);
+}
+
+TEST(AnalyzerTest, BoundaryRegistersAccepted) {
+  analyze_ok("SET(R8, R1 + R8);");
+}
+
+TEST(AnalyzerTest, DeepElseIfChains) {
+  std::string spec;
+  for (int i = 1; i <= 20; ++i) {
+    spec += (i == 1 ? "IF" : "ELSE IF");
+    spec += " (R1 == " + std::to_string(i) + ") { SET(R2, " +
+            std::to_string(i) + "); } ";
+  }
+  spec += "ELSE { SET(R2, 0); }";
+  analyze_ok(spec);
+}
+
+TEST(AnalyzerTest, NestedForeachOverDifferentLists) {
+  analyze_ok(
+      "FOREACH (VAR a IN SUBFLOWS.FILTER(x => x.IS_PREFERRED)) {"
+      "  FOREACH (VAR b IN SUBFLOWS.FILTER(y => !y.IS_PREFERRED)) {"
+      "    IF (a.RTT < b.RTT) { SET(R1, R1 + 1); }"
+      "  }"
+      "}");
+}
+
+TEST(AnalyzerTest, ForeachVarUsableAsSentOnArgument) {
+  analyze_ok(
+      "FOREACH (VAR s IN SUBFLOWS) {"
+      "  VAR skb = QU.FILTER(p => !p.SENT_ON(s)).TOP;"
+      "  IF (skb != NULL) { s.PUSH(skb); }"
+      "}");
+}
+
+TEST(AnalyzerTest, LambdaParamScopeEndsWithLambda) {
+  const std::string err = analyze_err(
+      "VAR n = SUBFLOWS.SUM(s => s.CWND);"
+      "SET(R1, s.CWND);");  // s is out of scope here
+  EXPECT_NE(err.find("unknown identifier 's'"), std::string::npos);
+}
+
+TEST(AnalyzerTest, GetOnQueueRejected) {
+  const std::string err = analyze_err("VAR p = Q.GET(0);");
+  EXPECT_NE(err.find("GET receiver"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace progmp::lang

@@ -1,0 +1,95 @@
+#include "lang/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp::lang {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  DiagSink diags;
+  auto tokens = lex(src, diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  return tokens;
+}
+
+TEST(LexerTest, EmptyInputYieldsEof) {
+  auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokKind::kEof);
+}
+
+TEST(LexerTest, Keywords) {
+  auto tokens = lex_ok("VAR IF ELSE FOREACH IN SET DROP RETURN AND OR NOT");
+  const TokKind expected[] = {
+      TokKind::kVar, TokKind::kIf,     TokKind::kElse, TokKind::kForeach,
+      TokKind::kIn,  TokKind::kSet,    TokKind::kDrop, TokKind::kReturn,
+      TokKind::kAnd, TokKind::kOr,     TokKind::kNot,  TokKind::kEof};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, IdentifiersAndIntegers) {
+  auto tokens = lex_ok("sbf R1 foo_bar 42 007");
+  EXPECT_EQ(tokens[0].kind, TokKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "sbf");
+  EXPECT_EQ(tokens[1].text, "R1");
+  EXPECT_EQ(tokens[2].text, "foo_bar");
+  EXPECT_EQ(tokens[3].kind, TokKind::kIntLit);
+  EXPECT_EQ(tokens[3].int_value, 42);
+  EXPECT_EQ(tokens[4].int_value, 7);
+}
+
+TEST(LexerTest, OperatorsIncludingMultiChar) {
+  auto tokens = lex_ok("== != <= >= => = < > ! + - * / %");
+  const TokKind expected[] = {
+      TokKind::kEq,    TokKind::kNe,    TokKind::kLe,      TokKind::kGe,
+      TokKind::kArrow, TokKind::kAssign, TokKind::kLt,     TokKind::kGt,
+      TokKind::kBang,  TokKind::kPlus,  TokKind::kMinus,   TokKind::kStar,
+      TokKind::kSlash, TokKind::kPercent, TokKind::kEof};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto tokens = lex_ok("VAR /* block \n comment */ x // line comment\n = 1;");
+  EXPECT_EQ(tokens[0].kind, TokKind::kVar);
+  EXPECT_EQ(tokens[1].text, "x");
+  EXPECT_EQ(tokens[2].kind, TokKind::kAssign);
+  EXPECT_EQ(tokens[3].int_value, 1);
+}
+
+TEST(LexerTest, TracksLineAndColumn) {
+  auto tokens = lex_ok("VAR\n  x");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  DiagSink diags;
+  auto tokens = lex("VAR @ x", diags);
+  EXPECT_FALSE(diags.ok());
+  EXPECT_EQ(tokens[1].kind, TokKind::kError);
+}
+
+TEST(LexerTest, UnterminatedBlockCommentIsError) {
+  DiagSink diags;
+  lex("VAR x /* never closed", diags);
+  EXPECT_FALSE(diags.ok());
+  EXPECT_NE(diags.str().find("unterminated"), std::string::npos);
+}
+
+TEST(LexerTest, IntegerOverflowIsError) {
+  DiagSink diags;
+  lex("99999999999999999999999999", diags);
+  EXPECT_FALSE(diags.ok());
+  EXPECT_NE(diags.str().find("overflow"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace progmp::lang

@@ -1,0 +1,147 @@
+#include "lang/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp::lang {
+namespace {
+
+Program parse_ok(std::string_view src) {
+  DiagSink diags;
+  Program p = parse(src, "t", diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  return p;
+}
+
+std::string parse_err(std::string_view src) {
+  DiagSink diags;
+  parse(src, "t", diags);
+  EXPECT_FALSE(diags.ok());
+  return diags.str();
+}
+
+TEST(ParserTest, MinRttExcerptFromPaper) {
+  // Fig 3 of the paper, verbatim shape.
+  Program p = parse_ok(
+      "IF (!Q.EMPTY AND !SUBFLOWS.EMPTY) {"
+      "  SUBFLOWS.MIN(sbf => sbf.RTT).PUSH(Q.POP()); }");
+  ASSERT_EQ(p.top.size(), 1u);
+  const Stmt& s = p.stmt(p.top[0]);
+  EXPECT_EQ(s.kind, StmtKind::kIf);
+  ASSERT_EQ(s.body.size(), 1u);
+  const Stmt& push_stmt = p.stmt(s.body[0]);
+  EXPECT_EQ(push_stmt.kind, StmtKind::kExprStmt);
+  EXPECT_EQ(p.expr(push_stmt.expr).kind, ExprKind::kPush);
+}
+
+TEST(ParserTest, VarDecl) {
+  Program p = parse_ok("VAR x = 1 + 2 * 3;");
+  const Stmt& s = p.stmt(p.top[0]);
+  EXPECT_EQ(s.kind, StmtKind::kVarDecl);
+  EXPECT_EQ(s.name, "x");
+  const Expr& add = p.expr(s.expr);
+  EXPECT_EQ(add.kind, ExprKind::kBinary);
+  EXPECT_EQ(add.bin_op, BinOp::kAdd);
+  // Precedence: RHS of + is the multiplication.
+  EXPECT_EQ(p.expr(add.b).bin_op, BinOp::kMul);
+}
+
+TEST(ParserTest, RegistersAndSet) {
+  Program p = parse_ok("SET(R3, R1 + 1);");
+  const Stmt& s = p.stmt(p.top[0]);
+  EXPECT_EQ(s.kind, StmtKind::kSet);
+  EXPECT_EQ(s.int_value, 2);  // R3 -> index 2
+  const Expr& add = p.expr(s.expr);
+  EXPECT_EQ(p.expr(add.a).kind, ExprKind::kRegister);
+  EXPECT_EQ(p.expr(add.a).int_value, 0);  // R1
+}
+
+TEST(ParserTest, ForeachAndFilterLambda) {
+  Program p = parse_ok(
+      "FOREACH (VAR s IN SUBFLOWS.FILTER(x => !x.IS_BACKUP)) {"
+      "  s.PUSH(Q.TOP); }");
+  const Stmt& s = p.stmt(p.top[0]);
+  EXPECT_EQ(s.kind, StmtKind::kForeach);
+  EXPECT_EQ(s.name, "s");
+  const Expr& filter = p.expr(s.expr);
+  EXPECT_EQ(filter.kind, ExprKind::kFilter);
+  EXPECT_EQ(filter.name, "x");
+}
+
+TEST(ParserTest, ChainedMembersAndQueues) {
+  Program p = parse_ok("VAR skb = QU.FILTER(p => !p.SENT_ON(sbf)).TOP;");
+  const Expr& top = p.expr(p.stmt(p.top[0]).expr);
+  EXPECT_EQ(top.kind, ExprKind::kTop);
+  EXPECT_EQ(p.expr(top.a).kind, ExprKind::kFilter);
+}
+
+TEST(ParserTest, MinMaxSumGetPop) {
+  Program p = parse_ok(
+      "VAR a = SUBFLOWS.MIN(s => s.RTT);"
+      "VAR b = SUBFLOWS.MAX(s => s.RTT);"
+      "VAR c = SUBFLOWS.SUM(s => s.CWND);"
+      "VAR d = SUBFLOWS.GET(2);"
+      "VAR e = Q.POP();");
+  EXPECT_EQ(p.expr(p.stmt(p.top[0]).expr).kind, ExprKind::kMinBy);
+  EXPECT_EQ(p.expr(p.stmt(p.top[1]).expr).kind, ExprKind::kMaxBy);
+  EXPECT_EQ(p.expr(p.stmt(p.top[2]).expr).kind, ExprKind::kSumBy);
+  EXPECT_EQ(p.expr(p.stmt(p.top[3]).expr).kind, ExprKind::kGet);
+  EXPECT_EQ(p.expr(p.stmt(p.top[4]).expr).kind, ExprKind::kPop);
+}
+
+TEST(ParserTest, ElseIfChains) {
+  Program p = parse_ok(
+      "IF (R1 == 1) { RETURN; } ELSE IF (R1 == 2) { RETURN; } "
+      "ELSE { RETURN; }");
+  const Stmt& outer = p.stmt(p.top[0]);
+  ASSERT_EQ(outer.else_body.size(), 1u);
+  const Stmt& inner = p.stmt(outer.else_body[0]);
+  EXPECT_EQ(inner.kind, StmtKind::kIf);
+  EXPECT_EQ(inner.else_body.size(), 1u);
+}
+
+TEST(ParserTest, DropPrintReturn) {
+  Program p = parse_ok("DROP(Q.POP()); PRINT(R1); RETURN;");
+  EXPECT_EQ(p.stmt(p.top[0]).kind, StmtKind::kDrop);
+  EXPECT_EQ(p.stmt(p.top[1]).kind, StmtKind::kPrint);
+  EXPECT_EQ(p.stmt(p.top[2]).kind, StmtKind::kReturn);
+}
+
+TEST(ParserTest, HasWindowFor) {
+  Program p = parse_ok("IF (SUBFLOWS.GET(0).HAS_WINDOW_FOR(Q.TOP)) { RETURN; }");
+  const Expr& cond = p.expr(p.stmt(p.top[0]).expr);
+  EXPECT_EQ(cond.kind, ExprKind::kHasWindowFor);
+}
+
+TEST(ParserTest, NullAndBooleans) {
+  Program p = parse_ok("VAR x = TRUE; IF (Q.TOP != NULL) { RETURN; }");
+  EXPECT_EQ(p.expr(p.stmt(p.top[0]).expr).kind, ExprKind::kBoolLit);
+}
+
+TEST(ParserTest, ErrorOnMissingSemicolon) {
+  const std::string err = parse_err("VAR x = 1");
+  EXPECT_NE(err.find("expected ';'"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnBadSetTarget) {
+  const std::string err = parse_err("SET(foo, 1);");
+  EXPECT_NE(err.find("register"), std::string::npos);
+}
+
+TEST(ParserTest, ErrorOnDanglingDot) {
+  parse_err("VAR x = Q.;");
+}
+
+TEST(ParserTest, ErrorOnUnclosedBlock) {
+  const std::string err = parse_err("IF (TRUE) { RETURN;");
+  EXPECT_NE(err.find("'}'"), std::string::npos);
+}
+
+TEST(ParserTest, CommentsInsideSpecs) {
+  Program p = parse_ok(
+      "/* leading */ VAR x = 1; // trailing\n"
+      "IF (x == 1) { /* nested */ RETURN; }");
+  EXPECT_EQ(p.top.size(), 2u);
+}
+
+}  // namespace
+}  // namespace progmp::lang

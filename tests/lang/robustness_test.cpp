@@ -1,0 +1,114 @@
+// Front-end robustness: random garbage, truncations and mutations of valid
+// specifications must produce diagnostics — never crashes, hangs or
+// silently-accepted nonsense.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/rng.hpp"
+#include "lang/analyzer.hpp"
+#include "lang/parser.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::lang {
+namespace {
+
+/// Runs the full front end; the only requirement is termination without
+/// UB — diags may or may not be ok.
+void front_end(const std::string& source) {
+  DiagSink diags;
+  Program p = parse(source, "fuzz", diags);
+  if (diags.ok()) {
+    analyze(p, diags);
+  }
+}
+
+TEST(RobustnessTest, RandomBytes) {
+  Rng rng(2024);
+  for (int round = 0; round < 200; ++round) {
+    std::string source;
+    const auto length = rng.next_range(0, 200);
+    for (std::int64_t i = 0; i < length; ++i) {
+      source += static_cast<char>(rng.next_range(1, 126));
+    }
+    front_end(source);
+  }
+}
+
+TEST(RobustnessTest, RandomTokens) {
+  static const char* tokens[] = {
+      "VAR",   "IF",    "ELSE",  "FOREACH", "IN",   "SET",   "DROP",
+      "PRINT", "RETURN", "AND",  "OR",      "NOT",  "NULL",  "TRUE",
+      "FALSE", "Q",     "QU",    "RQ",      "SUBFLOWS", "R1", "R9",
+      "(",     ")",     "{",     "}",       ";",    ",",     ".",
+      "=>",    "=",     "==",    "!=",      "<",    ">",     "+",
+      "-",     "*",     "/",     "%",       "x",    "sbf",   "RTT",
+      "FILTER", "MIN",  "MAX",   "SUM",     "TOP",  "POP",   "PUSH",
+      "COUNT", "EMPTY", "GET",   "42",      "0",    "HAS_WINDOW_FOR",
+  };
+  Rng rng(7);
+  for (int round = 0; round < 500; ++round) {
+    std::string source;
+    const auto length = rng.next_range(1, 60);
+    for (std::int64_t i = 0; i < length; ++i) {
+      source += tokens[rng.next_below(std::size(tokens))];
+      source += ' ';
+    }
+    front_end(source);
+  }
+}
+
+TEST(RobustnessTest, TruncatedBuiltinSpecs) {
+  for (const auto& spec : sched::specs::all_specs()) {
+    const std::string source{spec.source};
+    for (std::size_t cut = 0; cut < source.size();
+         cut += std::max<std::size_t>(1, source.size() / 40)) {
+      front_end(source.substr(0, cut));
+    }
+  }
+}
+
+TEST(RobustnessTest, MutatedBuiltinSpecs) {
+  Rng rng(99);
+  for (const auto& spec : sched::specs::all_specs()) {
+    for (int round = 0; round < 20; ++round) {
+      std::string source{spec.source};
+      const auto mutations = rng.next_range(1, 5);
+      for (std::int64_t m = 0; m < mutations; ++m) {
+        const auto pos = rng.next_below(source.size());
+        source[pos] = static_cast<char>(rng.next_range(32, 126));
+      }
+      front_end(source);
+    }
+  }
+}
+
+TEST(RobustnessTest, DeeplyNestedExpressionsTerminate) {
+  // Parenthesis towers exercise recursive descent; must not smash the
+  // stack at reasonable depths and must parse correctly.
+  std::string source = "SET(R1, ";
+  for (int i = 0; i < 200; ++i) source += "(";
+  source += "1";
+  for (int i = 0; i < 200; ++i) source += ")";
+  source += ");";
+  DiagSink diags;
+  Program p = parse(source, "deep", diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  EXPECT_TRUE(analyze(p, diags));
+}
+
+TEST(RobustnessTest, LongChainsTerminate) {
+  std::string source = "SET(R1, SUBFLOWS";
+  for (int i = 0; i < 100; ++i) {
+    source += ".FILTER(p" + std::to_string(i) + " => !p" +
+              std::to_string(i) + ".IS_BACKUP)";
+  }
+  source += ".COUNT);";
+  DiagSink diags;
+  Program p = parse(source, "chain", diags);
+  EXPECT_TRUE(diags.ok()) << diags.str();
+  EXPECT_TRUE(analyze(p, diags));
+}
+
+}  // namespace
+}  // namespace progmp::lang

@@ -1,0 +1,204 @@
+// End-to-end connection behaviour: transfers, queue discipline, loss
+// recovery, path management.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/scenarios.hpp"
+#include "mptcp/connection.hpp"
+#include "sched/native.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::mptcp {
+namespace {
+
+using apps::lossy_config;
+using apps::mobile_config;
+
+std::unique_ptr<Scheduler> builtin(const std::string& name) {
+  const auto spec = sched::specs::find_spec(name);
+  EXPECT_TRUE(spec.has_value());
+  return test::must_load(spec->source, rt::Backend::kEbpf, name);
+}
+
+TEST(ConnectionTest, SimpleTransferDeliversEverythingInOrder) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(1));
+  conn.set_scheduler(builtin("minrtt"));
+  std::uint64_t expected_meta = 0;
+  bool in_order = true;
+  conn.set_on_deliver([&](std::uint64_t meta, std::int32_t, TimeNs) {
+    in_order &= meta == expected_meta;
+    ++expected_meta;
+  });
+  conn.write(200 * 1400);
+  sim.run_until(seconds(30));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(conn.q_len(), 0u);
+  EXPECT_EQ(conn.qu_len(), 0u);
+}
+
+TEST(ConnectionTest, MinRttUsesBothSubflowsUnderLoad) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(2));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(2000 * 1400);
+  sim.run_until(seconds(60));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_GT(conn.subflow(0).stats().segments_sent, 100);
+  EXPECT_GT(conn.subflow(1).stats().segments_sent, 100);
+}
+
+TEST(ConnectionTest, TransferSurvivesHeavyLoss) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.05), Rng(3));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(500 * 1400);
+  sim.run_until(seconds(120));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  const auto& s0 = conn.subflow(0).stats();
+  const auto& s1 = conn.subflow(1).stats();
+  EXPECT_GT(s0.segments_retransmitted + s1.segments_retransmitted, 0);
+}
+
+TEST(ConnectionTest, RedundantSchedulerDuplicatesTraffic) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(4));
+  conn.set_scheduler(builtin("redundant"));
+  conn.write(100 * 1400);
+  sim.run_until(seconds(30));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  // Wire bytes are roughly double the payload: every packet on both
+  // subflows (modulo copies cancelled by early data ACKs).
+  EXPECT_GT(conn.wire_bytes_sent(), conn.written_bytes() * 3 / 2);
+  EXPECT_GT(conn.receiver().duplicate_segments(), 50);
+}
+
+TEST(ConnectionTest, DataAckRemovesPacketFromAllQueues) {
+  // With the redundant scheduler, a packet ACKed through one subflow must
+  // vanish from the other subflow's not-yet-sent queue as well (§3.1).
+  sim::Simulator sim;
+  // Extremely asymmetric paths: the slow subflow cannot keep up, so its
+  // queue holds copies long enough for data ACKs to purge them.
+  MptcpConnection::Config cfg;
+  apps::PathSpec fast;
+  fast.rate_mbps = 100;
+  fast.one_way_delay = milliseconds(1);
+  apps::PathSpec slow;
+  slow.rate_mbps = 1;
+  slow.one_way_delay = milliseconds(200);
+  cfg.subflows.push_back(apps::make_subflow("fast", fast));
+  cfg.subflows.push_back(apps::make_subflow("slow", slow));
+  MptcpConnection conn(sim, cfg, Rng(5));
+  conn.set_scheduler(builtin("redundant"));
+  conn.write(300 * 1400);
+  sim.run_until(seconds(60));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  // The slow subflow must NOT have transmitted everything: most copies were
+  // purged by data-level ACKs before it got to them.
+  EXPECT_LT(conn.subflow(1).stats().segments_sent, 250);
+}
+
+TEST(ConnectionTest, BackupSubflowUnusedWhileNonBackupExists) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, mobile_config(/*lte_backup_flag=*/true), Rng(6));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(500 * 1400);
+  sim.run_until(seconds(30));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow(1).stats().segments_sent, 0);  // LTE backup idle
+}
+
+TEST(ConnectionTest, SubflowCloseReinjectsAndCompletes) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(7));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(1000 * 1400);
+  sim.schedule_at(milliseconds(300), [&] { conn.close_subflow(0); });
+  sim.run_until(seconds(120));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_FALSE(conn.subflow(0).established());
+}
+
+TEST(ConnectionTest, AddSubflowMidTransferGetsUsed) {
+  sim::Simulator sim;
+  MptcpConnection::Config cfg = lossy_config(0.0, /*subflows=*/1);
+  MptcpConnection conn(sim, cfg, Rng(8));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(2000 * 1400);
+  sim.schedule_at(milliseconds(200), [&] {
+    apps::PathSpec path;
+    path.rate_mbps = 20;
+    path.one_way_delay = milliseconds(10);
+    conn.add_subflow(apps::make_subflow("late", path));
+  });
+  sim.run_until(seconds(60));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow_count(), 2);
+  EXPECT_GT(conn.subflow(1).stats().segments_sent, 0);
+}
+
+TEST(ConnectionTest, ReceiveWindowLimitsSender) {
+  sim::Simulator sim;
+  MptcpConnection::Config cfg = lossy_config(0.0);
+  cfg.receiver.recv_buf_bytes = 20 * 1400;
+  cfg.receiver.app_read_bytes_per_sec = 100'000;  // slow reader
+  MptcpConnection conn(sim, cfg, Rng(9));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(500 * 1400);
+  sim.run_until(seconds(2));
+  // Delivered throughput is pinned near the application read rate, far
+  // below the paths' capacity (which would finish the whole 700 kB in
+  // well under a second).
+  EXPECT_LT(conn.delivered_bytes(), 400'000);
+  sim.run_until(seconds(20));
+  EXPECT_GT(conn.delivered_bytes(), 600'000);
+  EXPECT_LT(conn.delivered_bytes(), 2'200'000);
+}
+
+TEST(ConnectionTest, RegistersReachSchedulers) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(10));
+  conn.set_scheduler(test::must_load("SET(R2, R1 + 1);",
+                                     rt::Backend::kEbpf, "echo"));
+  conn.set_register(0, 41);
+  EXPECT_EQ(conn.get_register(1), 42);
+}
+
+TEST(ConnectionTest, SchedulerStatsAccumulate) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(11));
+  conn.set_scheduler(builtin("minrtt"));
+  conn.write(50 * 1400);
+  sim.run_until(seconds(10));
+  const SchedulerStats& stats = conn.scheduler_stats();
+  EXPECT_GT(stats.executions, 0);
+  EXPECT_EQ(stats.pushes, 50);
+  EXPECT_EQ(stats.pops, 50);
+}
+
+TEST(ConnectionDeathTest, WriteWithoutSchedulerAborts) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, lossy_config(0.0), Rng(12));
+  EXPECT_DEATH(conn.write(1400), "scheduler");
+}
+
+TEST(ConnectionTest, NativeAndDslMinRttBehaveAlike) {
+  auto run = [&](std::unique_ptr<Scheduler> scheduler) {
+    sim::Simulator sim;
+    MptcpConnection conn(sim, mobile_config(false), Rng(13));
+    conn.set_scheduler(std::move(scheduler));
+    conn.write(400 * 1400);
+    sim.run_until(seconds(30));
+    return std::pair{conn.subflow(0).stats().segments_sent,
+                     conn.subflow(1).stats().segments_sent};
+  };
+  const auto native = run(sched::make_native_minrtt());
+  const auto dsl = run(builtin("minrtt"));
+  // Identical environments and semantics: identical split.
+  EXPECT_EQ(native.first, dsl.first);
+  EXPECT_EQ(native.second, dsl.second);
+}
+
+}  // namespace
+}  // namespace progmp::mptcp

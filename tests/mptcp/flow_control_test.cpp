@@ -1,0 +1,137 @@
+// Flow-control and pacing mechanics: receive-window right-edge semantics,
+// congestion window validation for application-limited flows, and the
+// rate-scaled TSQ budget.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "mptcp/connection.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::mptcp {
+namespace {
+
+std::unique_ptr<Scheduler> minrtt() {
+  return test::must_load(sched::specs::kMinRtt, rt::Backend::kEbpf, "minrtt");
+}
+
+TEST(FlowControlTest, GapFillIsNotWindowLimited) {
+  // A striped transfer with a tiny receive buffer and a deliberately lost
+  // packet: the retransmission of the gap packet lies below the right edge
+  // and must always be transmittable, so the transfer completes instead of
+  // deadlocking on a self-inflicted zero window.
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(0.0);
+  cfg.receiver.recv_buf_bytes = 24 * 1400;
+  MptcpConnection conn(sim, cfg, Rng(1));
+  conn.set_scheduler(minrtt());
+  conn.path(0).forward.set_loss_fn([](std::int64_t i) { return i == 4; });
+  conn.write(200 * 1400);
+  sim.run_until(seconds(60));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+}
+
+TEST(FlowControlTest, WindowUpdatesReviveZeroWindowSender) {
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(0.0);
+  cfg.receiver.recv_buf_bytes = 10 * 1400;
+  cfg.receiver.app_read_bytes_per_sec = 100'000;
+  MptcpConnection conn(sim, cfg, Rng(2));
+  conn.set_scheduler(minrtt());
+  conn.write(400 * 1400);
+  sim.run_until(seconds(1));
+  const std::int64_t early = conn.delivered_bytes();
+  EXPECT_LT(early, 400 * 1400);  // window-limited at the 100 kB/s reader
+  sim.run_until(seconds(3));
+  // Still progressing thanks to window updates (not wedged).
+  EXPECT_GT(conn.delivered_bytes(), early + 100'000);
+}
+
+TEST(FlowControlTest, CwndFrozenWhileApplicationLimited) {
+  // A thin flow far below path capacity: congestion-window validation must
+  // keep cwnd near its initial value instead of inflating it without bound.
+  sim::Simulator sim;
+  MptcpConnection conn(sim, apps::lossy_config(0.0, 1, 100), Rng(3));
+  conn.set_scheduler(minrtt());
+  // One small packet every 20 ms for 4 seconds: never cwnd-limited.
+  std::function<void()> tick = [&] {
+    conn.write(1400);
+    if (sim.now() < seconds(4)) sim.schedule_after(milliseconds(20), tick);
+  };
+  tick();
+  sim.run_until(seconds(5));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_LE(conn.subflow(0).cc().cwnd(), 12);  // stayed near IW = 10
+}
+
+TEST(FlowControlTest, CwndGrowsWhenCwndLimited) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, apps::lossy_config(0.0, 1, 100), Rng(4));
+  conn.set_scheduler(minrtt());
+  conn.write(2000 * 1400);  // bulk: persistently cwnd-limited
+  sim.run_until(seconds(5));
+  EXPECT_GT(conn.subflow(0).cc().cwnd(), 30);
+}
+
+TEST(FlowControlTest, TsqBudgetScalesWithEstimatedRate) {
+  // A fast subflow's TSQ budget (pacing-scaled) admits a large burst into
+  // the qdisc; a slow subflow throttles at the 16 KiB floor.
+  sim::Simulator sim;
+  MptcpConnection::Config cfg;
+  apps::PathSpec fast;
+  fast.rate_mbps = 400;
+  fast.one_way_delay = milliseconds(5);
+  fast.queue_kb = 4096;  // deep buffer: cwnd can reach the BDP
+  cfg.subflows.push_back(apps::make_subflow("fast", fast));
+  MptcpConnection conn(sim, cfg, Rng(5));
+  conn.set_scheduler(minrtt());
+  apps::BulkSource::Options opts;
+  opts.total_bytes = 1LL << 40;  // effectively unbounded: steady state
+  apps::BulkSource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(4));
+  // With cwnd grown large on the 400 Mbit path, the pacing-scaled budget
+  // exceeds the 16 KiB floor: more than 11 packets can sit unserialized.
+  // Indirectly observable: the transfer saturates the fast path.
+  const double goodput =
+      static_cast<double>(conn.delivered_bytes()) / sim.now().sec();
+  EXPECT_GT(goodput, 30e6);  // > 30 MB/s of the 50 MB/s line rate
+}
+
+TEST(FlowControlTest, SlowLinkThrottlesAtFloor) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, apps::lossy_config(0.0, 1, 1 /*Mbit*/), Rng(6));
+  conn.set_scheduler(minrtt());
+  conn.write(300 * 1400);
+  bool throttled = false;
+  for (int i = 0; i < 400 && !throttled; ++i) {
+    sim.run_until(sim.now() + milliseconds(5));
+    throttled = conn.subflow(0).info(sim.now()).tsq_throttled;
+  }
+  EXPECT_TRUE(throttled);
+  sim.run_until(seconds(600));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+}
+
+TEST(FlowControlTest, HasWindowForReflectsFreeWindow) {
+  // With a saturated small window, HAS_WINDOW_FOR turns false and the
+  // opportunistic_retransmit scheduler switches to mirroring the flight.
+  sim::Simulator sim;
+  auto cfg = apps::heterogeneous_config(6.0);
+  cfg.receiver.recv_buf_bytes = 16 * 1400;
+  cfg.receiver.app_read_bytes_per_sec = 500'000;
+  MptcpConnection conn(sim, cfg, Rng(7));
+  conn.set_scheduler(
+      test::must_load(sched::specs::kOpportunisticRetransmit,
+                      rt::Backend::kEbpf, "opp_rtx"));
+  conn.write(300 * 1400);
+  sim.run_until(seconds(30));
+  // The transfer completes and the scheduler produced window-blocked
+  // retransmissions (visible as meta-level duplicates at the receiver).
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_GT(conn.receiver().duplicate_segments(), 0);
+}
+
+}  // namespace
+}  // namespace progmp::mptcp

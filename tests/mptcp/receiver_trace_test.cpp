@@ -1,0 +1,157 @@
+// packetdrill-style receiver trace tests (§4.2).
+//
+// Each trace scripts per-subflow arrival patterns — losses, reordering,
+// redundant copies — and asserts exactly *when* data becomes deliverable
+// under the mainline multilayer receiver vs the paper's optimized receiver.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mptcp/receiver.hpp"
+
+namespace progmp::mptcp {
+namespace {
+
+struct TraceEvent {
+  TimeNs at;
+  DataSegment segment;
+};
+
+struct TraceResult {
+  std::vector<Receiver::Delivery> deliveries;
+  std::uint64_t final_meta_ack;
+};
+
+TraceResult run_trace(ReceiverModel model,
+                      const std::vector<TraceEvent>& events) {
+  sim::Simulator sim;
+  Receiver::Config cfg;
+  cfg.model = model;
+  Receiver rx(sim, cfg);
+  for (const TraceEvent& event : events) {
+    sim.schedule_at(event.at, [&rx, seg = event.segment] { rx.on_data(seg); });
+  }
+  sim.run_all();
+  return {rx.deliveries(), rx.meta_expected()};
+}
+
+DataSegment seg(int sbf, std::uint64_t sbf_seq, std::uint64_t meta_seq) {
+  return DataSegment{sbf, sbf_seq, meta_seq, 1400};
+}
+
+// The paper's core observation: "for certain packet loss and out-of-order
+// patterns between subflows, in-order data is not pushed to the
+// application". Subflow 1 loses its first segment; its second segment
+// carries the very next meta sequence. The multilayer receiver sits on it
+// until the subflow retransmission arrives; the optimized receiver delivers
+// immediately.
+TEST(ReceiverTraceTest, LossOnOneSubflowDelaysForeignMetaData) {
+  const std::vector<TraceEvent> trace = {
+      {milliseconds(0), seg(0, 0, 0)},
+      // sbf 1 seq 0 (meta 3) is lost in flight; seq 1 (meta 1) arrives.
+      {milliseconds(5), seg(1, 1, 1)},
+      {milliseconds(6), seg(0, 1, 2)},
+      // retransmission of the lost segment arrives much later.
+      {milliseconds(50), seg(1, 0, 3)},
+  };
+
+  const TraceResult multilayer =
+      run_trace(ReceiverModel::kMultiLayer, trace);
+  const TraceResult optimized = run_trace(ReceiverModel::kOptimized, trace);
+
+  // Both end fully delivered.
+  EXPECT_EQ(multilayer.final_meta_ack, 4u);
+  EXPECT_EQ(optimized.final_meta_ack, 4u);
+
+  auto delivery_time = [](const TraceResult& r, std::uint64_t meta) {
+    for (const auto& d : r.deliveries) {
+      if (d.meta_seq == meta) return d.at;
+    }
+    return TimeNs{-1};
+  };
+  // meta 1 and meta 2 are deliverable at 5/6 ms; the multilayer receiver
+  // withholds them until the subflow-1 retransmission at 50 ms.
+  EXPECT_EQ(delivery_time(optimized, 1), milliseconds(5));
+  EXPECT_EQ(delivery_time(optimized, 2), milliseconds(6));
+  EXPECT_EQ(delivery_time(multilayer, 1), milliseconds(50));
+  EXPECT_EQ(delivery_time(multilayer, 2), milliseconds(50));
+}
+
+TEST(ReceiverTraceTest, ReorderingWithinOneSubflow) {
+  // Segments of one subflow arrive swapped; both receivers must deliver at
+  // the moment the gap closes, in meta order.
+  const std::vector<TraceEvent> trace = {
+      {milliseconds(1), seg(0, 1, 1)},
+      {milliseconds(3), seg(0, 0, 0)},
+  };
+  for (ReceiverModel model :
+       {ReceiverModel::kMultiLayer, ReceiverModel::kOptimized}) {
+    const TraceResult result = run_trace(model, trace);
+    ASSERT_EQ(result.deliveries.size(), 2u);
+    EXPECT_EQ(result.deliveries[0].meta_seq, 0u);
+    EXPECT_EQ(result.deliveries[0].at, milliseconds(3));
+    EXPECT_EQ(result.deliveries[1].meta_seq, 1u);
+    EXPECT_EQ(result.deliveries[1].at, milliseconds(3));
+  }
+}
+
+TEST(ReceiverTraceTest, RedundantCopiesFirstOneWins) {
+  // The same meta data arrives on both subflows (redundant scheduler); the
+  // first copy is delivered, the second is a counted duplicate, and
+  // delivery time equals the *earlier* arrival on either model.
+  const std::vector<TraceEvent> trace = {
+      {milliseconds(2), seg(0, 0, 0)},
+      {milliseconds(7), seg(1, 0, 0)},
+      {milliseconds(8), seg(1, 1, 1)},
+      {milliseconds(9), seg(0, 1, 1)},
+  };
+  for (ReceiverModel model :
+       {ReceiverModel::kMultiLayer, ReceiverModel::kOptimized}) {
+    const TraceResult result = run_trace(model, trace);
+    ASSERT_EQ(result.deliveries.size(), 2u);
+    EXPECT_EQ(result.deliveries[0].at, milliseconds(2));
+    EXPECT_EQ(result.deliveries[1].at, milliseconds(8));
+  }
+}
+
+TEST(ReceiverTraceTest, InterleavedLossBothSubflows) {
+  // Both subflows lose their first segment; nothing is deliverable until
+  // retransmissions close the meta gap from the front.
+  const std::vector<TraceEvent> trace = {
+      {milliseconds(1), seg(0, 1, 2)},
+      {milliseconds(2), seg(1, 1, 3)},
+      {milliseconds(20), seg(0, 0, 0)},  // retransmit
+      {milliseconds(30), seg(1, 0, 1)},  // retransmit
+  };
+  const TraceResult optimized = run_trace(ReceiverModel::kOptimized, trace);
+  ASSERT_EQ(optimized.deliveries.size(), 4u);
+  // meta 0 at 20 ms; meta 1..3 all drain at 30 ms.
+  EXPECT_EQ(optimized.deliveries[0].at, milliseconds(20));
+  EXPECT_EQ(optimized.deliveries[1].at, milliseconds(30));
+  EXPECT_EQ(optimized.deliveries[3].meta_seq, 3u);
+
+  const TraceResult multilayer = run_trace(ReceiverModel::kMultiLayer, trace);
+  EXPECT_EQ(multilayer.final_meta_ack, 4u);
+  EXPECT_EQ(multilayer.deliveries.back().at, milliseconds(30));
+}
+
+TEST(ReceiverTraceTest, SingleSubflowBehavesIdenticallyOnBothModels) {
+  // With one subflow the two models must be indistinguishable.
+  std::vector<TraceEvent> trace;
+  const std::uint64_t order[] = {2, 0, 1, 4, 3};
+  TimeNs t = milliseconds(1);
+  for (std::uint64_t seq : order) {
+    trace.push_back({t, seg(0, seq, seq)});
+    t += milliseconds(1);
+  }
+  const TraceResult a = run_trace(ReceiverModel::kMultiLayer, trace);
+  const TraceResult b = run_trace(ReceiverModel::kOptimized, trace);
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size());
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].at, b.deliveries[i].at);
+    EXPECT_EQ(a.deliveries[i].meta_seq, b.deliveries[i].meta_seq);
+  }
+}
+
+}  // namespace
+}  // namespace progmp::mptcp

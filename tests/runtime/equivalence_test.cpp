@@ -1,0 +1,196 @@
+// Cross-backend equivalence: the interpreter, the compiled IR executor and
+// the eBPF VM must produce *identical observable behaviour* — the same
+// deferred PUSH actions in the same order, the same register file, the same
+// queue mutations — for every built-in scheduler over randomized
+// environments. This is the property that makes the three execution
+// environments interchangeable (§4.1).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../testutil.hpp"
+#include "core/rng.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp {
+namespace {
+
+using test::FakeEnv;
+using test::must_load;
+using mptcp::QueueId;
+using rt::Backend;
+
+/// Builds a randomized but deterministic environment from a seed.
+FakeEnv make_env(std::uint64_t seed) {
+  FakeEnv env;
+  Rng rng(seed);
+  const int num_subflows = static_cast<int>(rng.next_range(0, 4));
+  for (int i = 0; i < num_subflows; ++i) {
+    auto& sbf = env.add_subflow("s" + std::to_string(i),
+                                rng.next_range(1'000, 80'000),
+                                rng.next_range(1, 20), rng.chance(0.3));
+    sbf.skbs_in_flight = rng.next_range(0, 15);
+    sbf.queued = rng.next_range(0, 5);
+    sbf.tsq_throttled = rng.chance(0.2);
+    sbf.lossy = rng.chance(0.2);
+    sbf.preferred = rng.chance(0.7);
+    sbf.delivery_rate_bps = static_cast<double>(rng.next_range(0, 4'000'000));
+    sbf.capacity_bps = static_cast<double>(rng.next_range(0, 8'000'000));
+    sbf.established_at = milliseconds(rng.next_range(0, 100));
+    sbf.last_tx_at = milliseconds(rng.next_range(0, 100));
+  }
+  const auto fill = [&](QueueId q, std::int64_t max_packets) {
+    const std::int64_t n = rng.next_range(0, max_packets);
+    for (std::int64_t i = 0; i < n; ++i) {
+      mptcp::SkbProps props;
+      props.prop1 = rng.next_range(0, 3);
+      props.flow_end = rng.chance(0.1);
+      auto skb = env.add_packet(
+          q, static_cast<std::int32_t>(rng.next_range(100, 1400)), props);
+      // Random sent-on history for QU packets.
+      if (q == QueueId::kQu) {
+        for (int s = 0; s < num_subflows; ++s) {
+          if (rng.chance(0.5)) skb->mark_sent_on(s, env.now);
+        }
+      }
+    }
+  };
+  fill(QueueId::kQ, 6);
+  fill(QueueId::kQu, 8);
+  fill(QueueId::kRq, 3);
+  for (auto& reg : env.registers) reg = rng.next_range(0, 4'000'000);
+  env.now = milliseconds(rng.next_range(100, 10'000));
+  return env;
+}
+
+/// Observable outcome of one scheduler execution.
+struct Outcome {
+  std::string actions;
+  std::vector<std::int64_t> registers;
+  std::vector<std::uint64_t> q, qu, rq;
+  std::int64_t pops;
+  std::int64_t drops;
+  std::vector<std::int64_t> prints;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+Outcome run_backend(std::string_view spec, Backend backend,
+                    std::uint64_t seed) {
+  FakeEnv env = make_env(seed);
+  auto program = must_load(spec, backend);
+  Outcome outcome;
+  program->set_print_fn(
+      [&](std::int64_t v) { outcome.prints.push_back(v); });
+  auto ctx = env.ctx();
+  program->schedule(ctx);
+  outcome.actions = test::action_string(ctx);
+  outcome.registers = env.registers;
+  for (const auto& skb : env.q) outcome.q.push_back(skb->meta_seq);
+  for (const auto& skb : env.qu) outcome.qu.push_back(skb->meta_seq);
+  for (const auto& skb : env.rq) outcome.rq.push_back(skb->meta_seq);
+  outcome.pops = env.stats.pops;
+  outcome.drops = env.stats.drops;
+  return outcome;
+}
+
+class BackendEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+};
+
+TEST_P(BackendEquivalence, AllBackendsAgree) {
+  const auto& [spec_name, seed] = GetParam();
+  const auto spec = sched::specs::find_spec(spec_name);
+  ASSERT_TRUE(spec.has_value());
+
+  const Outcome reference =
+      run_backend(spec->source, Backend::kInterpreter, seed);
+  const Outcome compiled = run_backend(spec->source, Backend::kCompiled, seed);
+  const Outcome ebpf = run_backend(spec->source, Backend::kEbpf, seed);
+
+  EXPECT_EQ(reference.actions, compiled.actions) << "compiled diverges";
+  EXPECT_EQ(reference.actions, ebpf.actions) << "ebpf diverges";
+  EXPECT_EQ(reference.registers, compiled.registers);
+  EXPECT_EQ(reference.registers, ebpf.registers);
+  EXPECT_EQ(reference.q, compiled.q);
+  EXPECT_EQ(reference.q, ebpf.q);
+  EXPECT_EQ(reference.qu, ebpf.qu);
+  EXPECT_EQ(reference.rq, ebpf.rq);
+  EXPECT_EQ(reference.pops, ebpf.pops);
+  EXPECT_EQ(reference.drops, ebpf.drops);
+  EXPECT_EQ(reference.prints, ebpf.prints);
+}
+
+std::vector<std::tuple<std::string, std::uint64_t>> all_cases() {
+  std::vector<std::tuple<std::string, std::uint64_t>> cases;
+  for (const auto& spec : sched::specs::all_specs()) {
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      cases.emplace_back(std::string(spec.name), seed);
+    }
+  }
+  return cases;
+}
+
+std::string case_name(
+    const ::testing::TestParamInfo<std::tuple<std::string, std::uint64_t>>&
+        info) {
+  return std::get<0>(info.param) + "_seed" +
+         std::to_string(std::get<1>(info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, BackendEquivalence,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+// Targeted language-construct equivalence with PRINT-observable results.
+class ConstructEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ConstructEquivalence, AllBackendsAgree) {
+  const char* spec = GetParam();
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Outcome reference = run_backend(spec, Backend::kInterpreter, seed);
+    const Outcome compiled = run_backend(spec, Backend::kCompiled, seed);
+    const Outcome ebpf = run_backend(spec, Backend::kEbpf, seed);
+    EXPECT_EQ(reference, compiled) << "seed " << seed << " spec:\n" << spec;
+    EXPECT_EQ(reference, ebpf) << "seed " << seed << " spec:\n" << spec;
+  }
+}
+
+const char* kConstructSpecs[] = {
+    // Arithmetic with registers, division corner cases.
+    "PRINT(R1 * 2 + R2 / (R3 - R3) - R4 % 7);",
+    // MIN/MAX ties and keys derived from arithmetic.
+    "PRINT(SUBFLOWS.MIN(s => s.RTT % 3).ID);"
+    "PRINT(SUBFLOWS.MAX(s => s.CWND * 2).ID);",
+    // Nested filters and SUM.
+    "PRINT(SUBFLOWS.FILTER(s => !s.IS_BACKUP)"
+    ".FILTER(s => s.CWND > 3).SUM(s => s.CWND + s.QUEUED));",
+    // Queue scans with packet properties.
+    "PRINT(Q.FILTER(p => p.SIZE > 700).COUNT);"
+    "PRINT(QU.SUM(p => p.SIZE));"
+    "IF (RQ.EMPTY) { PRINT(1); } ELSE { PRINT(RQ.TOP.SEQ); }",
+    // FOREACH with nested IF and register accumulation.
+    "FOREACH (VAR s IN SUBFLOWS) {"
+    "  IF (s.CWND > s.SKBS_IN_FLIGHT) { SET(R1, R1 + s.ID); } }"
+    "PRINT(R1);",
+    // GET with dynamic index and null handling.
+    "VAR s = SUBFLOWS.GET(R1 % 5);"
+    "IF (s == NULL) { PRINT(111); } ELSE { PRINT(s.ID); }",
+    // Boolean logic matrix.
+    "IF ((R1 > 10 AND NOT (R2 < 5)) OR R3 == 0) { PRINT(1); } "
+    "ELSE { PRINT(0); }",
+    // Packet flags and SENT_ON across subflows.
+    "FOREACH (VAR s IN SUBFLOWS) {"
+    "  VAR skb = QU.FILTER(p => !p.SENT_ON(s)).TOP;"
+    "  IF (skb != NULL) { PRINT(skb.SEQ); } ELSE { PRINT(-1); } }",
+    // Time access.
+    "PRINT(CURRENT_TIME_MS);",
+    // Deeply nested control flow.
+    "IF (!Q.EMPTY) { IF (!SUBFLOWS.EMPTY) { IF (R1 > 0) {"
+    "  SUBFLOWS.MIN(s => s.RTT + s.RTT_VAR).PUSH(Q.POP()); } } }",
+};
+
+INSTANTIATE_TEST_SUITE_P(Constructs, ConstructEquivalence,
+                         ::testing::ValuesIn(kConstructSpecs));
+
+}  // namespace
+}  // namespace progmp

@@ -1,0 +1,109 @@
+// Loading pipeline of ProgmpProgram: error propagation, backends,
+// introspection, specialization cache.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::rt {
+namespace {
+
+using test::FakeEnv;
+using mptcp::QueueId;
+
+TEST(ProgramTest, LoadRejectsParseError) {
+  DiagSink diags;
+  auto program = ProgmpProgram::load("VAR x = ;", "bad", {}, diags);
+  EXPECT_EQ(program, nullptr);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(ProgramTest, LoadRejectsTypeError) {
+  DiagSink diags;
+  auto program = ProgmpProgram::load("VAR x = Q.TOP + 1;", "bad", {}, diags);
+  EXPECT_EQ(program, nullptr);
+  EXPECT_FALSE(diags.ok());
+}
+
+TEST(ProgramTest, BackendNames) {
+  EXPECT_STREQ(backend_name(Backend::kInterpreter), "interpreter");
+  EXPECT_STREQ(backend_name(Backend::kCompiled), "compiled");
+  EXPECT_STREQ(backend_name(Backend::kEbpf), "ebpf");
+}
+
+TEST(ProgramTest, IntrospectionOnEbpfBackend) {
+  DiagSink diags;
+  ProgmpProgram::LoadOptions options;
+  options.backend = Backend::kEbpf;
+  auto program = ProgmpProgram::load(sched::specs::kRoundRobin, "roundrobin",
+                                     options, diags);
+  ASSERT_NE(program, nullptr) << diags.str();
+  EXPECT_EQ(program->name(), "roundrobin");
+  EXPECT_FALSE(program->disassembly().empty());
+  EXPECT_GT(program->memory_bytes(), 0u);
+  EXPECT_GT(program->spec_lines(), 3);
+  EXPECT_FALSE(program->generic_code().empty());
+}
+
+TEST(ProgramTest, SpecializationCacheGrowsPerSubflowCount) {
+  DiagSink diags;
+  ProgmpProgram::LoadOptions options;
+  options.backend = Backend::kEbpf;
+  auto program = ProgmpProgram::load(sched::specs::kMinRtt, "minrtt", options,
+                                     diags);
+  ASSERT_NE(program, nullptr) << diags.str();
+  EXPECT_EQ(program->specialized_variants(), 0u);
+
+  for (int n : {1, 2, 2, 3}) {
+    FakeEnv env;
+    for (int i = 0; i < n; ++i) env.add_subflow("s" + std::to_string(i), 1000);
+    env.add_packet(QueueId::kQ);
+    auto ctx = env.ctx();
+    program->schedule(ctx);
+  }
+  // Variants for counts 1, 2 and 3 (count 2 reused from cache).
+  EXPECT_EQ(program->specialized_variants(), 3u);
+}
+
+TEST(ProgramTest, SpecializationCanBeDisabled) {
+  DiagSink diags;
+  ProgmpProgram::LoadOptions options;
+  options.backend = Backend::kEbpf;
+  options.specialize_subflow_count = false;
+  auto program = ProgmpProgram::load(sched::specs::kMinRtt, "minrtt", options,
+                                     diags);
+  ASSERT_NE(program, nullptr);
+  FakeEnv env;
+  env.add_subflow("a", 1000);
+  env.add_packet(QueueId::kQ);
+  auto ctx = env.ctx();
+  program->schedule(ctx);
+  EXPECT_EQ(program->specialized_variants(), 0u);
+  EXPECT_EQ(ctx.actions().size(), 1u);
+}
+
+TEST(ProgramTest, AllBuiltinSpecsLoadOnAllBackends) {
+  for (const auto& spec : sched::specs::all_specs()) {
+    for (Backend backend : test::kAllBackends) {
+      DiagSink diags;
+      ProgmpProgram::LoadOptions options;
+      options.backend = backend;
+      auto program = ProgmpProgram::load(spec.source, std::string(spec.name),
+                                         options, diags);
+      EXPECT_NE(program, nullptr)
+          << spec.name << " on " << backend_name(backend) << ": "
+          << diags.str();
+    }
+  }
+}
+
+TEST(ProgramTest, SpecLinesMatchesSource) {
+  DiagSink diags;
+  auto program = ProgmpProgram::load("SET(R1, 1);\nSET(R2, 2);\n", "two",
+                                     {}, diags);
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->spec_lines(), 3);  // two lines + trailing newline
+}
+
+}  // namespace
+}  // namespace progmp::rt

@@ -1,0 +1,126 @@
+// Native reference schedulers against the synthetic environment.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "sched/native.hpp"
+
+namespace progmp::sched {
+namespace {
+
+using mptcp::QueueId;
+using test::FakeEnv;
+
+TEST(NativeMinRttTest, PicksLowestRttAvailable) {
+  FakeEnv env;
+  env.add_subflow("slow", 40'000);
+  env.add_subflow("fast", 10'000);
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_minrtt();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  ASSERT_EQ(ctx.actions().size(), 1u);
+  EXPECT_EQ(ctx.actions()[0].subflow_slot, 1);
+}
+
+TEST(NativeMinRttTest, SkipsThrottledLossyAndCwndFull) {
+  FakeEnv env;
+  auto& fast = env.add_subflow("fast", 5'000);
+  fast.tsq_throttled = true;
+  auto& medium = env.add_subflow("medium", 10'000);
+  medium.skbs_in_flight = medium.cwnd;  // exhausted
+  env.add_subflow("slow", 40'000);
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_minrtt();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  ASSERT_EQ(ctx.actions().size(), 1u);
+  EXPECT_EQ(ctx.actions()[0].subflow_slot, 2);
+}
+
+TEST(NativeMinRttTest, BackupIgnoredWhileNonBackupExists) {
+  FakeEnv env;
+  env.add_subflow("lte", 5'000, 10, /*backup=*/true);
+  auto& wifi = env.add_subflow("wifi", 10'000);
+  wifi.skbs_in_flight = wifi.cwnd;  // even an unavailable non-backup blocks
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_minrtt();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  EXPECT_TRUE(ctx.actions().empty());
+}
+
+TEST(NativeMinRttTest, ServesReinjectionQueueFirst) {
+  FakeEnv env;
+  env.add_subflow("a", 10'000);
+  env.add_subflow("b", 20'000);
+  auto lost = env.add_packet(QueueId::kRq);
+  lost->mark_sent_on(0, env.now);  // was lost on subflow 0
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_minrtt();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  ASSERT_EQ(ctx.actions().size(), 2u);
+  // The reinjection goes to subflow 1 (not the one that lost it).
+  EXPECT_EQ(ctx.actions()[0].subflow_slot, 1);
+  EXPECT_EQ(ctx.actions()[0].skb, lost);
+}
+
+TEST(NativeRoundRobinTest, CyclesThroughSubflows) {
+  FakeEnv env;
+  env.add_subflow("a", 10'000);
+  env.add_subflow("b", 10'000);
+  env.add_subflow("c", 10'000);
+  for (int i = 0; i < 3; ++i) env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_roundrobin();
+  std::vector<int> slots;
+  for (int i = 0; i < 3; ++i) {
+    auto ctx = env.ctx();
+    scheduler->schedule(ctx);
+    ASSERT_EQ(ctx.actions().size(), 1u);
+    slots.push_back(ctx.actions()[0].subflow_slot);
+  }
+  EXPECT_EQ(slots, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(env.registers[0], 3);
+}
+
+TEST(NativeRoundRobinTest, WrapsIndexPastEnd) {
+  FakeEnv env;
+  env.add_subflow("a", 10'000);
+  env.registers[0] = 99;
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_roundrobin();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  ASSERT_EQ(ctx.actions().size(), 1u);
+  EXPECT_EQ(ctx.actions()[0].subflow_slot, 0);
+}
+
+TEST(NativeRedundantTest, EachSubflowGetsACopy) {
+  FakeEnv env;
+  env.add_subflow("a", 10'000);
+  env.add_subflow("b", 20'000);
+  env.add_packet(QueueId::kQ);
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_redundant();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  // Both subflows saw nothing in QU, so each pops one fresh packet.
+  ASSERT_EQ(ctx.actions().size(), 2u);
+  EXPECT_NE(ctx.actions()[0].subflow_slot, ctx.actions()[1].subflow_slot);
+}
+
+TEST(NativeRedundantTest, FillsUnsentInflightFirst) {
+  FakeEnv env;
+  env.add_subflow("a", 10'000);
+  auto inflight = env.add_packet(QueueId::kQu);  // sent on nothing yet
+  env.add_packet(QueueId::kQ);
+  auto scheduler = make_native_redundant();
+  auto ctx = env.ctx();
+  scheduler->schedule(ctx);
+  ASSERT_EQ(ctx.actions().size(), 1u);
+  EXPECT_EQ(ctx.actions()[0].skb, inflight);
+  EXPECT_EQ(env.q.size(), 1u);  // fresh packet untouched
+}
+
+}  // namespace
+}  // namespace progmp::sched

@@ -1,0 +1,51 @@
+// The specification library: every spec parses, types and compiles on every
+// backend; registry lookups work; spec sizes stay in the "few lines" class
+// the paper argues for.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::sched {
+namespace {
+
+TEST(SpecsTest, RegistryIsComplete) {
+  const auto& all = specs::all_specs();
+  EXPECT_GE(all.size(), 13u);
+  for (const auto& spec : all) {
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.source.empty());
+    EXPECT_FALSE(spec.summary.empty());
+  }
+}
+
+TEST(SpecsTest, FindByName) {
+  EXPECT_TRUE(specs::find_spec("minrtt").has_value());
+  EXPECT_TRUE(specs::find_spec("tap").has_value());
+  EXPECT_FALSE(specs::find_spec("does_not_exist").has_value());
+}
+
+TEST(SpecsTest, EverySpecLoadsOnEveryBackend) {
+  for (const auto& spec : specs::all_specs()) {
+    for (rt::Backend backend : test::kAllBackends) {
+      auto program = test::must_load(spec.source, backend,
+                                     std::string(spec.name));
+      EXPECT_NE(program, nullptr) << spec.name;
+    }
+  }
+}
+
+TEST(SpecsTest, SpecsAreFarSmallerThanKernelC) {
+  // The paper: the naive round-robin kernel module is 301 lines of C. Every
+  // specification must stay well under a tenth of that.
+  for (const auto& spec : specs::all_specs()) {
+    auto program =
+        test::must_load(spec.source, rt::Backend::kInterpreter,
+                        std::string(spec.name));
+    ASSERT_NE(program, nullptr);
+    EXPECT_LT(program->spec_lines(), 45) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace progmp::sched

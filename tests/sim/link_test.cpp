@@ -1,0 +1,160 @@
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace progmp::sim {
+namespace {
+
+Link::Config basic_config() {
+  Link::Config cfg;
+  cfg.rate_bps = 8'000'000;  // 1 MB/s
+  cfg.delay = milliseconds(10);
+  cfg.queue_limit_bytes = 10'000;
+  cfg.loss_rate = 0.0;
+  return cfg;
+}
+
+TEST(LinkTest, DeliversAfterSerializationPlusPropagation) {
+  Simulator sim;
+  Link link(sim, basic_config(), Rng(1));
+  TimeNs serialized{0};
+  TimeNs delivered{0};
+  // 1000 bytes at 1 MB/s = 1 ms serialization; +10 ms propagation.
+  ASSERT_TRUE(link.send(
+      1000, [&] { serialized = sim.now(); }, [&] { delivered = sim.now(); }));
+  sim.run_all();
+  EXPECT_EQ(serialized, milliseconds(1));
+  EXPECT_EQ(delivered, milliseconds(11));
+}
+
+TEST(LinkTest, BackToBackPacketsQueueBehindEachOther) {
+  Simulator sim;
+  Link link(sim, basic_config(), Rng(1));
+  TimeNs second_delivery{0};
+  link.send(1000, nullptr, nullptr);
+  link.send(1000, nullptr, [&] { second_delivery = sim.now(); });
+  EXPECT_EQ(link.queued_bytes(), 2000);
+  sim.run_all();
+  // Second packet: 2 ms serialization (behind the first) + 10 ms.
+  EXPECT_EQ(second_delivery, milliseconds(12));
+  EXPECT_EQ(link.queued_bytes(), 0);
+}
+
+TEST(LinkTest, DropTailWhenQueueFull) {
+  Simulator sim;
+  Link::Config cfg = basic_config();
+  cfg.queue_limit_bytes = 2500;
+  Link link(sim, cfg, Rng(1));
+  EXPECT_TRUE(link.send(1000, nullptr, nullptr));
+  EXPECT_TRUE(link.send(1000, nullptr, nullptr));
+  EXPECT_FALSE(link.send(1000, nullptr, nullptr));  // 3000 > 2500
+  EXPECT_EQ(link.stats().drops_queue, 1);
+  sim.run_all();
+  EXPECT_EQ(link.stats().packets_delivered, 2);
+}
+
+TEST(LinkTest, RandomLossDropsApproximatelyAtRate) {
+  Simulator sim;
+  Link::Config cfg = basic_config();
+  cfg.loss_rate = 0.1;
+  cfg.queue_limit_bytes = 1 << 30;
+  Link link(sim, cfg, Rng(7));
+  int delivered = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    link.send(100, nullptr, [&] { ++delivered; });
+  }
+  sim.run_all();
+  EXPECT_GT(delivered, n * 0.85);
+  EXPECT_LT(delivered, n * 0.95);
+  EXPECT_EQ(link.stats().drops_loss + delivered, n);
+}
+
+TEST(LinkTest, DeterministicLossPattern) {
+  Simulator sim;
+  Link link(sim, basic_config(), Rng(1));
+  link.set_loss_fn([](std::int64_t idx) { return idx == 1; });  // drop 2nd
+  int delivered = 0;
+  for (int i = 0; i < 3; ++i) {
+    link.send(100, nullptr, [&] { ++delivered; });
+  }
+  sim.run_all();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(link.stats().drops_loss, 1);
+}
+
+TEST(LinkTest, CurrentQueueDelayTracksBacklog) {
+  Simulator sim;
+  Link link(sim, basic_config(), Rng(1));
+  // Empty link: only the packet's own serialization time.
+  EXPECT_EQ(link.current_queue_delay(1000), milliseconds(1));
+  link.send(4000, nullptr, nullptr);
+  // Behind 4 ms of backlog.
+  EXPECT_EQ(link.current_queue_delay(1000), milliseconds(5));
+}
+
+TEST(LinkTest, LiveReconfiguration) {
+  Simulator sim;
+  Link link(sim, basic_config(), Rng(1));
+  link.set_rate_bps(16'000'000);
+  link.set_delay(milliseconds(1));
+  TimeNs delivered{0};
+  link.send(1000, nullptr, [&] { delivered = sim.now(); });
+  sim.run_all();
+  // 0.5 ms serialization + 1 ms propagation.
+  EXPECT_EQ(delivered, microseconds(1500));
+}
+
+TEST(LinkTest, JitterSpreadsArrivalsButPreservesFifo) {
+  Simulator sim;
+  Link::Config cfg = basic_config();
+  cfg.jitter = milliseconds(8);
+  cfg.queue_limit_bytes = 1 << 24;
+  Link link(sim, cfg, Rng(11));
+  std::vector<TimeNs> arrivals;
+  std::vector<int> order;
+  for (int i = 0; i < 200; ++i) {
+    link.send(100, nullptr, [&, i] {
+      arrivals.push_back(sim.now());
+      order.push_back(i);
+    });
+  }
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 200u);
+  // FIFO: delivery order matches send order, timestamps monotone.
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], arrivals[i - 1]);
+  }
+  // Jitter actually spreads inter-arrival gaps (not all equal to the
+  // serialization time).
+  std::set<std::int64_t> gaps;
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    gaps.insert((arrivals[i] - arrivals[i - 1]).us());
+  }
+  EXPECT_GT(gaps.size(), 10u);
+}
+
+TEST(LinkTest, ZeroJitterIsDeterministicBaseline) {
+  Simulator sim;
+  Link link(sim, basic_config(), Rng(11));
+  TimeNs arrival{0};
+  link.send(1000, nullptr, [&] { arrival = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(arrival, milliseconds(11));  // exactly serialization + delay
+}
+
+TEST(NetPathTest, BaseRttSumsDirections) {
+  Simulator sim;
+  Link::Config fwd = basic_config();
+  Link::Config rev = basic_config();
+  rev.delay = milliseconds(5);
+  NetPath path(sim, fwd, rev, Rng(3));
+  EXPECT_EQ(path.base_rtt(), milliseconds(15));
+}
+
+}  // namespace
+}  // namespace progmp::sim

@@ -1,0 +1,92 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace progmp::sim {
+namespace {
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+}
+
+TEST(SimulatorTest, SameTimeIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  TimeNs fired{0};
+  sim.schedule_at(milliseconds(5), [&] {
+    sim.schedule_after(milliseconds(7), [&] { fired = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, milliseconds(12));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(milliseconds(1), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, CancelUnknownIdIsNoop) {
+  Simulator sim;
+  sim.cancel(12345);  // must not crash or affect later events
+  bool fired = false;
+  sim.schedule_at(milliseconds(1), [&] { fired = true; });
+  sim.run_all();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(milliseconds(10), [&] { ++count; });
+  sim.schedule_at(milliseconds(20), [&] { ++count; });
+  sim.run_until(milliseconds(15));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.now(), milliseconds(15));
+  sim.run_until(milliseconds(25));
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_after(milliseconds(1), recurse);
+  };
+  sim.schedule_after(milliseconds(1), recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), milliseconds(10));
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.schedule_at(milliseconds(10), [] {});
+  sim.run_all();
+  EXPECT_DEATH(sim.schedule_at(milliseconds(5), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace progmp::sim

@@ -1,0 +1,164 @@
+#include "tcp/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace progmp::tcp {
+namespace {
+
+TEST(RenoTest, SlowStartDoublesPerRtt) {
+  RenoCc cc(10);
+  EXPECT_EQ(cc.cwnd(), 10);
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(10, TimeNs{0});  // one full window ACKed
+  EXPECT_EQ(cc.cwnd(), 20);
+}
+
+TEST(RenoTest, LossHalvesWindow) {
+  RenoCc cc(10);
+  cc.on_ack(30, TimeNs{0});  // grow to 40
+  EXPECT_EQ(cc.cwnd(), 40);
+  cc.on_loss();
+  EXPECT_EQ(cc.cwnd(), 20);
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(RenoTest, CongestionAvoidanceGrowsLinearly) {
+  RenoCc cc(10);
+  cc.on_loss();  // cwnd = 5, ssthresh = 5 -> congestion avoidance
+  const std::int64_t start = cc.cwnd();
+  cc.on_ack(start, TimeNs{0});  // one window of ACKs -> +1
+  EXPECT_EQ(cc.cwnd(), start + 1);
+}
+
+TEST(RenoTest, RtoCollapsesToOne) {
+  RenoCc cc(10);
+  cc.on_ack(20, TimeNs{0});
+  cc.on_rto();
+  EXPECT_EQ(cc.cwnd(), 1);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(RenoTest, LossFloorsAtTwo) {
+  RenoCc cc(10);
+  cc.on_rto();  // cwnd = 1
+  cc.on_loss();
+  EXPECT_GE(cc.cwnd(), 2);
+}
+
+TEST(LiaTest, SlowStartMatchesReno) {
+  auto group = std::make_shared<LiaCoupling>();
+  LiaCc cc(group, 10);
+  cc.on_ack(10, TimeNs{0});
+  EXPECT_EQ(cc.cwnd(), 20);
+}
+
+TEST(LiaTest, CoupledIncreaseIsSlowerThanReno) {
+  auto group = std::make_shared<LiaCoupling>();
+  LiaCc a(group, 10);
+  LiaCc b(group, 10);
+  a.set_rtt_hint(milliseconds(10));
+  b.set_rtt_hint(milliseconds(10));
+  a.on_loss();  // leave slow start (cwnd 5)
+  b.on_loss();
+  const std::int64_t before = a.cwnd();
+  // One window of ACKs on subflow a. With two equal coupled subflows, alpha
+  // caps the aggregate increase; a alone must grow by at most 1 segment and
+  // strictly slower than uncoupled Reno would over several windows.
+  for (int w = 0; w < 4; ++w) a.on_ack(a.cwnd(), TimeNs{0});
+  RenoCc reno(10);
+  reno.on_loss();
+  for (int w = 0; w < 4; ++w) reno.on_ack(reno.cwnd(), TimeNs{0});
+  EXPECT_GT(a.cwnd(), before);          // still grows
+  EXPECT_LT(a.cwnd(), reno.cwnd());     // but strictly slower than Reno
+}
+
+TEST(LiaTest, AlphaForSymmetricSubflowsIsModest) {
+  auto group = std::make_shared<LiaCoupling>();
+  LiaCc a(group, 10);
+  LiaCc b(group, 10);
+  a.set_rtt_hint(milliseconds(20));
+  b.set_rtt_hint(milliseconds(20));
+  // RFC 6356, symmetric case: alpha = total * (w/rtt^2) / (2w/rtt)^2
+  //  = 2w * w/rtt^2 / (4w^2/rtt^2) = 1/2.
+  EXPECT_NEAR(group->alpha(), 0.5, 1e-9);
+  EXPECT_EQ(group->cwnd_total(), 20);
+}
+
+TEST(CubicTest, SlowStartMatchesReno) {
+  CubicCc cc(10);
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(10, milliseconds(10));
+  EXPECT_EQ(cc.cwnd(), 20);
+}
+
+TEST(CubicTest, LossReducesByBeta) {
+  CubicCc cc(10);
+  cc.on_ack(90, milliseconds(10));  // grow to 100 in slow start
+  ASSERT_EQ(cc.cwnd(), 100);
+  cc.on_loss();
+  EXPECT_EQ(cc.cwnd(), 70);  // * 0.7, not * 0.5
+  EXPECT_FALSE(cc.in_slow_start());
+}
+
+TEST(CubicTest, ConcaveRecoveryTowardsWmax) {
+  // After a reduction the window climbs back toward W_max within ~K
+  // seconds, decelerating as it approaches (concave region).
+  CubicCc cc(10);
+  cc.set_rtt_hint(milliseconds(50));
+  cc.on_ack(90, milliseconds(10));
+  cc.on_loss();  // W_max = 100, cwnd = 70
+  // Feed ACK clock: 20 ACKs every 50 ms.
+  std::int64_t at_half_k = 0;
+  TimeNs now = milliseconds(100);
+  const double k = std::cbrt(100.0 * 0.3 / 0.4);  // ~4.2 s
+  for (int tick = 0; tick < 200; ++tick) {
+    now += milliseconds(50);
+    cc.on_ack(20, now);
+    if (at_half_k == 0 && now.sec() > k / 2) at_half_k = cc.cwnd();
+  }
+  // 10 seconds in: back at/above W_max (plateau then convex probing).
+  EXPECT_GE(cc.cwnd(), 95);
+  // Halfway through the epoch it was still clearly below W_max.
+  EXPECT_LT(at_half_k, 95);
+  EXPECT_GT(at_half_k, 70);
+}
+
+TEST(CubicTest, TcpFriendlinessFloorsGrowthAtSmallWindows) {
+  // With a tiny window and long epoch, the Reno-emulation term dominates
+  // and guarantees at least Reno-like growth.
+  CubicCc cc(10);
+  cc.set_rtt_hint(milliseconds(20));
+  cc.on_loss();  // cwnd 7, W_max 10
+  const std::int64_t start = cc.cwnd();
+  TimeNs now = milliseconds(0);
+  for (int tick = 0; tick < 100; ++tick) {
+    now += milliseconds(20);
+    cc.on_ack(cc.cwnd(), now);
+  }
+  EXPECT_GT(cc.cwnd(), start + 5);
+}
+
+TEST(CubicTest, RtoCollapsesAndRecovers) {
+  CubicCc cc(10);
+  cc.on_ack(40, milliseconds(5));
+  cc.on_rto();
+  EXPECT_EQ(cc.cwnd(), 1);
+  EXPECT_TRUE(cc.in_slow_start());
+  cc.on_ack(1, milliseconds(300));
+  EXPECT_EQ(cc.cwnd(), 2);
+}
+
+TEST(LiaTest, MembersLeaveOnDestruction) {
+  auto group = std::make_shared<LiaCoupling>();
+  {
+    LiaCc a(group, 10);
+    EXPECT_EQ(group->cwnd_total(), 10);
+  }
+  // After destruction the coupling must not touch the dead member.
+  EXPECT_EQ(group->cwnd_total(), 1);  // max(sum, 1)
+}
+
+}  // namespace
+}  // namespace progmp::tcp

@@ -1,0 +1,59 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace progmp::tcp {
+namespace {
+
+TEST(RttEstimatorTest, InitialRtoIsOneSecond) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_sample());
+  EXPECT_EQ(rtt.rto(), seconds(1));
+}
+
+TEST(RttEstimatorTest, FirstSampleSeedsEverything) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  EXPECT_EQ(rtt.srtt(), milliseconds(100));
+  EXPECT_EQ(rtt.rttvar(), milliseconds(50));
+  EXPECT_EQ(rtt.min_rtt(), milliseconds(100));
+  EXPECT_EQ(rtt.last_rtt(), milliseconds(100));
+  // RTO = SRTT + 4*RTTVAR = 300 ms.
+  EXPECT_EQ(rtt.rto(), milliseconds(300));
+}
+
+TEST(RttEstimatorTest, SmoothingFollowsRfc6298) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  rtt.add_sample(milliseconds(200));
+  // srtt = 7/8*100 + 1/8*200 = 112.5 ms
+  EXPECT_EQ(rtt.srtt().us(), 112'500);
+  // rttvar = 3/4*50 + 1/4*|200-100| = 62.5 ms
+  EXPECT_EQ(rtt.rttvar().us(), 62'500);
+}
+
+TEST(RttEstimatorTest, MinTracksSmallestSample) {
+  RttEstimator rtt;
+  rtt.add_sample(milliseconds(100));
+  rtt.add_sample(milliseconds(40));
+  rtt.add_sample(milliseconds(300));
+  EXPECT_EQ(rtt.min_rtt(), milliseconds(40));
+  EXPECT_EQ(rtt.last_rtt(), milliseconds(300));
+}
+
+TEST(RttEstimatorTest, RtoClampedToMinimum) {
+  RttEstimator rtt;
+  // Tiny, stable RTT: raw RTO would be far below the 200 ms floor.
+  for (int i = 0; i < 20; ++i) rtt.add_sample(microseconds(500));
+  EXPECT_EQ(rtt.rto(), RttEstimator::kMinRto);
+}
+
+TEST(RttEstimatorTest, ConvergesToStableRtt) {
+  RttEstimator rtt;
+  for (int i = 0; i < 100; ++i) rtt.add_sample(milliseconds(30));
+  EXPECT_NEAR(static_cast<double>(rtt.srtt().us()), 30'000.0, 100.0);
+  EXPECT_LT(rtt.rttvar().us(), 1000);
+}
+
+}  // namespace
+}  // namespace progmp::tcp
