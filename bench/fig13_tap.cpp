@@ -6,12 +6,16 @@
 // the leftover fraction when it does not, and rides out WiFi throughput
 // fluctuations — unlike the default scheduler (spills ~30% onto LTE
 // regardless) and the backup mode (starves the 4 MB/s phase).
+// Per-phase LTE shares and the delivered-rate series are reconstructed from
+// the connection's event trace instead of counter snapshots scheduled inside
+// the run.
 #include <cstdio>
 
 #include "apps/scenarios.hpp"
 #include "apps/workloads.hpp"
 #include "bench_util.hpp"
 #include "core/table.hpp"
+#include "core/trace.hpp"
 #include "mptcp/connection.hpp"
 
 namespace progmp::bench {
@@ -28,7 +32,10 @@ struct Result {
 Result run(const std::string& scheduler, bool lte_backup, bool use_target,
            bool wifi_fluctuates) {
   sim::Simulator sim;
-  mptcp::MptcpConnection conn(sim, apps::mobile_config(lte_backup), Rng(21));
+  mptcp::MptcpConnection::Config cfg = apps::mobile_config(lte_backup);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 21;  // hold the full 12 s run
+  mptcp::MptcpConnection conn(sim, cfg, Rng(21));
   conn.set_scheduler(load_builtin(scheduler));
 
   apps::CbrSource::Options opts;
@@ -45,34 +52,24 @@ Result run(const std::string& scheduler, bool lte_backup, bool use_target,
                     [&] { conn.path(0).forward.set_rate_bps(16'000'000); });
   }
 
-  std::int64_t wifi_mark[3] = {};
-  std::int64_t lte_mark[3] = {};
-  int mark = 0;
-  auto snapshot = [&] {
-    wifi_mark[mark] = conn.subflow(0).stats().bytes_sent;
-    lte_mark[mark] = conn.subflow(1).stats().bytes_sent;
-    ++mark;
-  };
-  sim.schedule_at(seconds(1), snapshot);
-  sim.schedule_at(seconds(6), snapshot);
-  sim.schedule_at(seconds(12), snapshot);
-
   source.start();
   sim.run_until(seconds(13));
 
-  auto share = [&](int from, int to) {
-    const double lte = static_cast<double>(lte_mark[to] - lte_mark[from]);
-    const double wifi = static_cast<double>(wifi_mark[to] - wifi_mark[from]);
+  const std::vector<TraceEvent> events = conn.tracer().events();
+  using TT = TraceEventType;
+  auto share = [&](TimeNs from, TimeNs to) {
+    const auto wifi = static_cast<double>(
+        trace_bytes_between(events, {TT::kTx, TT::kRetx}, 0, from, to));
+    const auto lte = static_cast<double>(
+        trace_bytes_between(events, {TT::kTx, TT::kRetx}, 1, from, to));
     return lte + wifi > 0 ? lte / (lte + wifi) : 0.0;
   };
   Result result;
-  result.lte_share_phase1 = share(0, 1);
-  result.lte_share_phase2 = share(1, 2);
-  result.rate_phase1 =
-      source.delivered_series().mean_between(seconds(2), seconds(6));
-  result.rate_phase2 =
-      source.delivered_series().mean_between(seconds(8), seconds(12));
-  result.series = source.delivered_series();
+  result.lte_share_phase1 = share(seconds(1), seconds(6));
+  result.lte_share_phase2 = share(seconds(6), seconds(12));
+  result.series = trace_rate_series(events, {TT::kDeliver}, /*subflow=*/-1);
+  result.rate_phase1 = result.series.mean_between(seconds(2), seconds(6));
+  result.rate_phase2 = result.series.mean_between(seconds(8), seconds(12));
   return result;
 }
 

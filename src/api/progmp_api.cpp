@@ -102,4 +102,32 @@ std::string ProgmpApi::proc_stats(mptcp::MptcpConnection& conn) {
   return out;
 }
 
+std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
+  std::string out = proc_stats(conn);
+  char buf[256];
+  const mptcp::SchedulerStats& st = conn.scheduler_stats();
+  std::snprintf(buf, sizeof buf, "trigger_drops: %lld\nbackend: %s\n",
+                static_cast<long long>(st.trigger_drops),
+                conn.last_exec_backend());
+  out += buf;
+  const Tracer& trace = conn.tracer();
+  std::snprintf(buf, sizeof buf,
+                "trace: %s emitted=%llu overwritten=%llu capacity=%zu\n",
+                trace.enabled() ? "on" : "off",
+                static_cast<unsigned long long>(trace.total_emitted()),
+                static_cast<unsigned long long>(trace.overwritten()),
+                trace.capacity());
+  out += buf;
+  conn.refresh_metrics();
+  out += "-- metrics --\n";
+  out += conn.metrics().proc_dump();
+  return out;
+}
+
+void ProgmpApi::set_trace_sink(mptcp::MptcpConnection& conn,
+                               Tracer::Sink sink) {
+  conn.tracer().set_enabled(true);
+  conn.tracer().set_sink(std::move(sink));
+}
+
 }  // namespace progmp::api

@@ -73,6 +73,17 @@ class ProgmpApi {
   /// interface): scheduler counters, per-subflow state, queue depths.
   static std::string proc_stats(mptcp::MptcpConnection& conn);
 
+  /// Full /proc/net/mptcp_prog-style dump: proc_stats plus trigger-drop
+  /// accounting, the last execution backend, the refreshed metrics registry
+  /// and a trace summary. Counters are synced from the authoritative
+  /// SchedulerStats before rendering.
+  static std::string proc_dump(mptcp::MptcpConnection& conn);
+
+  /// Enables tracing on the connection and streams every emitted event to
+  /// `sink` in addition to the ring (e.g. a live JSONL writer). Passing a
+  /// null sink keeps tracing enabled with ring-only recording.
+  static void set_trace_sink(mptcp::MptcpConnection& conn, Tracer::Sink sink);
+
   /// The shared compiled image, e.g. for disassembly or memory accounting.
   [[nodiscard]] std::shared_ptr<rt::ProgmpProgram> find(
       const std::string& name) const;

@@ -1,0 +1,142 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace progmp {
+namespace {
+
+int bucket_of(std::int64_t value) {
+  int b = 0;
+  while (b < 63 && value >= (std::int64_t{1} << b)) ++b;
+  return b;  // value < 2^b
+}
+
+}  // namespace
+
+void MetricHistogram::add(std::int64_t value) {
+  value = std::max<std::int64_t>(value, 0);
+  ++buckets_[bucket_of(value)];
+  if (count_ == 0 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+  ++count_;
+  sum_ += value;
+}
+
+std::int64_t MetricHistogram::percentile(double p) const {
+  PROGMP_CHECK(p >= 0.0 && p <= 100.0);
+  if (count_ == 0) return 0;
+  const auto rank = static_cast<std::int64_t>(
+      p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Upper bound of bucket b (values < 2^b), clamped to the true max.
+      const std::int64_t upper = b >= 63 ? max_ : (std::int64_t{1} << b) - 1;
+      return std::min(upper, max_);
+    }
+  }
+  return max_;
+}
+
+std::int64_t* MetricsRegistry::counter(const std::string& name) {
+  return &counters_[name];
+}
+
+std::int64_t* MetricsRegistry::gauge(const std::string& name) {
+  return &gauges_[name];
+}
+
+MetricHistogram* MetricsRegistry::histogram(const std::string& name) {
+  return &histograms_[name];
+}
+
+std::int64_t MetricsRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+std::string MetricsRegistry::proc_dump() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof buf, "%s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof buf, "%s %lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  "%s count=%lld mean=%.1f p50=%lld p99=%lld max=%lld\n",
+                  name.c_str(), static_cast<long long>(h.count()), h.mean(),
+                  static_cast<long long>(h.percentile(50)),
+                  static_cast<long long>(h.percentile(99)),
+                  static_cast<long long>(h.max()));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "kind,name,field,value\n";
+  char buf[256];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof buf, "counter,%s,value,%lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof buf, "gauge,%s,value,%lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  "histogram,%s,count,%lld\nhistogram,%s,sum,%lld\n"
+                  "histogram,%s,max,%lld\n",
+                  name.c_str(), static_cast<long long>(h.count()),
+                  name.c_str(), static_cast<long long>(h.sum()), name.c_str(),
+                  static_cast<long long>(h.max()));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_jsonl() const {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"kind\":\"counter\",\"name\":\"%s\",\"value\":%lld}\n",
+                  name.c_str(), static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, value] : gauges_) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"kind\":\"gauge\",\"name\":\"%s\",\"value\":%lld}\n",
+                  name.c_str(), static_cast<long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"kind\":\"histogram\",\"name\":\"%s\",\"count\":%lld,"
+        "\"sum\":%lld,\"max\":%lld}\n",
+        name.c_str(), static_cast<long long>(h.count()),
+        static_cast<long long>(h.sum()), static_cast<long long>(h.max()));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace progmp

@@ -49,12 +49,12 @@ void RateMeter::add(TimeNs now, std::int64_t bytes) {
 }
 
 double RateMeter::bytes_per_sec(TimeNs now) const {
-  const_cast<RateMeter*>(this)->expire(now);
+  expire(now);
   if (window_.ns() <= 0) return 0.0;
   return static_cast<double>(in_window_) / window_.sec();
 }
 
-void RateMeter::expire(TimeNs now) {
+void RateMeter::expire(TimeNs now) const {
   const TimeNs cutoff = now - window_;
   while (!events_.empty() && events_.front().at < cutoff) {
     in_window_ -= events_.front().bytes;

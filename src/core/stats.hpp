@@ -72,11 +72,14 @@ class RateMeter {
     TimeNs at;
     std::int64_t bytes;
   };
-  void expire(TimeNs now);
+  void expire(TimeNs now) const;
 
   TimeNs window_;
-  std::deque<Event> events_;
-  std::int64_t in_window_ = 0;
+  // Expiry is bookkeeping, not observable state: const readers (the metrics
+  // dump, concurrent-feeling bench queries) may trigger it, so the window
+  // cache is mutable instead of const_cast'ing in bytes_per_sec().
+  mutable std::deque<Event> events_;
+  mutable std::int64_t in_window_ = 0;
 };
 
 /// A (time, value) series sampled during a simulation — the raw material for

@@ -71,10 +71,14 @@ constexpr TimeNs seconds_d(double v) {
   return TimeNs{static_cast<std::int64_t>(v * 1e9)};
 }
 
-/// Time needed to serialize `bytes` onto a link of `bits_per_sec`.
+/// Time needed to serialize `bytes` onto a link of `bits_per_sec`. The
+/// intermediate product bytes * 8e9 exceeds int64 for byte counts above
+/// ~1.07 GiB, so it is computed in 128-bit arithmetic — GB-scale bulk
+/// transfers must not silently wrap.
 constexpr TimeNs transmission_time(std::int64_t bytes,
                                    std::int64_t bits_per_sec) {
-  return TimeNs{bytes * 8 * 1'000'000'000 / bits_per_sec};
+  const auto bits = static_cast<__int128>(bytes) * 8 * 1'000'000'000;
+  return TimeNs{static_cast<std::int64_t>(bits / bits_per_sec)};
 }
 
 }  // namespace progmp

@@ -1,0 +1,146 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace progmp {
+
+const char* trace_event_name(TraceEventType type) {
+  switch (type) {
+    case TraceEventType::kSchedExecStart:
+      return "sched_exec_start";
+    case TraceEventType::kSchedExecEnd:
+      return "sched_exec_end";
+    case TraceEventType::kTriggerDropped:
+      return "trigger_dropped";
+    case TraceEventType::kPush:
+      return "push";
+    case TraceEventType::kPop:
+      return "pop";
+    case TraceEventType::kDrop:
+      return "drop";
+    case TraceEventType::kTx:
+      return "tx";
+    case TraceEventType::kRetx:
+      return "retx";
+    case TraceEventType::kFastRetx:
+      return "fast_retx";
+    case TraceEventType::kRto:
+      return "rto";
+    case TraceEventType::kCwndChange:
+      return "cwnd";
+    case TraceEventType::kDeliver:
+      return "deliver";
+    case TraceEventType::kWindowUpdate:
+      return "window_update";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 1)) {}
+
+void Tracer::record(const TraceEvent& e) {
+  if (ring_.size() < capacity_) {
+    ring_.push_back(e);
+  } else {
+    ring_[next_] = e;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++emitted_;
+  if (sink_) sink_(e);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, `next_` points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  next_ = 0;
+  emitted_ = 0;
+}
+
+std::string Tracer::to_jsonl() const {
+  std::string out;
+  char buf[192];
+  for (const TraceEvent& e : events()) {
+    std::snprintf(buf, sizeof buf,
+                  "{\"t\":%lld,\"ev\":\"%s\",\"sbf\":%d,\"a\":%d,\"b\":%lld,"
+                  "\"c\":%lld}\n",
+                  static_cast<long long>(e.at.ns()), trace_event_name(e.type),
+                  static_cast<int>(e.subflow), static_cast<int>(e.a),
+                  static_cast<long long>(e.b), static_cast<long long>(e.c));
+    out += buf;
+  }
+  return out;
+}
+
+std::string Tracer::to_csv() const {
+  std::string out = "t_ns,ev,sbf,a,b,c\n";
+  char buf[160];
+  for (const TraceEvent& e : events()) {
+    std::snprintf(buf, sizeof buf, "%lld,%s,%d,%d,%lld,%lld\n",
+                  static_cast<long long>(e.at.ns()), trace_event_name(e.type),
+                  static_cast<int>(e.subflow), static_cast<int>(e.a),
+                  static_cast<long long>(e.b), static_cast<long long>(e.c));
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+bool matches(const TraceEvent& e, std::initializer_list<TraceEventType> types,
+             int subflow) {
+  if (subflow >= 0 && e.subflow != subflow) return false;
+  return std::find(types.begin(), types.end(), e.type) != types.end();
+}
+
+}  // namespace
+
+std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
+                                 std::initializer_list<TraceEventType> types,
+                                 int subflow, TimeNs from, TimeNs to) {
+  std::int64_t total = 0;
+  for (const TraceEvent& e : events) {
+    if (e.at >= from && e.at < to && matches(e, types, subflow)) total += e.b;
+  }
+  return total;
+}
+
+TimeSeries trace_rate_series(std::span<const TraceEvent> events,
+                             std::initializer_list<TraceEventType> types,
+                             int subflow, TimeNs sample, TimeNs window) {
+  TimeSeries series;
+  if (events.empty() || sample <= TimeNs{0} || window <= TimeNs{0}) {
+    return series;
+  }
+  // Events arrive in timestamp order (single deterministic clock), so a
+  // two-pointer sweep over the trailing window suffices.
+  std::vector<const TraceEvent*> hits;
+  for (const TraceEvent& e : events) {
+    if (matches(e, types, subflow)) hits.push_back(&e);
+  }
+  if (hits.empty()) return series;
+
+  const TimeNs end = events.back().at;
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+  std::int64_t in_window = 0;
+  for (TimeNs t = sample; t <= end; t += sample) {
+    while (hi < hits.size() && hits[hi]->at <= t) in_window += hits[hi++]->b;
+    const TimeNs cutoff = t - window;
+    while (lo < hi && hits[lo]->at < cutoff) in_window -= hits[lo++]->b;
+    series.add(t, static_cast<double>(in_window) / window.sec());
+  }
+  return series;
+}
+
+}  // namespace progmp

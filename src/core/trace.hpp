@@ -1,0 +1,133 @@
+// Structured event tracing for a whole MPTCP connection.
+//
+// The tracer is the connection-wide observability substrate: every layer
+// (scheduler engine, subflow senders, congestion control, receiver) emits
+// typed events with simulated timestamps into one ring buffer. The bench
+// figures (per-path throughput over time, delivery series) are derived from
+// this stream instead of ad-hoc counters inside the bench binaries, and the
+// stream itself exports to JSONL/CSV for offline analysis — the file-backed
+// sibling of the paper's /proc/net/mptcp_prog interface.
+//
+// Zero overhead when disabled: emit() is an inline enabled-flag test before
+// anything is stored, and events are fixed-size PODs (no allocation, no
+// formatting) on the hot path. Rendering happens only on export.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/time.hpp"
+
+namespace progmp {
+
+/// Every observable event class in the stack. The numeric value is part of
+/// the CSV export format; append new types at the end.
+enum class TraceEventType : std::uint8_t {
+  kSchedExecStart = 0,  ///< scheduler execution begins (a=trigger kind)
+  kSchedExecEnd,        ///< execution finished (a=trigger kind, b=pushes, c=insns)
+  kTriggerDropped,      ///< execution bound hit; re-posted trigger abandoned
+  kPush,                ///< scheduler PUSHed a packet (b=size, c=meta_seq)
+  kPop,                 ///< scheduler POPped a packet (a=queue, b=size, c=meta_seq)
+  kDrop,                ///< scheduler DROPped a packet (b=size, c=meta_seq)
+  kTx,                  ///< fresh wire transmission (b=size, c=meta_seq)
+  kRetx,                ///< subflow-level retransmission (b=size, c=meta_seq)
+  kFastRetx,            ///< fast retransmit entered (b=size, c=meta_seq)
+  kRto,                 ///< retransmission timeout fired (a=backoff)
+  kCwndChange,          ///< congestion window changed (a=reason, b=new cwnd)
+  kDeliver,             ///< in-order delivery to the application (b=size, c=meta_seq)
+  kWindowUpdate,        ///< receiver reopened its window (b=rwnd bytes)
+};
+
+/// Fixed-size POD trace record. `subflow` is -1 for connection-level events;
+/// the meaning of a/b/c depends on the type (see TraceEventType and
+/// docs/OBSERVABILITY.md).
+struct TraceEvent {
+  TimeNs at{0};
+  TraceEventType type = TraceEventType::kSchedExecStart;
+  std::int16_t subflow = -1;
+  std::int32_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+};
+
+/// Stable short name of an event type ("tx", "deliver", ...) — the JSONL
+/// "ev" field and the CSV event column.
+const char* trace_event_name(TraceEventType type);
+
+/// Ring-buffered per-connection event tracer.
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Streaming sink: receives every emitted event in addition to the ring
+  /// (e.g. a live JSONL writer). Only called while tracing is enabled.
+  using Sink = std::function<void(const TraceEvent&)>;
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  /// Records one event. No-op (one predictable branch) while disabled.
+  void emit(TraceEventType type, TimeNs at, int subflow, std::int32_t a = 0,
+            std::int64_t b = 0, std::int64_t c = 0) {
+    if (!enabled_) return;
+    record({at, type, static_cast<std::int16_t>(subflow), a, b, c});
+  }
+
+  /// Events currently held, oldest first (at most `capacity` of the
+  /// `total_emitted` ever recorded — the ring overwrites the oldest).
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  [[nodiscard]] std::uint64_t total_emitted() const { return emitted_; }
+  /// Events lost to ring overwrite.
+  [[nodiscard]] std::uint64_t overwritten() const {
+    return emitted_ > ring_.size() && ring_.size() == capacity_
+               ? emitted_ - capacity_
+               : 0;
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear();
+
+  /// One JSON object per line: {"t":<ns>,"ev":"tx","sbf":0,"a":0,"b":1400,
+  /// "c":17}. Integer-only, hence byte-identical across same-seed runs.
+  [[nodiscard]] std::string to_jsonl() const;
+
+  /// CSV with header "t_ns,ev,sbf,a,b,c".
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  void record(const TraceEvent& e);
+
+  bool enabled_ = false;
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  ///< ring write index once full
+  std::uint64_t emitted_ = 0;
+  Sink sink_;
+};
+
+// ---- Reconstruction helpers (bench figures from traces) ---------------------
+
+/// Sum of the byte field (b) of events of the given types on `subflow`
+/// (-1 = any subflow) with timestamps in [from, to).
+std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
+                                 std::initializer_list<TraceEventType> types,
+                                 int subflow, TimeNs from, TimeNs to);
+
+/// Sliding-window throughput series (bytes/sec): the byte field of matching
+/// events summed over a trailing `window`, sampled every `sample` — the
+/// trace-derived equivalent of RateMeter-driven bench series.
+TimeSeries trace_rate_series(std::span<const TraceEvent> events,
+                             std::initializer_list<TraceEventType> types,
+                             int subflow, TimeNs sample = milliseconds(33),
+                             TimeNs window = milliseconds(1000));
+
+}  // namespace progmp

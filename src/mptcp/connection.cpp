@@ -5,12 +5,18 @@
 namespace progmp::mptcp {
 
 MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
-    : sim_(sim), cfg_(std::move(cfg)), rng_(rng) {
+    : sim_(sim), cfg_(std::move(cfg)), rng_(rng), trace_(cfg_.trace_capacity) {
   PROGMP_CHECK(!cfg_.subflows.empty());
   PROGMP_CHECK(cfg_.num_registers > 0 && cfg_.num_registers <= 64);
   registers_.assign(static_cast<std::size_t>(cfg_.num_registers), 0);
 
+  trace_.set_enabled(cfg_.trace_enabled);
+  hist_insns_per_exec_ = metrics_.histogram("engine.insns_per_exec");
+  hist_execs_per_trigger_ = metrics_.histogram("engine.execs_per_trigger");
+  hist_pushes_per_exec_ = metrics_.histogram("engine.pushes_per_exec");
+
   receiver_ = std::make_unique<Receiver>(sim_, cfg_.receiver);
+  receiver_->set_tracer(&trace_);
   rwnd_ = cfg_.receiver.recv_buf_bytes;
   receiver_->set_deliver_fn([this](std::uint64_t meta_seq, std::int32_t size) {
     delivered_bytes_ += size;
@@ -83,6 +89,7 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
   subflows_.push_back(std::make_unique<SubflowSender>(
       sim_, *paths_.back(), *receiver_, slot, spec.sender, make_cc(),
       std::move(host)));
+  subflows_.back()->set_tracer(&trace_);
   return slot;
 }
 
@@ -163,21 +170,30 @@ void MptcpConnection::trigger(Trigger t) {
 
 void MptcpConnection::run_engine() {
   in_engine_ = true;
-  int executions = 0;
-  while (!pending_.empty() && executions < cfg_.max_executions_per_trigger) {
+  while (!pending_.empty()) {
     const Trigger t = pending_.front();
     pending_.pop_front();
-    ++executions;
-    const bool progress = run_scheduler_once(t);
     // Push-until-blocked: a productive execution is re-run until the
     // scheduler stops acting (the kernel keeps calling the scheduler until
     // it stops pushing). Schedulers like Compensating act even with Q
-    // empty, so progress alone decides.
+    // empty, so progress alone decides. The execution bound applies to
+    // *this* trigger's continuations only — triggers queued behind it are
+    // genuine external events and must still run.
+    int executions = 0;
+    bool progress = true;
+    while (progress && executions < cfg_.max_executions_per_trigger) {
+      ++executions;
+      progress = run_scheduler_once(t);
+    }
+    hist_execs_per_trigger_->add(executions);
     if (progress) {
-      pending_.push_back(t);
+      // Bound hit with the scheduler still acting: abandon only the
+      // re-posted continuation of this trigger.
+      ++sched_stats_.trigger_drops;
+      trace_.emit(TraceEventType::kTriggerDropped, sim_.now(), t.subflow_slot,
+                  static_cast<std::int32_t>(t.kind), executions);
     }
   }
-  pending_.clear();
   in_engine_ = false;
 }
 
@@ -194,10 +210,19 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
   SchedulerContext ctx(now, t, infos, &q_, &qu_, &rq_, registers_.data(),
                        cfg_.num_registers,
                        std::max<std::int64_t>(0, rwnd_ - claimed),
-                       &sched_stats_);
+                       &sched_stats_, &trace_);
   ++sched_stats_.executions;
   const std::int64_t drops_before = sched_stats_.drops;
+  trace_.emit(TraceEventType::kSchedExecStart, now, t.subflow_slot,
+              static_cast<std::int32_t>(t.kind));
   scheduler_->schedule(ctx);
+  last_exec_backend_ = ctx.exec_backend();
+  hist_insns_per_exec_->add(ctx.exec_insns());
+  hist_pushes_per_exec_->add(static_cast<std::int64_t>(ctx.actions().size()));
+  trace_.emit(TraceEventType::kSchedExecEnd, now, t.subflow_slot,
+              static_cast<std::int32_t>(t.kind),
+              static_cast<std::int64_t>(ctx.actions().size()),
+              ctx.exec_insns());
   apply_actions(ctx);
   if (sched_stats_.drops != drops_before) {
     // DROPped packets were detached from QU behind our back; refresh the
@@ -240,6 +265,48 @@ void MptcpConnection::handle_loss_suspected(int slot, const SkbPtr& skb) {
   skb->in_rq = true;
   rq_.push_back(skb);
   trigger({TriggerKind::kReinject, slot});
+}
+
+void MptcpConnection::refresh_metrics() {
+  // Engine counters mirror SchedulerStats exactly — the registry is the
+  // exported view, SchedulerStats stays the authoritative one.
+  *metrics_.counter("engine.executions") = sched_stats_.executions;
+  *metrics_.counter("engine.pushes") = sched_stats_.pushes;
+  *metrics_.counter("engine.redundant_pushes") = sched_stats_.redundant_pushes;
+  *metrics_.counter("engine.null_pushes") = sched_stats_.null_pushes;
+  *metrics_.counter("engine.pops") = sched_stats_.pops;
+  *metrics_.counter("engine.drops") = sched_stats_.drops;
+  *metrics_.counter("engine.trigger_drops") = sched_stats_.trigger_drops;
+
+  *metrics_.counter("conn.written_bytes") = written_bytes_;
+  *metrics_.counter("conn.delivered_bytes") = delivered_bytes_;
+  *metrics_.counter("conn.wire_bytes_sent") = wire_bytes_sent();
+  *metrics_.gauge("conn.q_len") = static_cast<std::int64_t>(q_.size());
+  *metrics_.gauge("conn.qu_len") = static_cast<std::int64_t>(qu_.size());
+  *metrics_.gauge("conn.rq_len") = static_cast<std::int64_t>(rq_.size());
+  *metrics_.gauge("conn.qu_bytes") = qu_bytes_;
+  *metrics_.gauge("conn.rwnd_bytes") = rwnd_;
+
+  *metrics_.counter("trace.emitted") =
+      static_cast<std::int64_t>(trace_.total_emitted());
+  *metrics_.counter("trace.overwritten") =
+      static_cast<std::int64_t>(trace_.overwritten());
+
+  const TimeNs now = sim_.now();
+  for (const auto& sbf : subflows_) {
+    const std::string p = "sbf" + std::to_string(sbf->slot()) + ".";
+    const SubflowSender::Stats& s = sbf->stats();
+    *metrics_.counter(p + "segments_sent") = s.segments_sent;
+    *metrics_.counter(p + "segments_retransmitted") = s.segments_retransmitted;
+    *metrics_.counter(p + "bytes_sent") = s.bytes_sent;
+    *metrics_.counter(p + "fast_retransmits") = s.fast_retransmits;
+    *metrics_.counter(p + "rtos") = s.rtos;
+    const SubflowInfo info = sbf->info(now);
+    *metrics_.gauge(p + "cwnd") = info.cwnd;
+    *metrics_.gauge(p + "in_flight") = info.skbs_in_flight;
+    *metrics_.gauge(p + "queued") = info.queued;
+    *metrics_.gauge(p + "rtt_us") = info.rtt.us();
+  }
 }
 
 void MptcpConnection::detach_everywhere(const SkbPtr& skb) {

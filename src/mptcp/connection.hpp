@@ -16,8 +16,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/metrics.hpp"
 #include "core/rng.hpp"
 #include "core/time.hpp"
+#include "core/trace.hpp"
 #include "mptcp/receiver.hpp"
 #include "mptcp/scheduler.hpp"
 #include "mptcp/skb.hpp"
@@ -48,6 +50,11 @@ class MptcpConnection {
     /// the push-until-blocked loop). Generous: schedulers that compensate
     /// whole flights (§5.3) legitimately act many times per trigger.
     int max_executions_per_trigger = 512;
+    /// Records every engine/subflow/receiver event into the connection
+    /// tracer. Off by default: emission is a single branch per event site.
+    bool trace_enabled = false;
+    /// Ring capacity of the tracer (events kept; older ones overwritten).
+    std::size_t trace_capacity = Tracer::kDefaultCapacity;
   };
 
   /// Called for every segment delivered in order to the receiving
@@ -106,6 +113,26 @@ class MptcpConnection {
   }
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
+  /// Connection-wide event tracer (see core/trace.hpp). Enable via
+  /// Config::trace_enabled or tracer().set_enabled(true).
+  [[nodiscard]] Tracer& tracer() { return trace_; }
+  [[nodiscard]] const Tracer& tracer() const { return trace_; }
+
+  /// Per-connection metrics registry. Counters mirroring SchedulerStats and
+  /// per-subflow state are refreshed by refresh_metrics(); the engine keeps
+  /// the execution histograms up to date live.
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+
+  /// Syncs the registry's counters/gauges with the authoritative stats
+  /// (SchedulerStats, subflow stats, queue depths) — called before a dump.
+  void refresh_metrics();
+
+  /// Execution environment that ran the most recent scheduler execution
+  /// ("ebpf", "native", ...), for the proc dump.
+  [[nodiscard]] const char* last_exec_backend() const {
+    return last_exec_backend_;
+  }
+
   /// Sum of payload bytes sent on the wire across subflows (incl.
   /// retransmissions and redundant copies) — the transmission-overhead
   /// metric of §5.1/§5.3.
@@ -135,6 +162,14 @@ class MptcpConnection {
 
   std::unique_ptr<Scheduler> scheduler_;
   SchedulerStats sched_stats_;
+
+  Tracer trace_;
+  MetricsRegistry metrics_;
+  /// Live execution histograms (stable pointers into metrics_).
+  MetricHistogram* hist_insns_per_exec_ = nullptr;
+  MetricHistogram* hist_execs_per_trigger_ = nullptr;
+  MetricHistogram* hist_pushes_per_exec_ = nullptr;
+  const char* last_exec_backend_ = "none";
 
   std::deque<SkbPtr> q_;   ///< sending queue (unscheduled packets)
   std::deque<SkbPtr> qu_;  ///< transmitted, un-data-acked

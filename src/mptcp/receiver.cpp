@@ -66,6 +66,10 @@ void Receiver::deliver_contiguous() {
     meta_ooo_bytes_ -= size;
     delivered_bytes_ += size;
     deliveries_.push_back({sim_.now(), it->first});
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kDeliver, sim_.now(), -1, 0, size,
+                   static_cast<std::int64_t>(it->first));
+    }
     if (cfg_.app_read_bytes_per_sec > 0) {
       unread_bytes_ += size;
       schedule_app_read();
@@ -94,6 +98,10 @@ void Receiver::schedule_app_read() {
   sim_.schedule_after(delay, [this, chunk] {
     read_scheduled_ = false;
     unread_bytes_ = std::max<std::int64_t>(0, unread_bytes_ - chunk);
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kWindowUpdate, sim_.now(), -1, 0,
+                   rwnd_bytes());
+    }
     if (window_update_fn_) window_update_fn_(rwnd_bytes());
     schedule_app_read();
   });

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/time.hpp"
+#include "core/trace.hpp"
 #include "mptcp/skb.hpp"
 #include "sim/simulator.hpp"
 
@@ -71,6 +72,8 @@ class Receiver {
   void set_window_update_fn(WindowUpdateFn fn) {
     window_update_fn_ = std::move(fn);
   }
+  /// Emits in-order deliveries and window updates into the connection trace.
+  void set_tracer(Tracer* trace) { trace_ = trace; }
 
   /// Processes one arriving segment and returns the ACK to send back on the
   /// same subflow.
@@ -111,6 +114,7 @@ class Receiver {
   Config cfg_;
   DeliverFn deliver_fn_;
   WindowUpdateFn window_update_fn_;
+  Tracer* trace_ = nullptr;
 
   std::array<SubflowRx, kMaxSubflows> subflows_{};
 

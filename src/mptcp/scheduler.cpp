@@ -38,6 +38,10 @@ SkbPtr SchedulerContext::pop_at(QueueId id, std::size_t index) {
   }
   popped_ = true;
   ++stats_->pops;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kPop, now_, -1, static_cast<std::int32_t>(id),
+                 skb->size, static_cast<std::int64_t>(skb->meta_seq));
+  }
   return skb;
 }
 
@@ -58,6 +62,10 @@ void SchedulerContext::push(int slot, const SkbPtr& skb) {
   }
   actions_.push_back({slot, skb});
   ++stats_->pushes;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kPush, now_, slot, 0, skb->size,
+                 static_cast<std::int64_t>(skb->meta_seq));
+  }
 }
 
 void SchedulerContext::drop(const SkbPtr& skb) {
@@ -68,6 +76,10 @@ void SchedulerContext::drop(const SkbPtr& skb) {
   detach_from_all_queues(skb);
   dropped_ = true;
   ++stats_->drops;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kDrop, now_, -1, 0, skb->size,
+                 static_cast<std::int64_t>(skb->meta_seq));
+  }
 }
 
 void SchedulerContext::detach_from_all_queues(const SkbPtr& skb) {

@@ -16,6 +16,7 @@
 
 #include "core/check.hpp"
 #include "core/time.hpp"
+#include "core/trace.hpp"
 #include "mptcp/skb.hpp"
 
 namespace progmp::mptcp {
@@ -80,6 +81,9 @@ struct SchedulerStats {
   std::int64_t null_pushes = 0;       ///< graceful no-ops (NULL packet/subflow)
   std::int64_t drops = 0;
   std::int64_t pops = 0;
+  /// Times the engine hit the per-trigger execution bound and abandoned the
+  /// re-posted push-until-blocked continuation of a trigger.
+  std::int64_t trigger_drops = 0;
 };
 
 /// Execution context handed to the scheduler. Exposes immutable snapshots of
@@ -100,7 +104,7 @@ class SchedulerContext {
                    std::deque<SkbPtr>* q, std::deque<SkbPtr>* qu,
                    std::deque<SkbPtr>* rq, std::int64_t* registers,
                    int num_registers, std::int64_t rwnd_free_bytes,
-                   SchedulerStats* stats)
+                   SchedulerStats* stats, Tracer* trace = nullptr)
       : now_(now),
         trigger_(trigger),
         subflows_(subflows),
@@ -110,7 +114,8 @@ class SchedulerContext {
         registers_(registers),
         num_registers_(num_registers),
         rwnd_free_bytes_(rwnd_free_bytes),
-        stats_(stats) {}
+        stats_(stats),
+        trace_(trace) {}
 
   [[nodiscard]] TimeNs now() const { return now_; }
   [[nodiscard]] const Trigger& trigger() const { return trigger_; }
@@ -174,6 +179,17 @@ class SchedulerContext {
   }
 
   [[nodiscard]] SchedulerStats& stats() { return *stats_; }
+  [[nodiscard]] Tracer* tracer() const { return trace_; }
+
+  /// Execution-cost report from the runtime: which environment ran this
+  /// execution and how many instructions/steps it retired. The engine folds
+  /// it into the sched_exec_end trace event and the metrics histograms.
+  void note_exec(const char* backend, std::int64_t insns) {
+    exec_backend_ = backend;
+    exec_insns_ = insns;
+  }
+  [[nodiscard]] const char* exec_backend() const { return exec_backend_; }
+  [[nodiscard]] std::int64_t exec_insns() const { return exec_insns_; }
 
  private:
   void detach_from_all_queues(const SkbPtr& skb);
@@ -188,10 +204,13 @@ class SchedulerContext {
   int num_registers_;
   std::int64_t rwnd_free_bytes_;
   SchedulerStats* stats_;
+  Tracer* trace_;
 
   std::vector<PushAction> actions_;
   bool dropped_ = false;
   bool popped_ = false;
+  const char* exec_backend_ = "unknown";
+  std::int64_t exec_insns_ = 0;
 };
 
 /// A scheduler: one execution per trigger, reading and acting through the

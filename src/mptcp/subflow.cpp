@@ -24,6 +24,16 @@ SubflowSender::SubflowSender(sim::Simulator& sim, sim::NetPath& path,
 
 SubflowSender::~SubflowSender() { disarm_rto(); }
 
+void SubflowSender::set_tracer(Tracer* trace) {
+  trace_ = trace;
+  cc_->set_cwnd_hook([this](tcp::CwndEventKind kind, std::int64_t cwnd) {
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kCwndChange, sim_.now(), slot_,
+                   static_cast<std::int32_t>(kind), cwnd);
+    }
+  });
+}
+
 void SubflowSender::enqueue(const SkbPtr& skb) {
   if (!established_ || skb == nullptr || skb->acked || skb->dropped) return;
   queue_.push_back(skb);
@@ -52,6 +62,10 @@ void SubflowSender::transmit_fresh(const SkbPtr& skb) {
   if (skb->first_sent_at == TimeNs{0}) skb->first_sent_at = now;
   ++stats_.segments_sent;
   stats_.bytes_sent += skb->size;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kTx, now, slot_, 0, skb->size,
+                 static_cast<std::int64_t>(skb->meta_seq));
+  }
   if (host_.on_transmitted) host_.on_transmitted(skb);
   put_on_wire(seg, /*is_retransmit=*/false);
   if (!rto_armed_) arm_rto();
@@ -94,6 +108,10 @@ void SubflowSender::retransmit_head() {
   head.sent_at = sim_.now();
   ++stats_.segments_retransmitted;
   stats_.bytes_sent += head.size;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kRetx, sim_.now(), slot_, 0, head.size,
+                 static_cast<std::int64_t>(head.meta_seq));
+  }
   put_on_wire(head, /*is_retransmit=*/true);
 }
 
@@ -134,6 +152,11 @@ void SubflowSender::on_ack(const AckInfo& ack) {
     ++dupacks_;
     if (dupacks_ == kDupAckThreshold && !in_recovery_) {
       ++stats_.fast_retransmits;
+      if (trace_ != nullptr) {
+        const TxSeg& head = inflight_.front();
+        trace_->emit(TraceEventType::kFastRetx, now, slot_, 0, head.size,
+                     static_cast<std::int64_t>(head.meta_seq));
+      }
       enter_recovery_and_reinject();
     }
   }
@@ -159,6 +182,9 @@ void SubflowSender::on_rto_fired() {
   rto_armed_ = false;
   if (!established_ || inflight_.empty()) return;
   ++stats_.rtos;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kRto, sim_.now(), slot_, rto_backoff_);
+  }
   cc_->on_rto();
   rto_backoff_ = std::min(rto_backoff_ * 2, 64);
   in_recovery_ = true;

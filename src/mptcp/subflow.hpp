@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/time.hpp"
+#include "core/trace.hpp"
 #include "mptcp/receiver.hpp"
 #include "mptcp/scheduler.hpp"
 #include "mptcp/skb.hpp"
@@ -100,6 +101,11 @@ class SubflowSender {
 
   /// Fresh property snapshot for the scheduler context.
   [[nodiscard]] SubflowInfo info(TimeNs now) const;
+
+  /// Connects the subflow to the connection-wide event tracer: wire
+  /// transmissions, retransmissions, RTOs and congestion-window changes are
+  /// emitted with this subflow's slot.
+  void set_tracer(Tracer* trace);
 
   // ---- Lifecycle ----------------------------------------------------------
   [[nodiscard]] bool established() const { return established_; }
@@ -183,6 +189,7 @@ class SubflowSender {
   int rto_backoff_ = 1;
 
   Stats stats_;
+  Tracer* trace_ = nullptr;
 
   /// Lifetime token: simulator events capture a weak reference and become
   /// no-ops if the subflow has been destroyed (e.g. after a handover).

@@ -35,11 +35,12 @@ class Interp {
     frame_.resize(static_cast<std::size_t>(program.frame_slots));
   }
 
-  void run() {
+  std::int64_t run() {
     for (StmtId id : program_.top) {
       exec_stmt(id);
-      if (returned_) return;
+      if (returned_) break;
     }
+    return steps_;
   }
 
  private:
@@ -49,6 +50,7 @@ class Interp {
   }
 
   void exec_stmt(StmtId id) {
+    ++steps_;
     const Stmt& s = program_.stmt(id);
     switch (s.kind) {
       case StmtKind::kVarDecl:
@@ -117,6 +119,7 @@ class Interp {
   }
 
   Value eval(ExprId id) {
+    ++steps_;
     const Expr& e = program_.expr(id);
     Value v;
     switch (e.kind) {
@@ -323,12 +326,13 @@ class Interp {
   SchedulerEnv& env_;
   std::vector<Value> frame_;
   bool returned_ = false;
+  std::int64_t steps_ = 0;  ///< statements executed + expressions evaluated
 };
 
 }  // namespace
 
-void interpret(const lang::Program& program, SchedulerEnv& env) {
-  Interp(program, env).run();
+std::int64_t interpret(const lang::Program& program, SchedulerEnv& env) {
+  return Interp(program, env).run();
 }
 
 }  // namespace progmp::rt

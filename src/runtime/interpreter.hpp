@@ -3,6 +3,7 @@
 // semantic reference the compiled back ends are property-tested against.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "lang/ast.hpp"
@@ -10,7 +11,8 @@
 
 namespace progmp::rt {
 
-/// Executes one scheduler run of an analyzed program against `env`.
-void interpret(const lang::Program& program, SchedulerEnv& env);
+/// Executes one scheduler run of an analyzed program against `env`; returns
+/// the number of interpreter steps (statements + expression evaluations).
+std::int64_t interpret(const lang::Program& program, SchedulerEnv& env);
 
 }  // namespace progmp::rt

@@ -54,15 +54,17 @@ IrExecutable::IrExecutable(const IrProgram& program) {
   regs_.assign(static_cast<std::size_t>(program.num_vregs), 0);
 }
 
-void IrExecutable::run(SchedulerEnv& env, std::int64_t fuel) {
+std::int64_t IrExecutable::run(SchedulerEnv& env, std::int64_t fuel) {
   std::fill(regs_.begin(), regs_.end(), 0);
   std::int64_t* regs = regs_.data();
   auto r = [&](VReg v) -> std::int64_t& {
     return regs[static_cast<std::size_t>(v)];
   };
 
+  std::int64_t executed = 0;
   std::size_t pc = 0;
   while (pc < insts_.size() && fuel-- > 0) {
+    ++executed;
     const IrInst& inst = insts_[pc];
     switch (inst.op) {
       case IrOp::kConst:
@@ -139,10 +141,11 @@ void IrExecutable::run(SchedulerEnv& env, std::int64_t fuel) {
         }
         break;
       case IrOp::kRet:
-        return;
+        return executed;
     }
     ++pc;
   }
+  return executed;
 }
 
 void exec_ir(const IrProgram& program, SchedulerEnv& env, std::int64_t fuel) {

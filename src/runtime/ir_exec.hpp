@@ -17,8 +17,9 @@ class IrExecutable {
  public:
   explicit IrExecutable(const IrProgram& program);
 
-  /// Runs one scheduler execution. `fuel` is a defensive instruction cap.
-  void run(SchedulerEnv& env, std::int64_t fuel = 1'000'000);
+  /// Runs one scheduler execution; returns the number of IR instructions
+  /// executed. `fuel` is a defensive instruction cap.
+  std::int64_t run(SchedulerEnv& env, std::int64_t fuel = 1'000'000);
 
   [[nodiscard]] std::size_t code_size() const { return insts_.size(); }
 

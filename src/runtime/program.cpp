@@ -92,10 +92,10 @@ void ProgmpProgram::schedule(mptcp::SchedulerContext& ctx) {
   if (print_fn_) env.set_print_fn(print_fn_);
   switch (options_.backend) {
     case Backend::kInterpreter:
-      interpret(ast_, env);
+      ctx.note_exec("interpreter", interpret(ast_, env));
       return;
     case Backend::kCompiled:
-      executable_->run(env);
+      ctx.note_exec("compiled", executable_->run(env));
       return;
     case Backend::kEbpf: {
       const ebpf::Code& code = code_for_count(env.sbf_count());
@@ -103,7 +103,7 @@ void ProgmpProgram::schedule(mptcp::SchedulerContext& ctx) {
       // Verified programs cannot fail structurally; budget exhaustion means
       // a runaway loop in the spec — stop quietly (graceful failure by
       // design) after the budget's worth of work.
-      (void)result;
+      ctx.note_exec("ebpf", result.insns_executed);
       return;
     }
   }

@@ -35,6 +35,7 @@ int min_rtt_slot(SchedulerContext& ctx, Pred&& pred) {
 class NativeMinRtt final : public Scheduler {
  public:
   void schedule(SchedulerContext& ctx) override {
+    ctx.note_exec("native", 0);
     // Reinjections first: place the suspected-lost packet on an available
     // non-backup subflow that has not carried it.
     if (!ctx.queue(QueueId::kRq).empty()) {
@@ -68,6 +69,7 @@ class NativeMinRtt final : public Scheduler {
 class NativeRoundRobin final : public Scheduler {
  public:
   void schedule(SchedulerContext& ctx) override {
+    ctx.note_exec("native", 0);
     std::vector<int> usable;
     for (const SubflowInfo& s : ctx.subflows()) {
       if (s.established && !s.tsq_throttled && !s.lossy) {
@@ -99,6 +101,7 @@ class NativeRoundRobin final : public Scheduler {
 class NativeRedundant final : public Scheduler {
  public:
   void schedule(SchedulerContext& ctx) override {
+    ctx.note_exec("native", 0);
     for (const SubflowInfo& s : ctx.subflows()) {
       if (!available(s)) continue;
       // Oldest in-flight packet this subflow has not carried yet; fresh

@@ -7,6 +7,7 @@ namespace progmp::tcp {
 
 void RenoCc::on_ack(std::int64_t acked_segments, TimeNs /*now*/) {
   PROGMP_CHECK(acked_segments > 0);
+  const std::int64_t before = cwnd_;
   for (std::int64_t i = 0; i < acked_segments; ++i) {
     if (cwnd_ < ssthresh_) {
       ++cwnd_;  // slow start: +1 per ACK
@@ -18,18 +19,21 @@ void RenoCc::on_ack(std::int64_t acked_segments, TimeNs /*now*/) {
       }
     }
   }
+  if (cwnd_ != before) notify_cwnd(CwndEventKind::kGrowth, cwnd_);
 }
 
 void RenoCc::on_loss() {
   ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
   cwnd_ = ssthresh_;
   ca_acc_ = 0;
+  notify_cwnd(CwndEventKind::kLoss, cwnd_);
 }
 
 void RenoCc::on_rto() {
   ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
   cwnd_ = 1;
   ca_acc_ = 0;
+  notify_cwnd(CwndEventKind::kRto, cwnd_);
 }
 
 void LiaCoupling::remove_member(LiaCc* cc) { std::erase(members_, cc); }
@@ -59,6 +63,7 @@ std::int64_t LiaCoupling::cwnd_total() const {
 
 void LiaCc::on_ack(std::int64_t acked_segments, TimeNs /*now*/) {
   PROGMP_CHECK(acked_segments > 0);
+  const std::int64_t before = cwnd_;
   for (std::int64_t i = 0; i < acked_segments; ++i) {
     if (cwnd_ < ssthresh_) {
       ++cwnd_;
@@ -75,6 +80,7 @@ void LiaCc::on_ack(std::int64_t acked_segments, TimeNs /*now*/) {
       ++cwnd_;
     }
   }
+  if (cwnd_ != before) notify_cwnd(CwndEventKind::kGrowth, cwnd_);
 }
 
 double CubicCc::target_at(TimeNs now) const {
@@ -87,6 +93,7 @@ void CubicCc::on_ack(std::int64_t acked_segments, TimeNs now) {
   PROGMP_CHECK(acked_segments > 0);
   if (cwnd_ < ssthresh_) {
     cwnd_ += acked_segments;  // slow start
+    notify_cwnd(CwndEventKind::kGrowth, cwnd_);
     return;
   }
   if (epoch_start_ < TimeNs{0}) {
@@ -110,6 +117,7 @@ void CubicCc::on_ack(std::int64_t acked_segments, TimeNs now) {
       const auto whole = static_cast<std::int64_t>(ca_acc_);
       cwnd_ += whole;
       ca_acc_ -= static_cast<double>(whole);
+      notify_cwnd(CwndEventKind::kGrowth, cwnd_);
     }
   }
   // At or above target: hold (the cubic plateau around w_max).
@@ -122,6 +130,7 @@ void CubicCc::on_loss() {
   ssthresh_ = cwnd_;
   epoch_start_ = TimeNs{-1};
   ca_acc_ = 0.0;
+  notify_cwnd(CwndEventKind::kLoss, cwnd_);
 }
 
 void CubicCc::on_rto() {
@@ -131,18 +140,21 @@ void CubicCc::on_rto() {
   cwnd_ = 1;
   epoch_start_ = TimeNs{-1};
   ca_acc_ = 0.0;
+  notify_cwnd(CwndEventKind::kRto, cwnd_);
 }
 
 void LiaCc::on_loss() {
   ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
   cwnd_ = ssthresh_;
   ca_acc_ = 0.0;
+  notify_cwnd(CwndEventKind::kLoss, cwnd_);
 }
 
 void LiaCc::on_rto() {
   ssthresh_ = std::max<std::int64_t>(cwnd_ / 2, 2);
   cwnd_ = 1;
   ca_acc_ = 0.0;
+  notify_cwnd(CwndEventKind::kRto, cwnd_);
 }
 
 }  // namespace progmp::tcp

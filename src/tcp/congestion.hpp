@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -15,6 +16,14 @@
 #include "core/time.hpp"
 
 namespace progmp::tcp {
+
+/// Why the congestion window moved — the congestion-event classification
+/// surfaced through the connection's trace (cwnd change events).
+enum class CwndEventKind {
+  kGrowth = 0,  ///< ACK-clocked increase (slow start or congestion avoidance)
+  kLoss,        ///< fast-retransmit multiplicative decrease
+  kRto,         ///< timeout collapse
+};
 
 /// Congestion control interface, counting in segments (the simulator
 /// transmits fixed-size MSS segments).
@@ -43,6 +52,20 @@ class CongestionControl {
   /// Latest smoothed RTT of the owning subflow. Coupled algorithms (LIA)
   /// need it for the aggregate increase factor; others ignore it.
   virtual void set_rtt_hint(TimeNs /*srtt*/) {}
+
+  /// Observer for congestion events. Implementations report every cwnd
+  /// change (growth only when the window actually moved; loss/RTO always) —
+  /// the owning subflow forwards these into the connection trace.
+  using CwndHook = std::function<void(CwndEventKind, std::int64_t new_cwnd)>;
+  void set_cwnd_hook(CwndHook hook) { cwnd_hook_ = std::move(hook); }
+
+ protected:
+  void notify_cwnd(CwndEventKind kind, std::int64_t new_cwnd) const {
+    if (cwnd_hook_) cwnd_hook_(kind, new_cwnd);
+  }
+
+ private:
+  CwndHook cwnd_hook_;
 };
 
 /// Uncoupled NewReno: slow start to ssthresh, then +1 segment per RTT.

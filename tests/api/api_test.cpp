@@ -115,6 +115,58 @@ TEST(ApiTest, ProcStatsRendersState) {
   EXPECT_NE(stats.find("[backup]"), std::string::npos);
 }
 
+TEST(ApiTest, ProcDumpMirrorsSchedulerStatsAndMetrics) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg = apps::lossy_config(0.0);
+  cfg.trace_enabled = true;
+  mptcp::MptcpConnection conn(sim, cfg, Rng(8));
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_builtin("minrtt"));
+  ASSERT_TRUE(api.set_scheduler(conn, "minrtt"));
+  conn.write(50 * 1400);
+  sim.run_until(seconds(5));
+
+  const std::string dump = ProgmpApi::proc_dump(conn);
+  // The metrics registry lines must agree with the authoritative stats.
+  const mptcp::SchedulerStats& st = conn.scheduler_stats();
+  auto line = [](const std::string& name, std::int64_t v) {
+    return name + " " + std::to_string(v);
+  };
+  EXPECT_NE(dump.find(line("engine.executions", st.executions)),
+            std::string::npos);
+  EXPECT_NE(dump.find(line("engine.pushes", st.pushes)), std::string::npos);
+  EXPECT_NE(dump.find(line("engine.pops", st.pops)), std::string::npos);
+  EXPECT_NE(dump.find(line("engine.drops", st.drops)), std::string::npos);
+  EXPECT_NE(dump.find(line("engine.trigger_drops", st.trigger_drops)),
+            std::string::npos);
+  EXPECT_NE(dump.find("backend: ebpf"), std::string::npos);
+  EXPECT_NE(dump.find("trace: on"), std::string::npos);
+  EXPECT_NE(dump.find("engine.insns_per_exec"), std::string::npos);
+  // And the registry agrees programmatically, not just textually.
+  EXPECT_EQ(conn.metrics().counter_value("engine.executions"), st.executions);
+  EXPECT_EQ(conn.metrics().counter_value("engine.pushes"), st.pushes);
+}
+
+TEST(ApiTest, SetTraceSinkStreamsEvents) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(9));
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_builtin("minrtt"));
+  ASSERT_TRUE(api.set_scheduler(conn, "minrtt"));
+  ASSERT_FALSE(conn.tracer().enabled());  // off by default
+  std::int64_t sunk = 0;
+  bool saw_deliver = false;
+  ProgmpApi::set_trace_sink(conn, [&](const TraceEvent& e) {
+    ++sunk;
+    saw_deliver |= e.type == TraceEventType::kDeliver;
+  });
+  EXPECT_TRUE(conn.tracer().enabled());
+  conn.write(20 * 1400);
+  sim.run_until(seconds(5));
+  EXPECT_EQ(static_cast<std::uint64_t>(sunk), conn.tracer().total_emitted());
+  EXPECT_TRUE(saw_deliver);
+}
+
 TEST(ApiTest, ReloadReplacesProgram) {
   ProgmpApi api;
   ASSERT_TRUE(api.load_scheduler("SET(R1, 1);", "s"));

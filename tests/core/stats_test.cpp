@@ -64,6 +64,19 @@ TEST(RateMeterTest, ExpiresOldEvents) {
   EXPECT_DOUBLE_EQ(meter.bytes_per_sec(milliseconds(1500)), 500.0);
 }
 
+TEST(RateMeterTest, ConstReaderObservesExpiry) {
+  // bytes_per_sec is a const observer (metrics dumps query through const
+  // refs); expiry bookkeeping must still happen without mutating observable
+  // state or resorting to const_cast.
+  RateMeter meter(milliseconds(1000));
+  meter.add(milliseconds(0), 1000);
+  meter.add(milliseconds(1200), 500);
+  const RateMeter& view = meter;
+  EXPECT_DOUBLE_EQ(view.bytes_per_sec(milliseconds(1200)), 500.0);
+  // Repeat query is idempotent after expiry ran.
+  EXPECT_DOUBLE_EQ(view.bytes_per_sec(milliseconds(1200)), 500.0);
+}
+
 TEST(TimeSeriesTest, MeanBetween) {
   TimeSeries ts;
   ts.add(milliseconds(0), 1.0);

@@ -42,6 +42,16 @@ TEST(TimeTest, TransmissionTime) {
   EXPECT_EQ(transmission_time(1, 1'000'000'000).ns(), 8);
 }
 
+TEST(TimeTest, TransmissionTimeDoesNotOverflowLargeTransfers) {
+  // bytes * 8e9 exceeds int64 beyond ~1.07 GiB; the widened intermediate
+  // must keep the result exact. 4 GB at 1 Gbit/s = 32 s.
+  EXPECT_EQ(transmission_time(4'000'000'000, 1'000'000'000),
+            seconds(32));
+  // 100 GB at 10 Gbit/s = 80 s.
+  EXPECT_EQ(transmission_time(100'000'000'000, 10'000'000'000),
+            seconds(80));
+}
+
 TEST(TimeTest, StringRendering) {
   EXPECT_EQ(nanoseconds(12).str(), "12ns");
   EXPECT_EQ(microseconds(1500).str(), "1.500ms");

@@ -1,0 +1,124 @@
+// Scheduler-engine trigger handling: the per-trigger execution bound must
+// abandon only the bounded trigger's own push-until-blocked continuation —
+// genuine external triggers queued behind it must still run (regression
+// test for the engine formerly clearing the whole pending queue), plus
+// trace determinism across same-seed runs.
+#include <gtest/gtest.h>
+
+#include "apps/scenarios.hpp"
+#include "mptcp/connection.hpp"
+#include "sched/native.hpp"
+
+namespace progmp::mptcp {
+namespace {
+
+using apps::lossy_config;
+
+/// Pops Q head onto subflow 0 every execution (so it always reports
+/// progress while Q is non-empty) and injects one genuine external trigger
+/// exactly on the execution where the engine's bound is reached — the
+/// scenario where the old engine discarded it.
+class InjectingGreedyScheduler final : public Scheduler {
+ public:
+  MptcpConnection* conn = nullptr;
+  int inject_at = 0;  ///< execution count at which to inject (0 = never)
+  int executions = 0;
+  bool injected = false;
+  bool saw_injected_trigger = false;
+
+  void schedule(SchedulerContext& ctx) override {
+    ++executions;
+    if (ctx.trigger().kind == TriggerKind::kRegisterSet) {
+      saw_injected_trigger = true;
+    }
+    if (!injected && inject_at > 0 && executions == inject_at &&
+        conn != nullptr) {
+      injected = true;
+      conn->trigger({TriggerKind::kRegisterSet, -1});
+    }
+    if (!ctx.queue(QueueId::kQ).empty()) {
+      ctx.push(0, ctx.pop(QueueId::kQ));
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "inject_greedy"; }
+};
+
+TEST(EngineTriggerTest, GenuineTriggerSurvivesExecutionBound) {
+  sim::Simulator sim;
+  MptcpConnection::Config cfg = lossy_config(0.0);
+  cfg.max_executions_per_trigger = 8;
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(1));
+
+  auto sched = std::make_unique<InjectingGreedyScheduler>();
+  InjectingGreedyScheduler* greedy = sched.get();
+  greedy->conn = &conn;
+  greedy->inject_at = cfg.max_executions_per_trigger;
+  conn.set_scheduler(std::move(sched));
+
+  // Exactly bound-many packets: the kDataPushed trigger pops one per
+  // execution and still reports progress on the bound-hitting execution,
+  // where the external trigger arrives.
+  conn.write(8 * 1400);
+
+  // The bound was hit once (the re-posted continuation was abandoned) ...
+  EXPECT_EQ(conn.scheduler_stats().trigger_drops, 1);
+  // ... but the genuine external trigger injected during the final allowed
+  // execution still ran (the old engine cleared it along with the
+  // continuation and the scheduler never saw it).
+  EXPECT_TRUE(greedy->saw_injected_trigger);
+  // 8 bounded executions + 1 for the surviving external trigger.
+  EXPECT_EQ(greedy->executions, 9);
+  EXPECT_EQ(conn.scheduler_stats().executions, 9);
+
+  // The drop is observable in the trace: trigger kind and execution count.
+  bool saw_drop_event = false;
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type == TraceEventType::kTriggerDropped) {
+      saw_drop_event = true;
+      EXPECT_EQ(e.a, static_cast<std::int32_t>(TriggerKind::kDataPushed));
+      EXPECT_EQ(e.b, 8);
+    }
+  }
+  EXPECT_TRUE(saw_drop_event);
+}
+
+TEST(EngineTriggerTest, UnboundedTriggerRunsToCompletionWithoutDrop) {
+  sim::Simulator sim;
+  MptcpConnection::Config cfg = lossy_config(0.0);
+  cfg.max_executions_per_trigger = 64;
+  MptcpConnection conn(sim, cfg, Rng(1));
+  auto sched = std::make_unique<InjectingGreedyScheduler>();
+  InjectingGreedyScheduler* greedy = sched.get();
+  conn.set_scheduler(std::move(sched));
+
+  conn.write(8 * 1400);
+  // 8 productive pops + the final blocked execution, well under the bound.
+  EXPECT_EQ(greedy->executions, 9);
+  EXPECT_EQ(conn.scheduler_stats().trigger_drops, 0);
+}
+
+/// Same seed, same config -> byte-identical JSONL traces. The trace is
+/// integer-only and the simulator clock deterministic, so any divergence
+/// is a real nondeterminism bug.
+TEST(EngineTriggerTest, SameSeedRunsProduceIdenticalTraces) {
+  auto run = [] {
+    sim::Simulator sim;
+    MptcpConnection::Config cfg = lossy_config(0.02);
+    cfg.trace_enabled = true;
+    cfg.trace_capacity = 1 << 18;
+    MptcpConnection conn(sim, cfg, Rng(42));
+    conn.set_scheduler(sched::make_native_minrtt());
+    conn.write(300 * 1400);
+    sim.run_until(seconds(60));
+    EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+    return conn.tracer().to_jsonl();
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace progmp::mptcp
