@@ -1,0 +1,153 @@
+// Handover under path failure — the resilience experiment.
+//
+// The §2 walk-away scenario: a constant-rate stream runs over WiFi (10 ms
+// RTT, preferred) + LTE (40 ms RTT, backup). At t=3 s the WiFi path blacks
+// out (both directions) and comes back at t=8 s. Without failure detection
+// the connection stalls: WiFi stays "established", so the backup-flag
+// semantics keep LTE idle while WiFi's RTO backs off exponentially. With the
+// consecutive-RTO death threshold armed, the subflow is declared dead after
+// a few RTOs, its stranded packets are reinjected and rescheduled onto LTE,
+// and the restored link revives WiFi with a fresh sequence space.
+//
+// All figures are trace-derived; reinjected copies are separable from fresh
+// sends via the kTx reinjection flag.
+#include <cstdio>
+#include <fstream>
+
+#include "api/progmp_api.hpp"
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+#include "core/table.hpp"
+#include "core/trace.hpp"
+#include "mptcp/connection.hpp"
+#include "sim/faults.hpp"
+
+namespace progmp::bench {
+namespace {
+
+constexpr std::int64_t kRateBytesPerSec = 1'500'000;
+
+struct Result {
+  double rate_outage = 0.0;     // delivered B/s during [4s, 8s)
+  double rate_after = 0.0;      // delivered B/s during [10s, 12s)
+  std::int64_t written = 0;
+  std::int64_t delivered = 0;
+  std::int64_t wifi_bytes_after_restore = 0;  // fresh tx on wifi in [9s, 16s)
+  std::int64_t reinjected_tx = 0;  // kTx events flagged as reinjections
+  std::int64_t deaths = 0;
+  std::int64_t revivals = 0;
+  TimeSeries series;
+  std::string proc_dump;
+  std::string trace_jsonl;
+};
+
+Result run(int rto_death_threshold) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(rto_death_threshold);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 21;
+  mptcp::MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(load_builtin("minrtt"));
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(3), seconds(8));
+
+  apps::CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, kRateBytesPerSec}};
+  opts.duration = seconds(12);
+  apps::CbrSource source(sim, conn, opts);
+
+  source.start();
+  sim.run_until(seconds(16));
+
+  Result result;
+  const std::vector<TraceEvent> events = conn.tracer().events();
+  using TT = TraceEventType;
+  result.series = trace_rate_series(events, {TT::kDeliver}, /*subflow=*/-1);
+  result.rate_outage = result.series.mean_between(seconds(4), seconds(8));
+  result.rate_after = result.series.mean_between(seconds(10), seconds(12));
+  result.written = conn.written_bytes();
+  result.delivered = conn.delivered_bytes();
+  result.wifi_bytes_after_restore =
+      trace_bytes_between(events, {TT::kTx}, /*subflow=*/0, seconds(9),
+                          seconds(16), /*exclude_reinjections=*/true);
+  for (const TraceEvent& e : events) {
+    if (e.type == TT::kTx && e.a == 1) ++result.reinjected_tx;
+  }
+  result.deaths = conn.subflow(0).stats().deaths;
+  result.revivals = conn.subflow(0).stats().revivals;
+  result.proc_dump = api::ProgmpApi::proc_dump(conn);
+  result.trace_jsonl = conn.tracer().to_jsonl();
+  return result;
+}
+
+}  // namespace
+}  // namespace progmp::bench
+
+int main() {
+  using namespace progmp;
+  using namespace progmp::bench;
+
+  print_header(
+      "Handover — WiFi blackout [3s,8s) with LTE as backup",
+      "§2/§3.3: without failure handling the backup flag starves the "
+      "connection during the outage; with detection the stream survives");
+
+  const Result frozen = run(/*rto_death_threshold=*/0);
+  const Result resilient = run(/*rto_death_threshold=*/3);
+
+  Table table({"failure handling", "rate in outage (MB/s)",
+               "rate after restore (MB/s)", "delivered/written",
+               "wifi deaths/revivals", "reinjected tx"});
+  auto row = [&](const char* label, const Result& r) {
+    table.add_row({label, Table::num(mbps(r.rate_outage), 2),
+                   Table::num(mbps(r.rate_after), 2),
+                   Table::num(100.0 * static_cast<double>(r.delivered) /
+                                  static_cast<double>(r.written),
+                              1) +
+                       " %",
+                   std::to_string(r.deaths) + "/" + std::to_string(r.revivals),
+                   std::to_string(r.reinjected_tx)});
+  };
+  row("none (threshold=0)", frozen);
+  row("rto_death_threshold=3", resilient);
+  std::printf("%s", table.str().c_str());
+
+  std::printf("\n%s",
+              frozen.series
+                  .ascii_plot("delivered rate, no failure handling (B/s)", 72,
+                              8)
+                  .c_str());
+  std::printf("%s",
+              resilient.series
+                  .ascii_plot("delivered rate, with death detection (B/s)", 72,
+                              8)
+                  .c_str());
+
+  std::ofstream("fig_handover_trace.jsonl") << resilient.trace_jsonl;
+  std::printf("\nraw event trace written to fig_handover_trace.jsonl\n");
+  std::printf("\n-- proc dump (resilient run) --\n%s",
+              resilient.proc_dump.c_str());
+
+  std::printf("\nShape checks vs the paper:\n");
+  bool ok = true;
+  ok &= check_shape(
+      "without failure handling the backup flag starves the outage window "
+      "(< 0.4 MB/s delivered)",
+      frozen.rate_outage < 400'000);
+  ok &= check_shape(
+      "death detection reschedules onto LTE and sustains >= 1 MB/s through "
+      "the outage",
+      resilient.rate_outage >= 1'000'000);
+  ok &= check_shape("the WiFi subflow dies exactly once and is revived once",
+                    resilient.deaths == 1 && resilient.revivals == 1);
+  ok &= check_shape("revived WiFi carries fresh data after the restore",
+                    resilient.wifi_bytes_after_restore > 0);
+  ok &= check_shape("stranded packets were visibly reinjected (flagged kTx)",
+                    resilient.reinjected_tx > 0);
+  ok &= check_shape("the resilient run delivers the whole stream",
+                    resilient.delivered == resilient.written);
+  return ok ? 0 : 1;
+}

@@ -87,17 +87,35 @@ std::string ProgmpApi::proc_stats(mptcp::MptcpConnection& conn) {
   out += buf;
   const TimeNs now = conn.simulator().now();
   for (int slot = 0; slot < conn.subflow_count(); ++slot) {
-    const mptcp::SubflowInfo info = conn.subflow(slot).info(now);
+    mptcp::SubflowSender& sbf = conn.subflow(slot);
+    const mptcp::SubflowInfo info = sbf.info(now);
+    const char* state = "";
+    switch (sbf.state()) {
+      case mptcp::SubflowSender::State::kEstablished:
+        break;
+      case mptcp::SubflowSender::State::kFailed:
+        state = " [failed]";
+        break;
+      case mptcp::SubflowSender::State::kClosed:
+        state = " [closed]";
+        break;
+    }
     std::snprintf(
         buf, sizeof buf,
         "subflow %d (%s)%s%s: rtt=%s cwnd=%lld inflight=%lld queued=%lld "
         "rate=%.0fB/s\n",
-        slot, info.name.c_str(), info.is_backup ? " [backup]" : "",
-        info.established ? "" : " [closed]", info.rtt.str().c_str(),
-        static_cast<long long>(info.cwnd),
+        slot, info.name.c_str(), info.is_backup ? " [backup]" : "", state,
+        info.rtt.str().c_str(), static_cast<long long>(info.cwnd),
         static_cast<long long>(info.skbs_in_flight),
         static_cast<long long>(info.queued), info.delivery_rate_bps);
     out += buf;
+    const mptcp::SubflowSender::Stats& ss = sbf.stats();
+    if (ss.deaths > 0 || ss.revivals > 0) {
+      std::snprintf(buf, sizeof buf, "  deaths=%lld revivals=%lld\n",
+                    static_cast<long long>(ss.deaths),
+                    static_cast<long long>(ss.revivals));
+      out += buf;
+    }
   }
   return out;
 }
@@ -106,9 +124,18 @@ std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
   std::string out = proc_stats(conn);
   char buf[256];
   const mptcp::SchedulerStats& st = conn.scheduler_stats();
-  std::snprintf(buf, sizeof buf, "trigger_drops: %lld\nbackend: %s\n",
+  std::snprintf(buf, sizeof buf,
+                "trigger_drops: %lld\nsched_faults: %lld\nbackend: %s\n",
                 static_cast<long long>(st.trigger_drops),
+                static_cast<long long>(st.sched_faults),
                 conn.last_exec_backend());
+  out += buf;
+  const mptcp::MptcpConnection::Config& cc = conn.config();
+  std::snprintf(buf, sizeof buf,
+                "resilience: rto_death_threshold=%d revive_on_restore=%s "
+                "sched_fault_fallback=%s\n",
+                cc.rto_death_threshold, cc.revive_on_restore ? "on" : "off",
+                cc.sched_fault_fallback ? "on" : "off");
   out += buf;
   const Tracer& trace = conn.tracer();
   std::snprintf(buf, sizeof buf,

@@ -60,6 +60,24 @@ class ProgmpApi {
     conn.write(bytes, props);
   }
 
+  // ---- Resilience knobs ---------------------------------------------------
+  /// Consecutive-RTO threshold after which a subflow is declared dead and
+  /// its stranded packets are rescheduled on the surviving subflows (0
+  /// disables — the default).
+  static void set_rto_death_threshold(mptcp::MptcpConnection& conn,
+                                      int threshold) {
+    conn.set_rto_death_threshold(threshold);
+  }
+  /// Whether a failed subflow is revived when its data link comes back.
+  static void set_revive_on_restore(mptcp::MptcpConnection& conn, bool on) {
+    conn.set_revive_on_restore(on);
+  }
+  /// Whether a scheduler-program runtime fault falls back to the built-in
+  /// default scheduler for that trigger (recommended; on by default).
+  static void set_sched_fault_fallback(mptcp::MptcpConnection& conn, bool on) {
+    conn.set_sched_fault_fallback(on);
+  }
+
   /// Signals the end of the current flow (used by the Compensating
   /// schedulers, which watch R2).
   static void signal_flow_end(mptcp::MptcpConnection& conn) {

@@ -65,6 +65,16 @@ mptcp::MptcpConnection::Config mobile_config(bool lte_backup_flag,
   return cfg;
 }
 
+mptcp::MptcpConnection::Config handover_config(int rto_death_threshold,
+                                               std::int64_t wifi_mbps,
+                                               std::int64_t lte_mbps) {
+  mptcp::MptcpConnection::Config cfg =
+      mobile_config(/*lte_backup_flag=*/true, wifi_mbps, lte_mbps);
+  cfg.rto_death_threshold = rto_death_threshold;
+  cfg.revive_on_restore = true;
+  return cfg;
+}
+
 mptcp::MptcpConnection::Config lossy_config(double loss, int subflows,
                                             std::int64_t rate_mbps,
                                             TimeNs one_way) {

@@ -44,6 +44,15 @@ mptcp::MptcpConnection::Config mobile_config(bool lte_backup_flag,
                                              std::int64_t wifi_mbps = 16,
                                              std::int64_t lte_mbps = 48);
 
+/// The WiFi-walk-away handover scenario (§2, Fig 1): the mobile connection
+/// with LTE as backup and automatic path-failure resilience armed — a
+/// consecutive-RTO death threshold plus revival on link restore. Pair it
+/// with sim::FaultInjector::blackout on path(0) to model leaving and
+/// re-entering WiFi range.
+mptcp::MptcpConnection::Config handover_config(int rto_death_threshold = 3,
+                                               std::int64_t wifi_mbps = 16,
+                                               std::int64_t lte_mbps = 48);
+
 /// The Fig 10 Mininet-style connection: two symmetric subflows with the
 /// given loss rate.
 mptcp::MptcpConnection::Config lossy_config(double loss, int subflows = 2,

@@ -33,6 +33,18 @@ const char* trace_event_name(TraceEventType type) {
       return "deliver";
     case TraceEventType::kWindowUpdate:
       return "window_update";
+    case TraceEventType::kLinkDown:
+      return "link_down";
+    case TraceEventType::kLinkUp:
+      return "link_up";
+    case TraceEventType::kLinkDrop:
+      return "link_drop";
+    case TraceEventType::kSubflowDead:
+      return "subflow_dead";
+    case TraceEventType::kSubflowRevived:
+      return "subflow_revived";
+    case TraceEventType::kSchedFault:
+      return "sched_fault";
   }
   return "?";
 }
@@ -98,8 +110,11 @@ std::string Tracer::to_csv() const {
 namespace {
 
 bool matches(const TraceEvent& e, std::initializer_list<TraceEventType> types,
-             int subflow) {
+             int subflow, bool exclude_reinjections) {
   if (subflow >= 0 && e.subflow != subflow) return false;
+  if (exclude_reinjections && e.type == TraceEventType::kTx && e.a != 0) {
+    return false;
+  }
   return std::find(types.begin(), types.end(), e.type) != types.end();
 }
 
@@ -107,17 +122,22 @@ bool matches(const TraceEvent& e, std::initializer_list<TraceEventType> types,
 
 std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
                                  std::initializer_list<TraceEventType> types,
-                                 int subflow, TimeNs from, TimeNs to) {
+                                 int subflow, TimeNs from, TimeNs to,
+                                 bool exclude_reinjections) {
   std::int64_t total = 0;
   for (const TraceEvent& e : events) {
-    if (e.at >= from && e.at < to && matches(e, types, subflow)) total += e.b;
+    if (e.at >= from && e.at < to &&
+        matches(e, types, subflow, exclude_reinjections)) {
+      total += e.b;
+    }
   }
   return total;
 }
 
 TimeSeries trace_rate_series(std::span<const TraceEvent> events,
                              std::initializer_list<TraceEventType> types,
-                             int subflow, TimeNs sample, TimeNs window) {
+                             int subflow, TimeNs sample, TimeNs window,
+                             bool exclude_reinjections) {
   TimeSeries series;
   if (events.empty() || sample <= TimeNs{0} || window <= TimeNs{0}) {
     return series;
@@ -126,7 +146,7 @@ TimeSeries trace_rate_series(std::span<const TraceEvent> events,
   // two-pointer sweep over the trailing window suffices.
   std::vector<const TraceEvent*> hits;
   for (const TraceEvent& e : events) {
-    if (matches(e, types, subflow)) hits.push_back(&e);
+    if (matches(e, types, subflow, exclude_reinjections)) hits.push_back(&e);
   }
   if (hits.empty()) return series;
 

@@ -34,13 +34,22 @@ enum class TraceEventType : std::uint8_t {
   kPush,                ///< scheduler PUSHed a packet (b=size, c=meta_seq)
   kPop,                 ///< scheduler POPped a packet (a=queue, b=size, c=meta_seq)
   kDrop,                ///< scheduler DROPped a packet (b=size, c=meta_seq)
-  kTx,                  ///< fresh wire transmission (b=size, c=meta_seq)
+  kTx,                  ///< wire transmission (a=1 if the packet was already
+                        ///< transmitted before — reinjection or redundant
+                        ///< copy, b=size, c=meta_seq)
   kRetx,                ///< subflow-level retransmission (b=size, c=meta_seq)
   kFastRetx,            ///< fast retransmit entered (b=size, c=meta_seq)
   kRto,                 ///< retransmission timeout fired (a=backoff)
   kCwndChange,          ///< congestion window changed (a=reason, b=new cwnd)
   kDeliver,             ///< in-order delivery to the application (b=size, c=meta_seq)
   kWindowUpdate,        ///< receiver reopened its window (b=rwnd bytes)
+  kLinkDown,            ///< injected link fault (a=direction: 0 fwd, 1 rev)
+  kLinkUp,              ///< link restored (a=direction: 0 fwd, 1 rev)
+  kLinkDrop,            ///< link dropped a packet (a=DropCause, b=wire bytes)
+  kSubflowDead,         ///< subflow declared dead (a=consecutive RTOs)
+  kSubflowRevived,      ///< failed subflow revived after a link restore
+  kSchedFault,          ///< scheduler runtime fault; effects rolled back and
+                        ///< the default scheduler ran instead (a=trigger kind)
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;
@@ -117,10 +126,14 @@ class Tracer {
 // ---- Reconstruction helpers (bench figures from traces) ---------------------
 
 /// Sum of the byte field (b) of events of the given types on `subflow`
-/// (-1 = any subflow) with timestamps in [from, to).
+/// (-1 = any subflow) with timestamps in [from, to). With
+/// `exclude_reinjections`, tx events flagged as a repeat transmission of an
+/// already-sent packet (a=1: reinjection after a subflow death / redundant
+/// copy) are skipped, so the series reflects first transmissions only.
 std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
                                  std::initializer_list<TraceEventType> types,
-                                 int subflow, TimeNs from, TimeNs to);
+                                 int subflow, TimeNs from, TimeNs to,
+                                 bool exclude_reinjections = false);
 
 /// Sliding-window throughput series (bytes/sec): the byte field of matching
 /// events summed over a trailing `window`, sampled every `sample` — the
@@ -128,6 +141,7 @@ std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
 TimeSeries trace_rate_series(std::span<const TraceEvent> events,
                              std::initializer_list<TraceEventType> types,
                              int subflow, TimeNs sample = milliseconds(33),
-                             TimeNs window = milliseconds(1000));
+                             TimeNs window = milliseconds(1000),
+                             bool exclude_reinjections = false);
 
 }  // namespace progmp

@@ -61,6 +61,15 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
   PROGMP_CHECK_MSG(slot < kMaxSubflows, "too many subflows");
   paths_.push_back(std::make_unique<sim::NetPath>(sim_, spec.forward,
                                                   spec.reverse, rng_.fork()));
+  paths_.back()->forward.set_tracer(&trace_, slot, /*direction=*/0);
+  paths_.back()->reverse.set_tracer(&trace_, slot, /*direction=*/1);
+  // A restore of the *data* link revives a failed subflow (the injector
+  // restores the ACK link first for whole-path blackouts, so both directions
+  // are usable by the time this fires). revive_subflow() is a no-op unless
+  // the subflow actually failed, so fault-free runs never take this path.
+  paths_.back()->forward.set_state_change_fn([this, slot](bool up) {
+    if (up && cfg_.revive_on_restore) revive_subflow(slot);
+  });
   SubflowSender::Host host;
   host.may_transmit = [this](const SkbPtr& skb) {
     // TCP window check on the right edge: offsets below it always fit.
@@ -85,9 +94,14 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
     handle_meta_ack(meta_ack, rwnd);
   };
   host.on_tsq_freed = [this](int s) { trigger({TriggerKind::kTsqFreed, s}); };
+  host.on_subflow_dead = [this](int s) { fail_subflow(s); };
 
+  SubflowSender::Config sender_cfg = spec.sender;
+  if (sender_cfg.rto_death_threshold == 0) {
+    sender_cfg.rto_death_threshold = cfg_.rto_death_threshold;
+  }
   subflows_.push_back(std::make_unique<SubflowSender>(
-      sim_, *paths_.back(), *receiver_, slot, spec.sender, make_cc(),
+      sim_, *paths_.back(), *receiver_, slot, std::move(sender_cfg), make_cc(),
       std::move(host)));
   subflows_.back()->set_tracer(&trace_);
   return slot;
@@ -141,9 +155,7 @@ int MptcpConnection::add_subflow(const SubflowSpec& spec) {
   return slot;
 }
 
-void MptcpConnection::close_subflow(int slot) {
-  PROGMP_CHECK(slot >= 0 && slot < subflow_count());
-  std::vector<SkbPtr> orphans = subflows_[static_cast<std::size_t>(slot)]->close();
+void MptcpConnection::reinject_orphans(const std::vector<SkbPtr>& orphans) {
   for (const SkbPtr& skb : orphans) {
     // Unsent/unacked packets of the dead subflow become reinjection
     // candidates unless they are still waiting in Q anyway.
@@ -152,7 +164,48 @@ void MptcpConnection::close_subflow(int slot) {
       rq_.push_back(skb);
     }
   }
+}
+
+void MptcpConnection::close_subflow(int slot) {
+  PROGMP_CHECK(slot >= 0 && slot < subflow_count());
+  reinject_orphans(subflows_[static_cast<std::size_t>(slot)]->close());
   trigger({TriggerKind::kSubflowClosed, slot});
+}
+
+void MptcpConnection::fail_subflow(int slot) {
+  PROGMP_CHECK(slot >= 0 && slot < subflow_count());
+  SubflowSender& sbf = *subflows_[static_cast<std::size_t>(slot)];
+  if (sbf.state() != SubflowSender::State::kEstablished) return;
+  std::vector<SkbPtr> orphans = sbf.fail();
+  // The dead subflow's sent-on marks are stale: whatever was on its wire is
+  // gone, and after a revival the subflow starts from a fresh sequence
+  // space. Clearing them lets schedulers with a !SENT_ON(sbf) reinjection
+  // filter place the stranded packets (including on this subflow once it is
+  // revived) instead of wedging.
+  for (const SkbPtr& skb : orphans) {
+    skb->sent_mask &= ~(1u << static_cast<unsigned>(slot));
+  }
+  reinject_orphans(orphans);
+  // The scheduler sees the shrunken subflow set (established == false drops
+  // the slot from SUBFLOWS) and reschedules the stranded packets on the
+  // survivors — including backup subflows, per the default backup semantics.
+  trigger({TriggerKind::kSubflowClosed, slot});
+}
+
+void MptcpConnection::revive_subflow(int slot) {
+  PROGMP_CHECK(slot >= 0 && slot < subflow_count());
+  SubflowSender& sbf = *subflows_[static_cast<std::size_t>(slot)];
+  if (!sbf.can_revive()) return;
+  // Both ends restart the subflow sequence space together.
+  receiver_->reset_subflow(slot);
+  sbf.reopen();
+  trace_.emit(TraceEventType::kSubflowRevived, sim_.now(), slot);
+  trigger({TriggerKind::kSubflowAdded, slot});
+}
+
+void MptcpConnection::set_rto_death_threshold(int threshold) {
+  cfg_.rto_death_threshold = threshold;
+  for (auto& sbf : subflows_) sbf->set_rto_death_threshold(threshold);
 }
 
 std::int64_t MptcpConnection::wire_bytes_sent() const {
@@ -217,6 +270,20 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
               static_cast<std::int32_t>(t.kind));
   scheduler_->schedule(ctx);
   last_exec_backend_ = ctx.exec_backend();
+  if (ctx.faulted()) {
+    // Runtime fault containment (§3.3): the faulting execution's visible
+    // effects are rolled back and — unless disabled — the built-in default
+    // scheduler handles this trigger, so a buggy program degrades service
+    // instead of stalling the connection.
+    ++sched_stats_.sched_faults;
+    trace_.emit(TraceEventType::kSchedFault, now, t.subflow_slot,
+                static_cast<std::int32_t>(t.kind));
+    ctx.rollback();
+    if (cfg_.sched_fault_fallback) {
+      run_default_minrtt(ctx);
+      last_exec_backend_ = "fallback";
+    }
+  }
   hist_insns_per_exec_->add(ctx.exec_insns());
   hist_pushes_per_exec_->add(static_cast<std::int64_t>(ctx.actions().size()));
   trace_.emit(TraceEventType::kSchedExecEnd, now, t.subflow_slot,
@@ -277,6 +344,7 @@ void MptcpConnection::refresh_metrics() {
   *metrics_.counter("engine.pops") = sched_stats_.pops;
   *metrics_.counter("engine.drops") = sched_stats_.drops;
   *metrics_.counter("engine.trigger_drops") = sched_stats_.trigger_drops;
+  *metrics_.counter("engine.sched_faults") = sched_stats_.sched_faults;
 
   *metrics_.counter("conn.written_bytes") = written_bytes_;
   *metrics_.counter("conn.delivered_bytes") = delivered_bytes_;
@@ -301,6 +369,14 @@ void MptcpConnection::refresh_metrics() {
     *metrics_.counter(p + "bytes_sent") = s.bytes_sent;
     *metrics_.counter(p + "fast_retransmits") = s.fast_retransmits;
     *metrics_.counter(p + "rtos") = s.rtos;
+    *metrics_.counter(p + "deaths") = s.deaths;
+    *metrics_.counter(p + "revivals") = s.revivals;
+    *metrics_.gauge(p + "established") = sbf->established() ? 1 : 0;
+    const sim::Link::Stats& fwd =
+        paths_[static_cast<std::size_t>(sbf->slot())]->forward.stats();
+    *metrics_.counter(p + "link_drops_down") = fwd.drops_down;
+    *metrics_.counter(p + "link_drops_burst") = fwd.drops_burst;
+    *metrics_.counter(p + "link_down_transitions") = fwd.down_transitions;
     const SubflowInfo info = sbf->info(now);
     *metrics_.gauge(p + "cwnd") = info.cwnd;
     *metrics_.gauge(p + "in_flight") = info.skbs_in_flight;

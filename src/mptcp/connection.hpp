@@ -55,6 +55,19 @@ class MptcpConnection {
     bool trace_enabled = false;
     /// Ring capacity of the tracer (events kept; older ones overwritten).
     std::size_t trace_capacity = Tracer::kDefaultCapacity;
+
+    // ---- Resilience ---------------------------------------------------------
+    /// Connection-wide default for SubflowSender::Config::rto_death_threshold
+    /// (applied to subflows whose spec leaves it at 0). 0 disables death
+    /// detection — the seed behaviour, bit-identical at the same seed.
+    int rto_death_threshold = 0;
+    /// Revive a failed subflow when its forward (data) link comes back up.
+    /// Only engages after a failure, so it cannot change fault-free runs.
+    bool revive_on_restore = true;
+    /// When a scheduler program faults at runtime (budget exhaustion, VM
+    /// error), roll its effects back and run the built-in default scheduler
+    /// for that trigger instead of silently doing nothing.
+    bool sched_fault_fallback = true;
   };
 
   /// Called for every segment delivered in order to the receiving
@@ -88,6 +101,26 @@ class MptcpConnection {
   /// Closes/fails a subflow; its unsent and unacked packets move to RQ and
   /// the scheduler is triggered — packets must not be lost (§3.3).
   void close_subflow(int slot);
+
+  /// Declares a subflow dead after a path failure (called automatically when
+  /// the consecutive-RTO death threshold fires, or manually by tests/apps).
+  /// Stranded packets move to RQ and the scheduler reschedules them on the
+  /// survivors; the subflow stays revivable.
+  void fail_subflow(int slot);
+
+  /// Revives a failed subflow: fresh sequence space on both ends, slow-start
+  /// restart, and a kSubflowAdded trigger so the scheduler sees it again.
+  /// No-op unless the subflow is in the failed state. Called automatically
+  /// on link restore while Config::revive_on_restore is set.
+  void revive_subflow(int slot);
+
+  // ---- Resilience knobs (live reconfiguration) ----------------------------
+  /// Applies a new consecutive-RTO death threshold to all subflows (0
+  /// disables detection).
+  void set_rto_death_threshold(int threshold);
+  void set_revive_on_restore(bool on) { cfg_.revive_on_restore = on; }
+  void set_sched_fault_fallback(bool on) { cfg_.sched_fault_fallback = on; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   // ---- Introspection -------------------------------------------------------
   [[nodiscard]] int subflow_count() const {
@@ -144,6 +177,7 @@ class MptcpConnection {
  private:
   int create_subflow(const SubflowSpec& spec);
   std::unique_ptr<tcp::CongestionControl> make_cc();
+  void reinject_orphans(const std::vector<SkbPtr>& orphans);
   void run_engine();
   bool run_scheduler_once(Trigger t);
   void apply_actions(const SchedulerContext& ctx);

@@ -48,6 +48,18 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
   return AckInfo{seg.sbf_slot, rx.expected, meta_expected_, rwnd_bytes()};
 }
 
+void Receiver::reset_subflow(int slot) {
+  PROGMP_CHECK(slot >= 0 && slot < kMaxSubflows);
+  SubflowRx& rx = subflows_[static_cast<std::size_t>(slot)];
+  if (cfg_.model == ReceiverModel::kMultiLayer) {
+    // Segments held hostage at the subflow level die with the subflow; the
+    // sender reinjects the unacked meta range elsewhere anyway.
+    for (const auto& [seq, seg] : rx.ooo) sbf_ooo_bytes_ -= seg.size;
+  }
+  rx.ooo.clear();
+  rx.expected = 0;
+}
+
 void Receiver::meta_receive(const DataSegment& seg) {
   if (seg.meta_seq < meta_expected_ || meta_ooo_.contains(seg.meta_seq)) {
     // Meta-level duplicate — a redundant copy arrived on another subflow.

@@ -79,6 +79,12 @@ class Receiver {
   /// same subflow.
   AckInfo on_data(const DataSegment& seg);
 
+  /// Forgets all per-subflow sequence state for `slot` — the receiver half of
+  /// reviving a failed subflow, which restarts with a fresh subflow sequence
+  /// space (SubflowSender::reopen()). Meta-level state is untouched: data the
+  /// dead subflow managed to deliver stays delivered.
+  void reset_subflow(int slot);
+
   [[nodiscard]] std::uint64_t meta_expected() const { return meta_expected_; }
   [[nodiscard]] std::uint64_t subflow_expected(int slot) const {
     return subflows_[static_cast<std::size_t>(slot)].expected;

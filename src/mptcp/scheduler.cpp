@@ -1,6 +1,7 @@
 #include "mptcp/scheduler.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace progmp::mptcp {
 namespace {
@@ -37,6 +38,7 @@ SkbPtr SchedulerContext::pop_at(QueueId id, std::size_t index) {
       break;
   }
   popped_ = true;
+  pop_log_.push_back({id, skb});
   ++stats_->pops;
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kPop, now_, -1, static_cast<std::int32_t>(id),
@@ -72,6 +74,7 @@ void SchedulerContext::drop(const SkbPtr& skb) {
   if (skb == nullptr || skb->acked || skb->dropped) {
     return;
   }
+  drop_log_.push_back({skb, skb->in_q, skb->in_qu, skb->in_rq});
   skb->dropped = true;
   detach_from_all_queues(skb);
   dropped_ = true;
@@ -80,6 +83,47 @@ void SchedulerContext::drop(const SkbPtr& skb) {
     trace_->emit(TraceEventType::kDrop, now_, -1, 0, skb->size,
                  static_cast<std::int64_t>(skb->meta_seq));
   }
+}
+
+void SchedulerContext::rollback() {
+  // Newest effect first, so interleaved pop/drop sequences unwind cleanly
+  // (a packet popped and then dropped regains both its membership sets).
+  for (auto it = drop_log_.rbegin(); it != drop_log_.rend(); ++it) {
+    it->skb->dropped = false;
+    if (it->was_in_q && !it->skb->in_q) {
+      it->skb->in_q = true;
+      q_->push_front(it->skb);
+    }
+    if (it->was_in_qu && !it->skb->in_qu) {
+      it->skb->in_qu = true;
+      qu_->push_front(it->skb);
+    }
+    if (it->was_in_rq && !it->skb->in_rq) {
+      it->skb->in_rq = true;
+      rq_->push_front(it->skb);
+    }
+  }
+  for (auto it = pop_log_.rbegin(); it != pop_log_.rend(); ++it) {
+    if (it->skb->acked || it->skb->dropped) continue;
+    std::deque<SkbPtr>* queue = mutable_queue(q_, qu_, rq_, it->id);
+    switch (it->id) {
+      case QueueId::kQ:
+        it->skb->in_q = true;
+        break;
+      case QueueId::kQu:
+        it->skb->in_qu = true;
+        break;
+      case QueueId::kRq:
+        it->skb->in_rq = true;
+        break;
+    }
+    queue->push_front(it->skb);
+  }
+  drop_log_.clear();
+  pop_log_.clear();
+  actions_.clear();
+  dropped_ = false;
+  popped_ = false;
 }
 
 void SchedulerContext::detach_from_all_queues(const SkbPtr& skb) {
@@ -92,6 +136,65 @@ void SchedulerContext::detach_from_all_queues(const SkbPtr& skb) {
   detach(q_, &Skb::in_q);
   detach(qu_, &Skb::in_qu);
   detach(rq_, &Skb::in_rq);
+}
+
+namespace {
+
+/// Usable for fresh data: established, not throttled, not in loss state,
+/// with congestion window room.
+bool minrtt_available(const SubflowInfo& s) {
+  return s.established && !s.tsq_throttled && !s.lossy && s.cwnd_free();
+}
+
+/// Lowest-RTT subflow among those satisfying `pred`; -1 if none.
+template <typename Pred>
+int min_rtt_slot(SchedulerContext& ctx, Pred&& pred) {
+  int best = -1;
+  TimeNs best_rtt{std::numeric_limits<std::int64_t>::max()};
+  for (const SubflowInfo& s : ctx.subflows()) {
+    if (!pred(s)) continue;
+    if (s.rtt < best_rtt) {
+      best_rtt = s.rtt;
+      best = s.slot;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+void run_default_minrtt(SchedulerContext& ctx) {
+  // Backup subflows carry data only while no non-backup subflow exists at
+  // all (Linux backup semantics) — including reinjections: when every
+  // regular subflow failed, the stranded packets must be allowed onto the
+  // backups or the connection wedges at the meta-level gap.
+  bool non_backup_exists = false;
+  for (const SubflowInfo& s : ctx.subflows()) {
+    if (s.established && !s.is_backup) non_backup_exists = true;
+  }
+  auto backup_ok = [&](const SubflowInfo& s) {
+    return non_backup_exists ? !s.is_backup : true;
+  };
+
+  // Reinjections first: place the suspected-lost packet on an available
+  // subflow that has not carried it.
+  if (!ctx.queue(QueueId::kRq).empty()) {
+    const SkbPtr& head = ctx.queue(QueueId::kRq).front();
+    const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
+      return minrtt_available(s) && backup_ok(s) && !head->sent_on(s.slot);
+    });
+    if (slot >= 0) {
+      ctx.push(slot, ctx.pop(QueueId::kRq));
+    }
+  }
+  if (ctx.queue(QueueId::kQ).empty()) return;
+
+  const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
+    return minrtt_available(s) && backup_ok(s);
+  });
+  if (slot >= 0) {
+    ctx.push(slot, ctx.pop(QueueId::kQ));
+  }
 }
 
 }  // namespace progmp::mptcp

@@ -84,6 +84,10 @@ struct SchedulerStats {
   /// Times the engine hit the per-trigger execution bound and abandoned the
   /// re-posted push-until-blocked continuation of a trigger.
   std::int64_t trigger_drops = 0;
+  /// Scheduler-program runtime faults (instruction-budget exhaustion, PC or
+  /// stack violations). Each one is rolled back and replaced by a run of the
+  /// built-in default scheduler — graceful failure (§3.3).
+  std::int64_t sched_faults = 0;
 };
 
 /// Execution context handed to the scheduler. Exposes immutable snapshots of
@@ -191,6 +195,25 @@ class SchedulerContext {
   [[nodiscard]] const char* exec_backend() const { return exec_backend_; }
   [[nodiscard]] std::int64_t exec_insns() const { return exec_insns_; }
 
+  // ---- Runtime faults -----------------------------------------------------
+  /// Reported by a ProgMP execution environment when the program died at
+  /// runtime (budget exhaustion, PC/stack violation). The engine rolls the
+  /// execution's effects back and substitutes the default scheduler.
+  void note_fault(std::string reason) {
+    faulted_ = true;
+    fault_reason_ = std::move(reason);
+  }
+  [[nodiscard]] bool faulted() const { return faulted_; }
+  [[nodiscard]] const std::string& fault_reason() const {
+    return fault_reason_;
+  }
+
+  /// Undoes every visible side effect of this execution: popped packets
+  /// return to the front of their queues (flags restored), dropped packets
+  /// are un-dropped and re-attached, and the deferred PUSH actions are
+  /// discarded. Afterwards the context is clean for a fallback run.
+  void rollback();
+
  private:
   void detach_from_all_queues(const SkbPtr& skb);
 
@@ -211,7 +234,30 @@ class SchedulerContext {
   bool popped_ = false;
   const char* exec_backend_ = "unknown";
   std::int64_t exec_insns_ = 0;
+
+  bool faulted_ = false;
+  std::string fault_reason_;
+
+  /// Undo logs for rollback(), in action order.
+  struct PopRecord {
+    QueueId id;
+    SkbPtr skb;
+  };
+  struct DropRecord {
+    SkbPtr skb;
+    bool was_in_q, was_in_qu, was_in_rq;
+  };
+  std::vector<PopRecord> pop_log_;
+  std::vector<DropRecord> drop_log_;
 };
+
+/// The built-in default scheduler (MinRTT with backup semantics), callable on
+/// a bare context: reinjections first on the lowest-RTT available non-backup
+/// subflow that has not carried the packet, then fresh data on the lowest-RTT
+/// available subflow; backup subflows only while no non-backup subflow is
+/// established. Shared by sched::make_native_minrtt() and the engine's
+/// scheduler-fault fallback, so both are one implementation.
+void run_default_minrtt(SchedulerContext& ctx);
 
 /// A scheduler: one execution per trigger, reading and acting through the
 /// context. Implementations: native C++ schedulers (sched/native.hpp) and

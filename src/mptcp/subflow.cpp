@@ -35,13 +35,13 @@ void SubflowSender::set_tracer(Tracer* trace) {
 }
 
 void SubflowSender::enqueue(const SkbPtr& skb) {
-  if (!established_ || skb == nullptr || skb->acked || skb->dropped) return;
+  if (!established() || skb == nullptr || skb->acked || skb->dropped) return;
   queue_.push_back(skb);
   pump();
 }
 
 void SubflowSender::pump() {
-  while (established_ && !queue_.empty() &&
+  while (established() && !queue_.empty() &&
          in_flight() < cc_->cwnd() &&
          tsq_bytes_ < tsq_budget_bytes()) {
     SkbPtr skb = queue_.front();
@@ -59,11 +59,15 @@ void SubflowSender::transmit_fresh(const SkbPtr& skb) {
   const TimeNs now = sim_.now();
   TxSeg seg{next_seq_++, skb->meta_seq, skb->size, skb, now, false};
   inflight_.push_back(seg);
-  if (skb->first_sent_at == TimeNs{0}) skb->first_sent_at = now;
+  // A packet that was already on some wire before is a reinjection (or a
+  // redundant copy); flag it so trace-derived rate series can tell goodput
+  // apart from duplicated bytes.
+  const bool reinject = skb->first_sent_at != TimeNs{0};
+  if (!reinject) skb->first_sent_at = now;
   ++stats_.segments_sent;
   stats_.bytes_sent += skb->size;
   if (trace_ != nullptr) {
-    trace_->emit(TraceEventType::kTx, now, slot_, 0, skb->size,
+    trace_->emit(TraceEventType::kTx, now, slot_, reinject ? 1 : 0, skb->size,
                  static_cast<std::int64_t>(skb->meta_seq));
   }
   if (host_.on_transmitted) host_.on_transmitted(skb);
@@ -90,7 +94,7 @@ void SubflowSender::put_on_wire(const TxSeg& seg, bool is_retransmit) {
         const AckInfo ack = receiver_.on_data(ds);
         path_.reverse.send(kAckBytes, nullptr, [this, guard, ack] {
           if (guard.expired()) return;
-          if (established_) on_ack(ack);
+          if (established()) on_ack(ack);
         });
       });
   if (sent) {
@@ -127,6 +131,7 @@ void SubflowSender::on_ack(const AckInfo& ack) {
     snd_una_ = ack.sbf_ack;
     dupacks_ = 0;
     rto_backoff_ = 1;
+    consecutive_rtos_ = 0;  // ACK progress: the path is alive
     while (!inflight_.empty() && inflight_.front().sbf_seq < snd_una_) {
       const TxSeg& seg = inflight_.front();
       if (!seg.retransmitted) {
@@ -180,13 +185,22 @@ void SubflowSender::enter_recovery_and_reinject() {
 
 void SubflowSender::on_rto_fired() {
   rto_armed_ = false;
-  if (!established_ || inflight_.empty()) return;
+  if (!established() || inflight_.empty()) return;
   ++stats_.rtos;
+  ++consecutive_rtos_;
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kRto, sim_.now(), slot_, rto_backoff_);
   }
+  if (cfg_.rto_death_threshold > 0 &&
+      consecutive_rtos_ >= cfg_.rto_death_threshold && host_.on_subflow_dead) {
+    // The path looks dead. Hand the decision to the connection (which is
+    // expected to call fail()) instead of burning another retransmit on a
+    // black hole. Note: the callback may tear this subflow's queues down.
+    host_.on_subflow_dead(slot_);
+    return;
+  }
   cc_->on_rto();
-  rto_backoff_ = std::min(rto_backoff_ * 2, 64);
+  rto_backoff_ = std::min(rto_backoff_ * 2, kMaxRtoBackoff);
   in_recovery_ = true;
   recover_ = next_seq_;
   const SkbPtr skb = inflight_.front().skb;
@@ -201,7 +215,11 @@ void SubflowSender::on_rto_fired() {
 void SubflowSender::arm_rto() {
   PROGMP_CHECK(!rto_armed_);
   std::weak_ptr<int> guard{alive_};
-  rto_event_ = sim_.schedule_after(rtt_.rto() * rto_backoff_, [this, guard] {
+  // Kernel-style backoff clamp: the multiplier is capped at kMaxRtoBackoff
+  // and the armed timeout itself at kMaxBackoffRto (TCP_RTO_MAX analogue) —
+  // otherwise a high-RTT path can back off to over an hour between probes.
+  const TimeNs timeout = std::min(rtt_.rto() * rto_backoff_, kMaxBackoffRto);
+  rto_event_ = sim_.schedule_after(timeout, [this, guard] {
     if (guard.expired()) return;
     on_rto_fired();
   });
@@ -234,7 +252,7 @@ SubflowInfo SubflowSender::info(TimeNs now) const {
   i.name = cfg_.name;
   i.is_backup = cfg_.backup;
   i.preferred = cfg_.preferred;
-  i.established = established_;
+  i.established = established();
   i.tsq_throttled = tsq_bytes_ >= tsq_budget_bytes();
   i.lossy = in_recovery_;
   i.cwnd = cc_->cwnd();
@@ -254,8 +272,7 @@ SubflowInfo SubflowSender::info(TimeNs now) const {
   return i;
 }
 
-std::vector<SkbPtr> SubflowSender::close() {
-  established_ = false;
+std::vector<SkbPtr> SubflowSender::harvest_and_clear() {
   disarm_rto();
   std::vector<SkbPtr> orphans;
   std::unordered_set<const Skb*> seen;
@@ -268,6 +285,44 @@ std::vector<SkbPtr> SubflowSender::close() {
   queue_.clear();
   inflight_.clear();
   return orphans;
+}
+
+std::vector<SkbPtr> SubflowSender::close() {
+  state_ = State::kClosed;
+  return harvest_and_clear();
+}
+
+std::vector<SkbPtr> SubflowSender::fail() {
+  if (state_ != State::kEstablished) return {};
+  state_ = State::kFailed;
+  ++stats_.deaths;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kSubflowDead, sim_.now(), slot_,
+                 consecutive_rtos_);
+  }
+  return harvest_and_clear();
+}
+
+void SubflowSender::reopen() {
+  if (!can_revive()) return;
+  state_ = State::kEstablished;
+  // Fresh subflow sequence space — the receiver's per-slot state must be
+  // reset in tandem (Connection::revive_subflow does both).
+  next_seq_ = 0;
+  snd_una_ = 0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  recover_ = 0;
+  rto_backoff_ = 1;
+  consecutive_rtos_ = 0;
+  established_at_ = sim_.now();
+  last_tx_at_ = TimeNs{0};
+  // Slow-start restart: whatever cwnd the subflow had before the failure
+  // says nothing about the revived path.
+  cc_->on_rto();
+  ++stats_.revivals;
+  // tsq_bytes_ is deliberately NOT reset: in-flight serialize callbacks from
+  // before the failure still decrement it when the link drains.
 }
 
 }  // namespace progmp::mptcp

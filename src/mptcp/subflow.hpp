@@ -49,6 +49,10 @@ class SubflowSender {
     std::int64_t tsq_min_bytes = 16 * 1024;
     std::int64_t tsq_max_bytes = 256 * 1024;
     std::int64_t header_bytes = 60;  ///< wire overhead per segment
+    /// Consecutive RTOs (no intervening ACK progress) after which the
+    /// subflow declares itself dead via Host::on_subflow_dead. 0 disables
+    /// detection (seed behaviour: a dead path backs off forever).
+    int rto_death_threshold = 0;
   };
 
   /// Callbacks into the owning connection.
@@ -70,6 +74,11 @@ class SubflowSender {
     std::function<void(std::uint64_t meta_ack, std::int64_t rwnd)> on_meta_ack;
     /// TSQ budget freed — the scheduler may want to run.
     std::function<void(int slot)> on_tsq_freed;
+    /// The consecutive-RTO death threshold was reached: the subflow looks
+    /// dead. The connection is expected to call fail() (reinjecting the
+    /// stranded packets); the subflow itself takes no further action on
+    /// this RTO.
+    std::function<void(int slot)> on_subflow_dead;
   };
 
   struct Stats {
@@ -78,6 +87,8 @@ class SubflowSender {
     std::int64_t bytes_sent = 0;          ///< payload bytes incl. retransmits
     std::int64_t fast_retransmits = 0;
     std::int64_t rtos = 0;
+    std::int64_t deaths = 0;     ///< times the subflow was declared dead
+    std::int64_t revivals = 0;   ///< times a dead subflow was revived
   };
 
   SubflowSender(sim::Simulator& sim, sim::NetPath& path, Receiver& receiver,
@@ -108,12 +119,37 @@ class SubflowSender {
   void set_tracer(Tracer* trace);
 
   // ---- Lifecycle ----------------------------------------------------------
-  [[nodiscard]] bool established() const { return established_; }
+  enum class State { kEstablished, kFailed, kClosed };
 
-  /// Closes the subflow (handover, failure). Unsent and unacked packets are
-  /// handed back through the returned vector so the connection can reinject
-  /// them — packets must not be lost when a subflow ceases to exist (§3.3).
+  [[nodiscard]] bool established() const {
+    return state_ == State::kEstablished;
+  }
+  [[nodiscard]] State state() const { return state_; }
+  /// Only subflows that *failed* (path death) can be revived; deliberately
+  /// closed ones cannot.
+  [[nodiscard]] bool can_revive() const { return state_ == State::kFailed; }
+
+  /// Closes the subflow deliberately (handover, path-manager decision).
+  /// Unsent and unacked packets are handed back through the returned vector
+  /// so the connection can reinject them — packets must not be lost when a
+  /// subflow ceases to exist (§3.3).
   std::vector<SkbPtr> close();
+
+  /// Declares the subflow dead after a path failure. Same packet-harvest
+  /// semantics as close(), but the subflow stays revivable by reopen().
+  std::vector<SkbPtr> fail();
+
+  /// Revives a failed subflow after its link came back: fresh subflow
+  /// sequence space (the receiver's per-slot state must be reset in
+  /// tandem), cleared recovery state and a slow-start-restart congestion
+  /// window. No-op unless state() == kFailed.
+  void reopen();
+
+  /// Live reconfiguration of the death-detection threshold (resilience knob
+  /// on the API; 0 disables).
+  void set_rto_death_threshold(int threshold) {
+    cfg_.rto_death_threshold = threshold;
+  }
 
   [[nodiscard]] int slot() const { return slot_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
@@ -132,6 +168,12 @@ class SubflowSender {
   static constexpr int kDupAckThreshold = 3;
   /// Wire size of a pure ACK on the reverse path.
   static constexpr std::int64_t kAckBytes = 64;
+  /// Cap on the exponential RTO backoff multiplier (kernel-style 64x).
+  static constexpr int kMaxRtoBackoff = 64;
+  /// Hard ceiling on the armed retransmission timeout after backoff — the
+  /// TCP_RTO_MAX analogue. Without it a high-RTT path backs off to
+  /// 64 * 60 s = over an hour before probing again.
+  static constexpr TimeNs kMaxBackoffRto = seconds(120);
 
  private:
   /// One transmitted, not yet cumulatively ACKed segment. Keeps its own copy
@@ -155,6 +197,9 @@ class SubflowSender {
   void arm_rto();
   void disarm_rto();
   void on_rto_fired();
+  /// Shared teardown of close()/fail(): collects the unsent + unacked
+  /// packets (deduplicated) and clears both queues.
+  std::vector<SkbPtr> harvest_and_clear();
 
   sim::Simulator& sim_;
   sim::NetPath& path_;
@@ -164,7 +209,7 @@ class SubflowSender {
   std::unique_ptr<tcp::CongestionControl> cc_;
   Host host_;
 
-  bool established_ = true;
+  State state_ = State::kEstablished;
   TimeNs established_at_{0};
   TimeNs last_tx_at_{0};
 
@@ -187,6 +232,7 @@ class SubflowSender {
   bool rto_armed_ = false;
   sim::EventId rto_event_ = 0;
   int rto_backoff_ = 1;
+  int consecutive_rtos_ = 0;  ///< RTOs since the last ACK progress
 
   Stats stats_;
   Tracer* trace_ = nullptr;

@@ -94,16 +94,26 @@ void ProgmpProgram::schedule(mptcp::SchedulerContext& ctx) {
     case Backend::kInterpreter:
       ctx.note_exec("interpreter", interpret(ast_, env));
       return;
-    case Backend::kCompiled:
-      ctx.note_exec("compiled", executable_->run(env));
+    case Backend::kCompiled: {
+      const std::int64_t steps = executable_->run(env, options_.exec_budget);
+      ctx.note_exec("compiled", steps);
+      if (steps >= options_.exec_budget) {
+        ctx.note_fault("instruction budget exhausted");
+      }
       return;
+    }
     case Backend::kEbpf: {
       const ebpf::Code& code = code_for_count(env.sbf_count());
-      const ebpf::Vm::RunResult result = vm_.run(code, env);
-      // Verified programs cannot fail structurally; budget exhaustion means
-      // a runaway loop in the spec — stop quietly (graceful failure by
-      // design) after the budget's worth of work.
+      const ebpf::Vm::RunResult result =
+          vm_.run(code, env, options_.exec_budget);
       ctx.note_exec("ebpf", result.insns_executed);
+      // Verified programs cannot fail structurally, but a runaway loop can
+      // exhaust the instruction budget at runtime. Report it: the engine
+      // rolls this execution back and substitutes the default scheduler
+      // (graceful failure, §3.3) so the connection never stalls.
+      if (!result.ok) {
+        ctx.note_fault(result.error);
+      }
       return;
     }
   }

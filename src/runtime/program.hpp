@@ -41,6 +41,10 @@ class ProgmpProgram final : public mptcp::Scheduler {
     bool optimize = true;
     /// Enables the constant-subflow-count specialization cache (eBPF only).
     bool specialize_subflow_count = true;
+    /// Per-execution instruction budget (compiled IR and eBPF). A program
+    /// that exhausts it is reported to the engine as a runtime fault; the
+    /// engine rolls its effects back and runs the default scheduler instead.
+    std::int64_t exec_budget = 1'000'000;
   };
 
   /// Compiles `spec`. Returns nullptr on error (details in `diags`).

@@ -36,31 +36,8 @@ class NativeMinRtt final : public Scheduler {
  public:
   void schedule(SchedulerContext& ctx) override {
     ctx.note_exec("native", 0);
-    // Reinjections first: place the suspected-lost packet on an available
-    // non-backup subflow that has not carried it.
-    if (!ctx.queue(QueueId::kRq).empty()) {
-      const SkbPtr& head = ctx.queue(QueueId::kRq).front();
-      const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
-        return available(s) && !s.is_backup && !head->sent_on(s.slot);
-      });
-      if (slot >= 0) {
-        ctx.push(slot, ctx.pop(QueueId::kRq));
-      }
-    }
-    if (ctx.queue(QueueId::kQ).empty()) return;
-
-    bool non_backup_exists = false;
-    for (const SubflowInfo& s : ctx.subflows()) {
-      if (s.established && !s.is_backup) non_backup_exists = true;
-    }
-    const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
-      if (!available(s)) return false;
-      // Backup subflows only when no non-backup subflow exists at all.
-      return non_backup_exists ? !s.is_backup : true;
-    });
-    if (slot >= 0) {
-      ctx.push(slot, ctx.pop(QueueId::kQ));
-    }
+    // One shared implementation with the engine's scheduler-fault fallback.
+    mptcp::run_default_minrtt(ctx);
   }
 
   [[nodiscard]] std::string name() const override { return "native_minrtt"; }

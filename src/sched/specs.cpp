@@ -7,14 +7,25 @@ const char* const kMinRtt = R"(
    first, on an available subflow that has not carried the packet yet.
    Fresh data goes to the available subflow with the lowest smoothed RTT.
    Backup subflows are considered only when no non-backup subflow exists
-   (the Linux backup semantics revisited in section 3.4). */
+   (the Linux backup semantics revisited in section 3.4) — for fresh data
+   AND for reinjections: when every regular subflow failed, the stranded
+   packets must be allowed onto the backups or the connection wedges at
+   the meta-level reassembly gap. */
 VAR avail = SUBFLOWS.FILTER(s => !s.TSQ_THROTTLED AND !s.LOSSY
                                  AND s.CWND > s.QUEUED + s.SKBS_IN_FLIGHT);
 VAR nonbk = avail.FILTER(s => !s.IS_BACKUP);
 IF (!RQ.EMPTY) {
-  VAR rsbf = nonbk.FILTER(s => !RQ.TOP.SENT_ON(s)).MIN(s => s.RTT);
-  IF (rsbf != NULL) {
-    rsbf.PUSH(RQ.POP());
+  IF (SUBFLOWS.FILTER(s => !s.IS_BACKUP).EMPTY) {
+    /* only backups exist: reinject on them */
+    VAR rbk = avail.FILTER(s => !RQ.TOP.SENT_ON(s)).MIN(s => s.RTT);
+    IF (rbk != NULL) {
+      rbk.PUSH(RQ.POP());
+    }
+  } ELSE {
+    VAR rsbf = nonbk.FILTER(s => !RQ.TOP.SENT_ON(s)).MIN(s => s.RTT);
+    IF (rsbf != NULL) {
+      rsbf.PUSH(RQ.POP());
+    }
   }
 }
 IF (!Q.EMPTY) {

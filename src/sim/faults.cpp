@@ -1,0 +1,51 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+
+namespace progmp::sim {
+
+void FaultInjector::down_at(Link& link, TimeNs at) {
+  ++scheduled_;
+  sim_.schedule_at(at, [&link] { link.set_down(); });
+}
+
+void FaultInjector::up_at(Link& link, TimeNs at) {
+  ++scheduled_;
+  sim_.schedule_at(at, [&link] { link.set_up(); });
+}
+
+void FaultInjector::blackout(Link& link, TimeNs from, TimeNs until) {
+  down_at(link, from);
+  if (until > from) up_at(link, until);
+}
+
+void FaultInjector::blackout(NetPath& path, TimeNs from, TimeNs until) {
+  // Reverse first, forward last on restore: when the up-transition revives a
+  // subflow, its data link is already usable.
+  blackout(path.reverse, from, until);
+  blackout(path.forward, from, until);
+}
+
+void FaultInjector::ack_blackout(NetPath& path, TimeNs from, TimeNs until) {
+  blackout(path.reverse, from, until);
+}
+
+void FaultInjector::flap(NetPath& path, TimeNs from, TimeNs until,
+                         TimeNs down_for, TimeNs up_for) {
+  PROGMP_CHECK(down_for > TimeNs{0} && up_for > TimeNs{0});
+  for (TimeNs t = from; t < until; t += down_for + up_for) {
+    blackout(path, t, std::min(t + down_for, until));
+  }
+}
+
+void FaultInjector::burst_loss(Link& link, TimeNs from, TimeNs until,
+                               Link::GilbertElliott ge) {
+  ++scheduled_;
+  sim_.schedule_at(from, [&link, ge] { link.set_gilbert_elliott(ge); });
+  if (until > from) {
+    ++scheduled_;
+    sim_.schedule_at(until, [&link] { link.clear_gilbert_elliott(); });
+  }
+}
+
+}  // namespace progmp::sim

@@ -1,0 +1,64 @@
+// Scriptable link-fault injection.
+//
+// The injector turns a declarative fault plan — blackout windows, flapping,
+// Gilbert–Elliott burst-loss episodes, one-way (ACK-path) failures — into
+// plain simulator events against Link/NetPath objects, so every scenario,
+// test and bench can script path failures the way the paper's handover and
+// backup experiments (§2, §5) assume them. Everything is driven by the
+// deterministic simulator clock and the links' own RNG streams: the same
+// seed replays the same fault sequence bit-for-bit.
+//
+// The injector only schedules; the faulted links must outlive the scheduled
+// events (true everywhere in this codebase: connections own their paths and
+// outlive the simulation run).
+#pragma once
+
+#include <cstdint>
+
+#include "core/time.hpp"
+#include "sim/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::sim {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Simulator& sim) : sim_(sim) {}
+
+  // ---- Primitive schedule entries -----------------------------------------
+  /// Takes `link` down at `at`.
+  void down_at(Link& link, TimeNs at);
+  /// Brings `link` up at `at`.
+  void up_at(Link& link, TimeNs at);
+
+  // ---- Composite fault patterns -------------------------------------------
+  /// Blackout window on one link: down at `from`, restored at `until`.
+  /// `until` <= `from` means the link never comes back.
+  void blackout(Link& link, TimeNs from, TimeNs until);
+  /// Blackout of a whole path (both directions) — the WiFi-out-of-range
+  /// handover case.
+  void blackout(NetPath& path, TimeNs from, TimeNs until);
+  /// One-way failure: only the reverse (ACK) link blacks out. Data still
+  /// arrives but acknowledgements die — the asymmetric-failure case.
+  void ack_blackout(NetPath& path, TimeNs from, TimeNs until);
+
+  /// Flapping: starting at `from`, the path goes down for `down_for`, up
+  /// for `up_for`, repeating until `until` (always ending with a final
+  /// restore at or before `until`).
+  void flap(NetPath& path, TimeNs from, TimeNs until, TimeNs down_for,
+            TimeNs up_for);
+
+  /// Burst-loss episode: enables the Gilbert–Elliott model on `link` during
+  /// [from, until), then restores the configured Bernoulli behaviour.
+  void burst_loss(Link& link, TimeNs from, TimeNs until,
+                  Link::GilbertElliott ge);
+
+  /// Number of fault events scheduled so far (for plan introspection).
+  [[nodiscard]] std::int64_t scheduled_events() const { return scheduled_; }
+
+ private:
+  Simulator& sim_;
+  std::int64_t scheduled_ = 0;
+};
+
+}  // namespace progmp::sim

@@ -4,11 +4,59 @@
 
 namespace progmp::sim {
 
+void Link::note_drop(DropCause cause, std::int64_t bytes) {
+  switch (cause) {
+    case DropCause::kQueue:
+      ++stats_.drops_queue;
+      break;
+    case DropCause::kRandom:
+      ++stats_.drops_loss;
+      break;
+    case DropCause::kBurst:
+      ++stats_.drops_burst;
+      break;
+    case DropCause::kDown:
+      ++stats_.drops_down;
+      break;
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kLinkDrop, sim_.now(), trace_slot_,
+                 static_cast<std::int32_t>(cause), bytes, trace_direction_);
+  }
+}
+
+void Link::set_down() {
+  if (!up_) return;
+  up_ = false;
+  ++stats_.down_transitions;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kLinkDown, sim_.now(), trace_slot_,
+                 trace_direction_);
+  }
+  if (state_fn_) state_fn_(false);
+}
+
+void Link::set_up() {
+  if (up_) return;
+  up_ = true;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kLinkUp, sim_.now(), trace_slot_,
+                 trace_direction_);
+  }
+  if (state_fn_) state_fn_(true);
+}
+
 bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
                 std::function<void()> on_delivered) {
   PROGMP_CHECK(bytes > 0);
+  if (!up_) {
+    // Blackout: the packet is simply gone (neither callback fires), exactly
+    // like a drop-tail loss — the transport's RTO recovers it.
+    note_drop(DropCause::kDown, bytes);
+    return false;
+  }
   if (queued_bytes_ + bytes > cfg_.queue_limit_bytes) {
-    ++stats_.drops_queue;
+    note_drop(DropCause::kQueue, bytes);
     return false;
   }
   ++stats_.packets_sent;
@@ -21,7 +69,21 @@ bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
   const TimeNs serialized_at = serializer_free_;
 
   const std::int64_t idx = pkt_index_++;
-  const bool lost = loss_fn_ ? loss_fn_(idx) : rng_.chance(cfg_.loss_rate);
+  bool lost = false;
+  DropCause cause = DropCause::kRandom;
+  if (loss_fn_) {
+    lost = loss_fn_(idx);
+  } else if (ge_.has_value()) {
+    // Packet-driven Gilbert–Elliott chain: step the state, then draw loss
+    // from the state's rate. Two RNG draws per packet, only while enabled,
+    // so fault-free runs consume exactly the pre-fault RNG sequence.
+    ge_bad_ = ge_bad_ ? !rng_.chance(ge_->p_exit_bad)
+                      : rng_.chance(ge_->p_enter_bad);
+    lost = rng_.chance(ge_bad_ ? ge_->loss_bad : ge_->loss_good);
+    cause = DropCause::kBurst;
+  } else {
+    lost = rng_.chance(cfg_.loss_rate);
+  }
 
   sim_.schedule_at(serialized_at, [this, bytes,
                                    cb = std::move(on_serialized)]() mutable {
@@ -30,7 +92,7 @@ bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
   });
 
   if (lost) {
-    ++stats_.drops_loss;
+    note_drop(cause, bytes);
   } else {
     TimeNs arrival = serialized_at + cfg_.delay;
     if (cfg_.jitter > TimeNs{0}) {

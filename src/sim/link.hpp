@@ -10,15 +10,35 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "core/rng.hpp"
 #include "core/time.hpp"
+#include "core/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace progmp::sim {
 
 class Link {
  public:
+  /// Two-state Markov (Gilbert–Elliott) burst-loss model. The chain steps
+  /// once per packet entering the wire; loss is drawn from the state's rate.
+  /// Deterministic for a given link RNG — fault schedules replay exactly.
+  struct GilbertElliott {
+    double p_enter_bad = 0.0;  ///< per-packet P(good -> bad)
+    double p_exit_bad = 0.0;   ///< per-packet P(bad -> good)
+    double loss_good = 0.0;    ///< loss rate while in the good state
+    double loss_bad = 1.0;     ///< loss rate while in the bad state
+  };
+
+  /// Why the link dropped a packet (kLinkDrop trace field a).
+  enum class DropCause : std::int32_t {
+    kQueue = 0,   ///< drop-tail at enqueue
+    kRandom = 1,  ///< Bernoulli in-flight loss (or loss_fn override)
+    kBurst = 2,   ///< Gilbert–Elliott loss (either state)
+    kDown = 3,    ///< link is administratively/physically down
+  };
+
   struct Config {
     std::int64_t rate_bps = 100'000'000;   ///< serialization rate
     TimeNs delay = milliseconds(5);        ///< one-way propagation delay
@@ -35,6 +55,9 @@ class Link {
     std::int64_t packets_delivered = 0;
     std::int64_t drops_queue = 0;  ///< drop-tail at enqueue
     std::int64_t drops_loss = 0;   ///< random in-flight loss
+    std::int64_t drops_burst = 0;  ///< Gilbert–Elliott burst loss
+    std::int64_t drops_down = 0;   ///< packets sent into a downed link
+    std::int64_t down_transitions = 0;  ///< up -> down events
     std::int64_t bytes_delivered = 0;
   };
 
@@ -61,6 +84,39 @@ class Link {
   void set_loss_rate(double p) { cfg_.loss_rate = p; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  // ---- Fault injection ------------------------------------------------------
+  /// Takes the link down: every subsequent send() is dropped (counted as
+  /// drops_down) until set_up(). Packets already queued or in flight are
+  /// unaffected — a blackout kills new transmissions, not photons already
+  /// past the interface; a blackout longer than queue + propagation delay is
+  /// indistinguishable from one that kills them too.
+  void set_down();
+  /// Restores the link and notifies the state observer (the connection uses
+  /// this to revive a subflow that was declared dead during the outage).
+  void set_up();
+  [[nodiscard]] bool is_up() const { return up_; }
+
+  /// Observer for up/down transitions (called after the state changed).
+  using StateChangeFn = std::function<void(bool up)>;
+  void set_state_change_fn(StateChangeFn fn) { state_fn_ = std::move(fn); }
+
+  /// Enables/disables the Gilbert–Elliott burst-loss model. While enabled it
+  /// replaces the Bernoulli loss draw; the chain state persists across
+  /// reconfigurations until clear_gilbert_elliott().
+  void set_gilbert_elliott(const GilbertElliott& ge) { ge_ = ge; }
+  void clear_gilbert_elliott() { ge_.reset(); }
+  [[nodiscard]] bool burst_loss_enabled() const { return ge_.has_value(); }
+
+  /// Connects the link to the connection-wide tracer: down/up transitions
+  /// and per-cause drops are emitted with the owning subflow's slot;
+  /// `direction` is 0 for the data (forward) link, 1 for the ACK (reverse)
+  /// link.
+  void set_tracer(Tracer* trace, int slot, int direction) {
+    trace_ = trace;
+    trace_slot_ = slot;
+    trace_direction_ = direction;
+  }
+
   /// Overrides the Bernoulli loss decision: called with the 0-based index of
   /// each packet that survived the queue; return true to drop. Used by the
   /// packetdrill-style receiver trace tests for exact loss patterns.
@@ -71,11 +127,22 @@ class Link {
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  void note_drop(DropCause cause, std::int64_t bytes);
+
   Simulator& sim_;
   Config cfg_;
   Rng rng_;
   Stats stats_;
   std::function<bool(std::int64_t)> loss_fn_;
+  StateChangeFn state_fn_;
+
+  bool up_ = true;
+  std::optional<GilbertElliott> ge_;
+  bool ge_bad_ = false;  ///< current Gilbert–Elliott chain state
+
+  Tracer* trace_ = nullptr;
+  int trace_slot_ = -1;
+  int trace_direction_ = 0;
 
   TimeNs serializer_free_{0};    ///< when the serializer finishes current work
   TimeNs last_arrival_{0};       ///< FIFO clamp for jittered deliveries

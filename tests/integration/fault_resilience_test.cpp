@@ -1,0 +1,268 @@
+// Path-failure resilience end to end: scripted link faults against a live
+// connection. Blackouts mid-transfer must not lose data, dead subflows must
+// revive on link restore, scheduler runtime faults must fall back to the
+// built-in default, RTO backoff must stay clamped, and every faulted run
+// must replay bit-identically at the same seed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "core/trace.hpp"
+#include "mptcp/connection.hpp"
+#include "sched/specs.hpp"
+#include "sim/faults.hpp"
+
+namespace progmp {
+namespace {
+
+using mptcp::MptcpConnection;
+
+std::unique_ptr<mptcp::Scheduler> minrtt() {
+  return test::must_load(sched::specs::kMinRtt, rt::Backend::kEbpf, "minrttR");
+}
+
+/// Loads kMinRtt with a deliberately tiny instruction budget so every
+/// execution faults at runtime (budget exhaustion), exercising the
+/// containment path without needing a buggy spec.
+std::unique_ptr<mptcp::Scheduler> budget_starved_minrtt(rt::Backend backend) {
+  DiagSink diags;
+  rt::ProgmpProgram::LoadOptions options;
+  options.backend = backend;
+  options.exec_budget = 8;  // far below any full execution
+  auto program = rt::ProgmpProgram::load(sched::specs::kMinRtt,
+                                         "starved_minrtt", options, diags);
+  EXPECT_NE(program, nullptr) << diags.str();
+  return program;
+}
+
+TEST(FaultResilienceTest, BlackoutMidTransferDeliversEverything) {
+  // The §2 handover: WiFi (preferred) blacks out mid-stream with LTE as
+  // backup. Death detection reinjects the stranded packets onto LTE and the
+  // whole stream arrives; the restored WiFi is revived.
+  sim::Simulator sim;
+  MptcpConnection conn(sim, apps::handover_config(/*rto_death_threshold=*/3),
+                       Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(3), seconds(8));
+
+  apps::CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, 1'500'000}};
+  opts.duration = seconds(10);
+  apps::CbrSource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(20));
+
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_GT(conn.written_bytes(), 0);
+  EXPECT_EQ(conn.subflow(0).stats().deaths, 1);
+  EXPECT_EQ(conn.subflow(0).stats().revivals, 1);
+  EXPECT_TRUE(conn.subflow(0).established());
+}
+
+TEST(FaultResilienceTest, RevivedSubflowCarriesFreshDataAgain) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(/*rto_death_threshold=*/3);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 20;
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(1), seconds(3));
+
+  apps::CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, 1'000'000}};
+  opts.duration = seconds(6);
+  apps::CbrSource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(15));
+
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  bool saw_dead = false;
+  bool saw_revived = false;
+  std::int64_t fresh_wifi_tx_after_revival = 0;
+  TimeNs revived_at{0};
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.subflow != 0) continue;
+    if (e.type == TraceEventType::kSubflowDead) saw_dead = true;
+    if (e.type == TraceEventType::kSubflowRevived) {
+      saw_revived = true;
+      revived_at = e.at;
+    }
+    if (e.type == TraceEventType::kTx && e.a == 0 && saw_revived &&
+        e.at > revived_at) {
+      ++fresh_wifi_tx_after_revival;
+    }
+  }
+  EXPECT_TRUE(saw_dead);
+  EXPECT_TRUE(saw_revived);
+  EXPECT_GT(fresh_wifi_tx_after_revival, 0);
+}
+
+TEST(FaultResilienceTest, RevivalCanBeDisabled) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, apps::handover_config(/*rto_death_threshold=*/3),
+                       Rng(7));
+  conn.set_revive_on_restore(false);
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(1), seconds(3));
+
+  conn.write(2000 * 1400);
+  sim.run_until(seconds(30));
+
+  // LTE alone finishes the transfer; WiFi stays in the failed state.
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow(0).stats().deaths, 1);
+  EXPECT_EQ(conn.subflow(0).stats().revivals, 0);
+  EXPECT_FALSE(conn.subflow(0).established());
+}
+
+TEST(FaultResilienceTest, SchedulerFaultFallsBackToDefaultAndCompletes) {
+  for (const rt::Backend backend :
+       {rt::Backend::kCompiled, rt::Backend::kEbpf}) {
+    sim::Simulator sim;
+    mptcp::MptcpConnection::Config cfg = apps::lossy_config(0.0);
+    cfg.trace_enabled = true;
+    MptcpConnection conn(sim, cfg, Rng(9));
+    conn.set_scheduler(budget_starved_minrtt(backend));
+    conn.write(200 * 1400);
+    sim.run_until(seconds(30));
+
+    // Every execution faulted, yet the transfer completed on the built-in
+    // fallback — a faulting program must never stall the connection.
+    EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes())
+        << rt::backend_name(backend);
+    EXPECT_GT(conn.scheduler_stats().sched_faults, 0)
+        << rt::backend_name(backend);
+    std::int64_t fault_events = 0;
+    for (const TraceEvent& e : conn.tracer().events()) {
+      if (e.type == TraceEventType::kSchedFault) ++fault_events;
+    }
+    EXPECT_GT(fault_events, 0) << rt::backend_name(backend);
+  }
+}
+
+TEST(FaultResilienceTest, SchedulerFaultWithoutFallbackStallsButStaysSane) {
+  sim::Simulator sim;
+  MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(9));
+  conn.set_sched_fault_fallback(false);
+  conn.set_scheduler(budget_starved_minrtt(rt::Backend::kEbpf));
+  conn.write(50 * 1400);
+  sim.run_until(seconds(5));
+
+  // No fallback: nothing is ever scheduled. The connection must not crash
+  // or corrupt its queues — the data simply stays queued.
+  EXPECT_EQ(conn.delivered_bytes(), 0);
+  EXPECT_EQ(conn.q_len(), 50u);
+  EXPECT_EQ(conn.qu_len(), 0u);  // nothing ever reached the wire
+  EXPECT_GT(conn.scheduler_stats().sched_faults, 0);
+}
+
+TEST(FaultResilienceTest, RtoBackoffStaysClampedDuringLongOutage) {
+  // Permanent blackout of both paths with death detection off: the RTO
+  // timer backs off exponentially but must clamp at 64x and the 120 s
+  // ceiling instead of growing unboundedly (the kernel's TCP_RTO_MAX
+  // analogue).
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg = apps::lossy_config(0.0);
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(17));
+  conn.set_scheduler(minrtt());
+  conn.write(100 * 1400);
+
+  sim::FaultInjector faults(sim);
+  // Down almost immediately, while the first flight is still unacked.
+  faults.blackout(conn.path(0), milliseconds(5), TimeNs{0});
+  faults.blackout(conn.path(1), milliseconds(5), TimeNs{0});
+  sim.run_until(seconds(900));
+
+  std::vector<TimeNs> rto_times;
+  std::int32_t max_backoff = 0;
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type != TraceEventType::kRto || e.subflow != 0) continue;
+    rto_times.push_back(e.at);
+    max_backoff = std::max(max_backoff, e.a);
+  }
+  ASSERT_GT(rto_times.size(), 8u);
+  EXPECT_EQ(max_backoff, 64);  // reached and never exceeded the clamp
+  for (std::size_t i = 1; i < rto_times.size(); ++i) {
+    // Product clamp: even at max backoff, consecutive RTOs are at most
+    // 120 s apart (plus scheduling slack).
+    EXPECT_LE((rto_times[i] - rto_times[i - 1]).ns(), seconds(121).ns());
+  }
+}
+
+TEST(FaultResilienceTest, SameSeedFaultRunIsBitIdentical) {
+  auto run = [] {
+    sim::Simulator sim;
+    mptcp::MptcpConnection::Config cfg =
+        apps::handover_config(/*rto_death_threshold=*/3);
+    cfg.trace_enabled = true;
+    cfg.trace_capacity = 1 << 20;
+    MptcpConnection conn(sim, cfg, Rng(42));
+    conn.set_scheduler(test::must_load(sched::specs::kMinRtt,
+                                       rt::Backend::kEbpf, "minrttD"));
+    sim::FaultInjector faults(sim);
+    faults.blackout(conn.path(0), seconds(1), seconds(4));
+    sim::Link::GilbertElliott ge;
+    ge.p_enter_bad = 0.1;
+    ge.p_exit_bad = 0.4;
+    ge.loss_bad = 0.7;
+    faults.burst_loss(conn.path(1).forward, seconds(2), seconds(5), ge);
+    conn.write(3000 * 1400);
+    sim.run_until(seconds(30));
+    return std::make_pair(conn.delivered_bytes(), conn.tracer().to_csv());
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_GT(first.first, 0);
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST(FaultResilienceTest, RandomizedFaultSoakAtFixedSeeds) {
+  // Soak: a seed-derived fault plan (blackout + flapping on WiFi, a burst
+  // episode on LTE) against a full transfer. Whatever the plan, the stream
+  // must arrive completely — fixed seeds keep failures reproducible.
+  for (const std::uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    Rng plan(seed);
+    sim::Simulator sim;
+    MptcpConnection conn(sim, apps::handover_config(/*rto_death_threshold=*/3),
+                         Rng(seed));
+    conn.set_scheduler(test::must_load(sched::specs::kMinRtt,
+                                       rt::Backend::kEbpf, "minrttS"));
+
+    sim::FaultInjector faults(sim);
+    const TimeNs outage_start =
+        milliseconds(200 + static_cast<std::int64_t>(plan.next_below(800)));
+    const TimeNs outage_len =
+        milliseconds(500 + static_cast<std::int64_t>(plan.next_below(2000)));
+    faults.blackout(conn.path(0), outage_start, outage_start + outage_len);
+    faults.flap(conn.path(0), outage_start + outage_len + seconds(1),
+                outage_start + outage_len + seconds(2), milliseconds(150),
+                milliseconds(250));
+    sim::Link::GilbertElliott ge;
+    ge.p_enter_bad = 0.05;
+    ge.p_exit_bad = 0.5;
+    ge.loss_bad = 0.8;
+    faults.burst_loss(conn.path(1).forward, outage_start,
+                      outage_start + outage_len, ge);
+
+    conn.write(4000 * 1400);
+    sim.run_until(seconds(120));
+    EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace progmp
