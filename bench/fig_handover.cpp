@@ -33,6 +33,8 @@ struct Result {
   double rate_after = 0.0;      // delivered B/s during [10s, 12s)
   std::int64_t written = 0;
   std::int64_t delivered = 0;
+  std::int64_t wire_sent = 0;   // payload bytes on the wire (all copies)
+  double overhead = 0.0;        // wire_sent / delivered
   std::int64_t wifi_bytes_after_restore = 0;  // fresh tx on wifi in [9s, 16s)
   std::int64_t reinjected_tx = 0;  // kTx events flagged as reinjections
   std::int64_t deaths = 0;
@@ -42,14 +44,14 @@ struct Result {
   std::string trace_jsonl;
 };
 
-Result run(int rto_death_threshold) {
+Result run(const char* scheduler, int rto_death_threshold) {
   sim::Simulator sim;
   mptcp::MptcpConnection::Config cfg =
       apps::handover_config(rto_death_threshold);
   cfg.trace_enabled = true;
   cfg.trace_capacity = 1 << 21;
   mptcp::MptcpConnection conn(sim, cfg, Rng(42));
-  conn.set_scheduler(load_builtin("minrtt"));
+  conn.set_scheduler(load_builtin(scheduler));
 
   sim::FaultInjector faults(sim);
   faults.blackout(conn.path(0), seconds(3), seconds(8));
@@ -70,6 +72,11 @@ Result run(int rto_death_threshold) {
   result.rate_after = result.series.mean_between(seconds(10), seconds(12));
   result.written = conn.written_bytes();
   result.delivered = conn.delivered_bytes();
+  result.wire_sent = conn.wire_bytes_sent();
+  result.overhead = result.delivered > 0
+                        ? static_cast<double>(result.wire_sent) /
+                              static_cast<double>(result.delivered)
+                        : 0.0;
   result.wifi_bytes_after_restore =
       trace_bytes_between(events, {TT::kTx}, /*subflow=*/0, seconds(9),
                           seconds(16), /*exclude_reinjections=*/true);
@@ -95,12 +102,18 @@ int main() {
       "§2/§3.3: without failure handling the backup flag starves the "
       "connection during the outage; with detection the stream survives");
 
-  const Result frozen = run(/*rto_death_threshold=*/0);
-  const Result resilient = run(/*rto_death_threshold=*/3);
+  const Result frozen = run("minrtt", /*rto_death_threshold=*/0);
+  const Result resilient = run("minrtt", /*rto_death_threshold=*/3);
+  // Scheduler-level outage masking (§5.3): redundant schedulers keep a live
+  // copy on LTE the whole time, so the blackout never shows — at the price
+  // of transmission overhead that reactive handover does not pay.
+  const Result remp = run("redundant", /*rto_death_threshold=*/0);
+  const Result opportunistic =
+      run("opportunistic_redundant", /*rto_death_threshold=*/0);
 
-  Table table({"failure handling", "rate in outage (MB/s)",
+  Table table({"strategy", "rate in outage (MB/s)",
                "rate after restore (MB/s)", "delivered/written",
-               "wifi deaths/revivals", "reinjected tx"});
+               "wire/delivered", "wifi deaths/revivals", "reinjected tx"});
   auto row = [&](const char* label, const Result& r) {
     table.add_row({label, Table::num(mbps(r.rate_outage), 2),
                    Table::num(mbps(r.rate_after), 2),
@@ -108,11 +121,14 @@ int main() {
                                   static_cast<double>(r.written),
                               1) +
                        " %",
+                   Table::num(r.overhead, 2) + "x",
                    std::to_string(r.deaths) + "/" + std::to_string(r.revivals),
                    std::to_string(r.reinjected_tx)});
   };
-  row("none (threshold=0)", frozen);
-  row("rto_death_threshold=3", resilient);
+  row("minrtt, no handling", frozen);
+  row("minrtt, rto_death_threshold=3", resilient);
+  row("redundant (ReMP)", remp);
+  row("opportunistic_redundant", opportunistic);
   std::printf("%s", table.str().c_str());
 
   std::printf("\n%s",
@@ -149,5 +165,19 @@ int main() {
                     resilient.reinjected_tx > 0);
   ok &= check_shape("the resilient run delivers the whole stream",
                     resilient.delivered == resilient.written);
+  ok &= check_shape(
+      "redundant (ReMP) masks the outage without any death detection "
+      "(>= 1 MB/s delivered during the blackout)",
+      remp.rate_outage >= 1'000'000);
+  ok &= check_shape(
+      "redundancy costs wire overhead: ReMP sends substantially more than "
+      "it delivers, reactive handover does not",
+      remp.overhead > 1.3 && resilient.overhead < 1.15);
+  ok &= check_shape(
+      "opportunistic redundancy pays ReMP-like overhead yet cannot mask the "
+      "outage: packets replicated only across momentarily-open cwnds are "
+      "still stranded on the dying path and head-of-line-block delivery",
+      opportunistic.rate_outage < 400'000 && opportunistic.overhead > 1.3 &&
+          opportunistic.delivered < opportunistic.written);
   return ok ? 0 : 1;
 }

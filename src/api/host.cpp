@@ -1,0 +1,88 @@
+#include "api/host.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace progmp::api {
+
+Host::Host(sim::Simulator& sim, ProgmpApi& api, Rng rng, Options opts)
+    : sim_(sim),
+      api_(api),
+      rng_(std::move(rng)),
+      opts_(opts),
+      host_trace_(opts.trace_capacity),
+      network_(sim, rng_.fork()) {
+  if (opts_.trace_enabled) {
+    host_trace_.set_enabled(true);
+    // Shared-link events (fault injection, drops under contention) carry no
+    // connection id: they belong to the topology, not to one tenant.
+    network_.set_tracer(&host_trace_);
+  }
+}
+
+mptcp::MptcpConnection* Host::open_connection(
+    mptcp::MptcpConnection::Config cfg, const std::string& scheduler_name,
+    std::string* error) {
+  return open_connection(std::move(cfg), scheduler_name, rng_.fork(), error);
+}
+
+mptcp::MptcpConnection* Host::open_connection(
+    mptcp::MptcpConnection::Config cfg, const std::string& scheduler_name,
+    Rng rng, std::string* error) {
+  cfg.network = &network_;
+  cfg.conn_id = static_cast<int>(connections_.size());
+  if (opts_.trace_enabled) cfg.trace_enabled = true;
+
+  auto conn = std::make_unique<mptcp::MptcpConnection>(sim_, std::move(cfg),
+                                                       std::move(rng));
+  if (!api_.set_scheduler(*conn, scheduler_name, error)) {
+    return nullptr;  // conn id not consumed; the next open reuses it
+  }
+  if (opts_.trace_enabled) {
+    conn->tracer().set_sink(
+        [this](const TraceEvent& e) { host_trace_.forward(e); });
+  }
+  connections_.push_back(std::move(conn));
+  scheduler_names_.push_back(scheduler_name);
+  return connections_.back().get();
+}
+
+std::int64_t Host::total_written_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& c : connections_) total += c->written_bytes();
+  return total;
+}
+
+std::int64_t Host::total_delivered_bytes() const {
+  std::int64_t total = 0;
+  for (const auto& c : connections_) total += c->delivered_bytes();
+  return total;
+}
+
+std::int64_t Host::total_wire_bytes_sent() const {
+  std::int64_t total = 0;
+  for (const auto& c : connections_) total += c->wire_bytes_sent();
+  return total;
+}
+
+std::string Host::proc_dump() {
+  std::ostringstream out;
+  out << "=== host ===\n";
+  out << "now_ns: " << sim_.now().ns() << "\n";
+  out << "connections: " << connections_.size() << "\n";
+  out << "total_written_bytes: " << total_written_bytes() << "\n";
+  out << "total_delivered_bytes: " << total_delivered_bytes() << "\n";
+  out << "total_wire_bytes_sent: " << total_wire_bytes_sent() << "\n";
+  out << "trace_events: " << host_trace_.total_emitted()
+      << " (overwritten " << host_trace_.overwritten() << ")\n";
+  for (std::size_t i = 0; i < connections_.size(); ++i) {
+    out << "\n=== conn " << i << " (scheduler=" << scheduler_names_[i]
+        << ") ===\n";
+    out << ProgmpApi::proc_dump(*connections_[i]);
+  }
+  out << "\n=== network ===\n";
+  out << network_.proc_dump();
+  return out.str();
+}
+
+}  // namespace progmp::api

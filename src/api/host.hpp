@@ -1,0 +1,105 @@
+// Multi-connection host: N MPTCP connections over one shared network.
+//
+// The Host is the multi-tenant counterpart of a single ProgmpSocket: it owns
+// a sim::Network (named shared paths that many subflows contend on), brings
+// up connections with a per-connection scheduler choice backed by the
+// ProgmpApi's shared compiled-program cache (instantiating a loaded
+// scheduler costs a small wrapper, never a recompilation), and aggregates
+// observability across tenants — every connection's tracer is tagged with
+// its connection id and forwards into one host-level ring, and proc_dump()
+// renders all connections plus the per-link contention stats of the network.
+//
+// This is the layer that turns the one-connection simulator into the
+// fairness/fleet testbed the multi-flow experiments need: N homogeneous
+// connections on one bottleneck, mobile fleets behind one WiFi AP + one LTE
+// cell, shared-fate path failures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/progmp_api.hpp"
+#include "core/rng.hpp"
+#include "core/trace.hpp"
+#include "mptcp/connection.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::api {
+
+class Host {
+ public:
+  struct Options {
+    /// Enables tracing on every connection (tagged per conn id) and on the
+    /// shared network links, all aggregated into the host ring.
+    bool trace_enabled = false;
+    /// Ring capacity of the aggregated host tracer.
+    std::size_t trace_capacity = 1 << 18;
+  };
+
+  /// `api` holds the loaded scheduler programs and must outlive the host.
+  Host(sim::Simulator& sim, ProgmpApi& api, Rng rng, Options opts);
+  Host(sim::Simulator& sim, ProgmpApi& api, Rng rng)
+      : Host(sim, api, std::move(rng), Options{}) {}
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  /// The shared topology. Register paths here before opening connections
+  /// whose subflow specs reference them by id.
+  [[nodiscard]] sim::Network& network() { return network_; }
+
+  /// Brings up one connection over the shared network running the loaded
+  /// scheduler `scheduler_name`. The config's network/conn_id fields are
+  /// filled in by the host; its RNG is forked from the host stream. Returns
+  /// nullptr (with `*error` set) when the scheduler is not loaded.
+  mptcp::MptcpConnection* open_connection(mptcp::MptcpConnection::Config cfg,
+                                          const std::string& scheduler_name,
+                                          std::string* error = nullptr);
+
+  /// Like open_connection but with a caller-supplied RNG — for equivalence
+  /// tests that must reproduce a standalone connection bit-for-bit.
+  mptcp::MptcpConnection* open_connection(mptcp::MptcpConnection::Config cfg,
+                                          const std::string& scheduler_name,
+                                          Rng rng,
+                                          std::string* error = nullptr);
+
+  [[nodiscard]] int connection_count() const {
+    return static_cast<int>(connections_.size());
+  }
+  [[nodiscard]] mptcp::MptcpConnection& connection(int conn_id) {
+    return *connections_[static_cast<std::size_t>(conn_id)];
+  }
+
+  /// Aggregated event stream of the whole host: every connection's events
+  /// (tagged with their conn id) plus shared-link events (conn -1, subflow
+  /// -1), in global emission order.
+  [[nodiscard]] Tracer& tracer() { return host_trace_; }
+
+  // ---- Fleet-level aggregates ----------------------------------------------
+  [[nodiscard]] std::int64_t total_written_bytes() const;
+  [[nodiscard]] std::int64_t total_delivered_bytes() const;
+  [[nodiscard]] std::int64_t total_wire_bytes_sent() const;
+
+  /// Aggregated /proc-style dump: host summary, one section per connection
+  /// (conn-id-tagged metrics included), then the network's per-link
+  /// contention and drop accounting.
+  [[nodiscard]] std::string proc_dump();
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+ private:
+  sim::Simulator& sim_;
+  ProgmpApi& api_;
+  Rng rng_;
+  Options opts_;
+  Tracer host_trace_;
+  sim::Network network_;  ///< declared before connections_: destroyed after
+  std::vector<std::unique_ptr<mptcp::MptcpConnection>> connections_;
+  std::vector<std::string> scheduler_names_;  ///< per conn id, for the dump
+};
+
+}  // namespace progmp::api

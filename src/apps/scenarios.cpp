@@ -112,4 +112,64 @@ mptcp::MptcpConnection::Config single_path_config(const PathSpec& path) {
   return cfg;
 }
 
+void install_fleet_network(sim::Network& net, std::int64_t wifi_ap_mbps,
+                           std::int64_t lte_cell_mbps) {
+  PathSpec wifi;
+  wifi.rate_mbps = wifi_ap_mbps;
+  wifi.one_way_delay = milliseconds(5);  // 10 ms RTT
+  wifi.queue_kb = 256;  // AP queue serves the whole cell
+  net.add_path(kFleetWifiPath, link_config(wifi), ack_path_for(wifi));
+
+  PathSpec lte;
+  lte.rate_mbps = lte_cell_mbps;
+  lte.one_way_delay = milliseconds(20);  // 40 ms RTT
+  lte.queue_kb = 1024;  // cellular buffers are deep
+  net.add_path(kFleetLtePath, link_config(lte), ack_path_for(lte));
+}
+
+mptcp::MptcpConnection::Config fleet_user_config(bool lte_backup_flag) {
+  mptcp::MptcpConnection::Config cfg;
+
+  mptcp::MptcpConnection::SubflowSpec wifi;
+  wifi.sender.name = "wifi";
+  wifi.path_id = kFleetWifiPath;
+  cfg.subflows.push_back(wifi);
+
+  mptcp::MptcpConnection::SubflowSpec lte;
+  lte.sender.name = "lte";
+  lte.sender.backup = lte_backup_flag;
+  lte.sender.preferred = false;  // metered: non-preferred (§5.4)
+  lte.path_id = kFleetLtePath;
+  cfg.subflows.push_back(lte);
+  return cfg;
+}
+
+mptcp::MptcpConnection::Config fleet_handover_config(int rto_death_threshold,
+                                                     TimeNs revival_min_uptime) {
+  mptcp::MptcpConnection::Config cfg =
+      fleet_user_config(/*lte_backup_flag=*/true);
+  cfg.rto_death_threshold = rto_death_threshold;
+  cfg.revive_on_restore = true;
+  cfg.revival_min_uptime = revival_min_uptime;
+  return cfg;
+}
+
+void install_bottleneck_network(sim::Network& net, std::int64_t rate_mbps,
+                                TimeNs one_way, std::int64_t queue_kb) {
+  PathSpec p;
+  p.rate_mbps = rate_mbps;
+  p.one_way_delay = one_way;
+  p.queue_kb = queue_kb;
+  net.add_path(kBottleneckPath, link_config(p), ack_path_for(p));
+}
+
+mptcp::MptcpConnection::Config bottleneck_user_config() {
+  mptcp::MptcpConnection::Config cfg;
+  mptcp::MptcpConnection::SubflowSpec spec;
+  spec.sender.name = "shared";
+  spec.path_id = kBottleneckPath;
+  cfg.subflows.push_back(spec);
+  return cfg;
+}
+
 }  // namespace progmp::apps

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/time.hpp"
 #include "mptcp/connection.hpp"
+#include "sim/network.hpp"
 
 namespace progmp::apps {
 
@@ -69,5 +71,49 @@ mptcp::MptcpConnection::Config heterogeneous_config(double rtt_ratio,
 
 /// Single-path TCP baseline: one subflow with the given path.
 mptcp::MptcpConnection::Config single_path_config(const PathSpec& path);
+
+// ---- Fleet scenarios (shared network, multi-connection host) ----------------
+//
+// The mobile fleet: N users behind ONE WiFi access point and ONE LTE cell.
+// Unlike mobile_config — where every connection gets private links — all
+// fleet connections contend for the same two bottlenecks, so one user's
+// bulk download slows the others and an AP outage is shared fate for the
+// whole fleet.
+
+/// Path id of the shared WiFi access point registered by
+/// install_fleet_network.
+inline constexpr const char* kFleetWifiPath = "wifi_ap";
+/// Path id of the shared LTE cell.
+inline constexpr const char* kFleetLtePath = "lte_cell";
+
+/// Registers the fleet topology on `net`: "wifi_ap" (10 ms RTT, small
+/// queue) and "lte_cell" (40 ms RTT, deep queue) with aggregate capacities
+/// sized for the whole cell, not one user.
+void install_fleet_network(sim::Network& net, std::int64_t wifi_ap_mbps = 120,
+                           std::int64_t lte_cell_mbps = 300);
+
+/// One fleet user's connection: WiFi subflow on kFleetWifiPath (preferred)
+/// plus LTE subflow on kFleetLtePath (backup/metered). Config::network and
+/// conn_id are left for the Host to fill in.
+mptcp::MptcpConnection::Config fleet_user_config(bool lte_backup_flag = true);
+
+/// fleet_user_config with automatic path-failure resilience armed (the
+/// handover_config of the fleet world): RTO death threshold + revival on
+/// restore, with optional hysteresis against a flapping AP.
+mptcp::MptcpConnection::Config fleet_handover_config(
+    int rto_death_threshold = 3, TimeNs revival_min_uptime = TimeNs{0});
+
+/// Path id registered by install_bottleneck_network.
+inline constexpr const char* kBottleneckPath = "bottleneck";
+
+/// Registers a single shared bottleneck path — the fairness topology: N
+/// homogeneous single-subflow connections over it should each converge to
+/// ~1/N of `rate_mbps`.
+void install_bottleneck_network(sim::Network& net, std::int64_t rate_mbps = 80,
+                                TimeNs one_way = milliseconds(10),
+                                std::int64_t queue_kb = 256);
+
+/// One single-subflow connection bound to kBottleneckPath.
+mptcp::MptcpConnection::Config bottleneck_user_config();
 
 }  // namespace progmp::apps

@@ -62,23 +62,29 @@ std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
   return it == gauges_.end() ? 0 : it->second;
 }
 
+std::string MetricsRegistry::export_prefix() const {
+  return conn_id_ >= 0 ? "conn" + std::to_string(conn_id_) + "." : "";
+}
+
 std::string MetricsRegistry::proc_dump() const {
+  const std::string prefix = export_prefix();
   std::string out;
   char buf[256];
   for (const auto& [name, value] : counters_) {
-    std::snprintf(buf, sizeof buf, "%s %lld\n", name.c_str(),
+    std::snprintf(buf, sizeof buf, "%s%s %lld\n", prefix.c_str(), name.c_str(),
                   static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, value] : gauges_) {
-    std::snprintf(buf, sizeof buf, "%s %lld\n", name.c_str(),
+    std::snprintf(buf, sizeof buf, "%s%s %lld\n", prefix.c_str(), name.c_str(),
                   static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
     std::snprintf(buf, sizeof buf,
-                  "%s count=%lld mean=%.1f p50=%lld p99=%lld max=%lld\n",
-                  name.c_str(), static_cast<long long>(h.count()), h.mean(),
+                  "%s%s count=%lld mean=%.1f p50=%lld p99=%lld max=%lld\n",
+                  prefix.c_str(), name.c_str(),
+                  static_cast<long long>(h.count()), h.mean(),
                   static_cast<long long>(h.percentile(50)),
                   static_cast<long long>(h.percentile(99)),
                   static_cast<long long>(h.max()));
@@ -88,24 +94,26 @@ std::string MetricsRegistry::proc_dump() const {
 }
 
 std::string MetricsRegistry::to_csv() const {
+  const std::string prefix = export_prefix();
   std::string out = "kind,name,field,value\n";
   char buf[256];
   for (const auto& [name, value] : counters_) {
-    std::snprintf(buf, sizeof buf, "counter,%s,value,%lld\n", name.c_str(),
-                  static_cast<long long>(value));
+    std::snprintf(buf, sizeof buf, "counter,%s%s,value,%lld\n", prefix.c_str(),
+                  name.c_str(), static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, value] : gauges_) {
-    std::snprintf(buf, sizeof buf, "gauge,%s,value,%lld\n", name.c_str(),
-                  static_cast<long long>(value));
+    std::snprintf(buf, sizeof buf, "gauge,%s%s,value,%lld\n", prefix.c_str(),
+                  name.c_str(), static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
+    const std::string full = prefix + name;
     std::snprintf(buf, sizeof buf,
                   "histogram,%s,count,%lld\nhistogram,%s,sum,%lld\n"
                   "histogram,%s,max,%lld\n",
-                  name.c_str(), static_cast<long long>(h.count()),
-                  name.c_str(), static_cast<long long>(h.sum()), name.c_str(),
+                  full.c_str(), static_cast<long long>(h.count()),
+                  full.c_str(), static_cast<long long>(h.sum()), full.c_str(),
                   static_cast<long long>(h.max()));
     out += buf;
   }
@@ -113,26 +121,27 @@ std::string MetricsRegistry::to_csv() const {
 }
 
 std::string MetricsRegistry::to_jsonl() const {
+  const std::string prefix = export_prefix();
   std::string out;
   char buf[256];
   for (const auto& [name, value] : counters_) {
     std::snprintf(buf, sizeof buf,
-                  "{\"kind\":\"counter\",\"name\":\"%s\",\"value\":%lld}\n",
-                  name.c_str(), static_cast<long long>(value));
+                  "{\"kind\":\"counter\",\"name\":\"%s%s\",\"value\":%lld}\n",
+                  prefix.c_str(), name.c_str(), static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, value] : gauges_) {
     std::snprintf(buf, sizeof buf,
-                  "{\"kind\":\"gauge\",\"name\":\"%s\",\"value\":%lld}\n",
-                  name.c_str(), static_cast<long long>(value));
+                  "{\"kind\":\"gauge\",\"name\":\"%s%s\",\"value\":%lld}\n",
+                  prefix.c_str(), name.c_str(), static_cast<long long>(value));
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
     std::snprintf(
         buf, sizeof buf,
-        "{\"kind\":\"histogram\",\"name\":\"%s\",\"count\":%lld,"
+        "{\"kind\":\"histogram\",\"name\":\"%s%s\",\"count\":%lld,"
         "\"sum\":%lld,\"max\":%lld}\n",
-        name.c_str(), static_cast<long long>(h.count()),
+        prefix.c_str(), name.c_str(), static_cast<long long>(h.count()),
         static_cast<long long>(h.sum()), static_cast<long long>(h.max()));
     out += buf;
   }

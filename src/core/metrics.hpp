@@ -44,6 +44,13 @@ class MetricHistogram {
 
 class MetricsRegistry {
  public:
+  /// Tags every exported series of this registry with a connection id:
+  /// dump/CSV/JSONL names gain a "conn<id>." prefix so the registries of
+  /// many connections can be merged into one host-level dump and still be
+  /// demuxed. -1 (the default) keeps the untagged single-connection format.
+  void set_conn_id(int id) { conn_id_ = id; }
+  [[nodiscard]] int conn_id() const { return conn_id_; }
+
   /// Stable pointer to the named counter (created at zero on first use).
   /// Counters are monotonic by convention; sync-style writers may assign.
   std::int64_t* counter(const std::string& name);
@@ -68,6 +75,10 @@ class MetricsRegistry {
   [[nodiscard]] std::string to_jsonl() const;
 
  private:
+  /// "conn<id>." when tagged, "" otherwise — prepended to exported names.
+  [[nodiscard]] std::string export_prefix() const;
+
+  int conn_id_ = -1;
   std::map<std::string, std::int64_t> counters_;
   std::map<std::string, std::int64_t> gauges_;
   std::map<std::string, MetricHistogram> histograms_;

@@ -81,27 +81,50 @@ void Tracer::clear() {
 
 std::string Tracer::to_jsonl() const {
   std::string out;
-  char buf[192];
+  char buf[224];
   for (const TraceEvent& e : events()) {
-    std::snprintf(buf, sizeof buf,
-                  "{\"t\":%lld,\"ev\":\"%s\",\"sbf\":%d,\"a\":%d,\"b\":%lld,"
-                  "\"c\":%lld}\n",
-                  static_cast<long long>(e.at.ns()), trace_event_name(e.type),
-                  static_cast<int>(e.subflow), static_cast<int>(e.a),
-                  static_cast<long long>(e.b), static_cast<long long>(e.c));
+    // Untagged events render exactly as before the multi-connection era, so
+    // single-connection exports stay byte-identical across versions.
+    if (e.conn >= 0) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"t\":%lld,\"ev\":\"%s\",\"conn\":%d,\"sbf\":%d,"
+                    "\"a\":%d,\"b\":%lld,\"c\":%lld}\n",
+                    static_cast<long long>(e.at.ns()), trace_event_name(e.type),
+                    static_cast<int>(e.conn), static_cast<int>(e.subflow),
+                    static_cast<int>(e.a), static_cast<long long>(e.b),
+                    static_cast<long long>(e.c));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"t\":%lld,\"ev\":\"%s\",\"sbf\":%d,\"a\":%d,\"b\":%lld,"
+                    "\"c\":%lld}\n",
+                    static_cast<long long>(e.at.ns()), trace_event_name(e.type),
+                    static_cast<int>(e.subflow), static_cast<int>(e.a),
+                    static_cast<long long>(e.b), static_cast<long long>(e.c));
+    }
     out += buf;
   }
   return out;
 }
 
 std::string Tracer::to_csv() const {
-  std::string out = "t_ns,ev,sbf,a,b,c\n";
-  char buf[160];
-  for (const TraceEvent& e : events()) {
-    std::snprintf(buf, sizeof buf, "%lld,%s,%d,%d,%lld,%lld\n",
-                  static_cast<long long>(e.at.ns()), trace_event_name(e.type),
-                  static_cast<int>(e.subflow), static_cast<int>(e.a),
-                  static_cast<long long>(e.b), static_cast<long long>(e.c));
+  const std::vector<TraceEvent> all = events();
+  const bool tagged = std::any_of(all.begin(), all.end(),
+                                  [](const TraceEvent& e) { return e.conn >= 0; });
+  std::string out = tagged ? "t_ns,ev,conn,sbf,a,b,c\n" : "t_ns,ev,sbf,a,b,c\n";
+  char buf[192];
+  for (const TraceEvent& e : all) {
+    if (tagged) {
+      std::snprintf(buf, sizeof buf, "%lld,%s,%d,%d,%d,%lld,%lld\n",
+                    static_cast<long long>(e.at.ns()), trace_event_name(e.type),
+                    static_cast<int>(e.conn), static_cast<int>(e.subflow),
+                    static_cast<int>(e.a), static_cast<long long>(e.b),
+                    static_cast<long long>(e.c));
+    } else {
+      std::snprintf(buf, sizeof buf, "%lld,%s,%d,%d,%lld,%lld\n",
+                    static_cast<long long>(e.at.ns()), trace_event_name(e.type),
+                    static_cast<int>(e.subflow), static_cast<int>(e.a),
+                    static_cast<long long>(e.b), static_cast<long long>(e.c));
+    }
     out += buf;
   }
   return out;
@@ -110,7 +133,8 @@ std::string Tracer::to_csv() const {
 namespace {
 
 bool matches(const TraceEvent& e, std::initializer_list<TraceEventType> types,
-             int subflow, bool exclude_reinjections) {
+             int subflow, bool exclude_reinjections, int conn) {
+  if (conn >= 0 && e.conn != conn) return false;
   if (subflow >= 0 && e.subflow != subflow) return false;
   if (exclude_reinjections && e.type == TraceEventType::kTx && e.a != 0) {
     return false;
@@ -123,11 +147,11 @@ bool matches(const TraceEvent& e, std::initializer_list<TraceEventType> types,
 std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
                                  std::initializer_list<TraceEventType> types,
                                  int subflow, TimeNs from, TimeNs to,
-                                 bool exclude_reinjections) {
+                                 bool exclude_reinjections, int conn) {
   std::int64_t total = 0;
   for (const TraceEvent& e : events) {
     if (e.at >= from && e.at < to &&
-        matches(e, types, subflow, exclude_reinjections)) {
+        matches(e, types, subflow, exclude_reinjections, conn)) {
       total += e.b;
     }
   }
@@ -137,7 +161,7 @@ std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
 TimeSeries trace_rate_series(std::span<const TraceEvent> events,
                              std::initializer_list<TraceEventType> types,
                              int subflow, TimeNs sample, TimeNs window,
-                             bool exclude_reinjections) {
+                             bool exclude_reinjections, int conn) {
   TimeSeries series;
   if (events.empty() || sample <= TimeNs{0} || window <= TimeNs{0}) {
     return series;
@@ -146,7 +170,9 @@ TimeSeries trace_rate_series(std::span<const TraceEvent> events,
   // two-pointer sweep over the trailing window suffices.
   std::vector<const TraceEvent*> hits;
   for (const TraceEvent& e : events) {
-    if (matches(e, types, subflow, exclude_reinjections)) hits.push_back(&e);
+    if (matches(e, types, subflow, exclude_reinjections, conn)) {
+      hits.push_back(&e);
+    }
   }
   if (hits.empty()) return series;
 

@@ -53,6 +53,8 @@ enum class TraceEventType : std::uint8_t {
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;
+/// `conn` is the owning connection's id (-1 for untagged single-connection
+/// tracers and for shared-network events that belong to no one connection);
 /// the meaning of a/b/c depends on the type (see TraceEventType and
 /// docs/OBSERVABILITY.md).
 struct TraceEvent {
@@ -62,6 +64,9 @@ struct TraceEvent {
   std::int32_t a = 0;
   std::int64_t b = 0;
   std::int64_t c = 0;
+  /// Last on purpose: existing aggregate initializers ({at, type, subflow,
+  /// a, b, c}) must keep their meaning.
+  std::int16_t conn = -1;
 };
 
 /// Stable short name of an event type ("tx", "deliver", ...) — the JSONL
@@ -78,6 +83,12 @@ class Tracer {
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// Connection id stamped onto every event emitted through this tracer
+  /// (-1 = untagged, the single-connection default). A Host gives each
+  /// connection's tracer its id so one shared sink can demux the streams.
+  void set_conn_id(int id) { conn_id_ = static_cast<std::int16_t>(id); }
+  [[nodiscard]] int conn_id() const { return conn_id_; }
+
   /// Streaming sink: receives every emitted event in addition to the ring
   /// (e.g. a live JSONL writer). Only called while tracing is enabled.
   using Sink = std::function<void(const TraceEvent&)>;
@@ -87,7 +98,15 @@ class Tracer {
   void emit(TraceEventType type, TimeNs at, int subflow, std::int32_t a = 0,
             std::int64_t b = 0, std::int64_t c = 0) {
     if (!enabled_) return;
-    record({at, type, static_cast<std::int16_t>(subflow), a, b, c});
+    record({at, type, static_cast<std::int16_t>(subflow), a, b, c, conn_id_});
+  }
+
+  /// Records an already-stamped event verbatim (the connection id is
+  /// preserved, not re-stamped). Used by a Host to aggregate the tagged
+  /// streams of many connections into one ring.
+  void forward(const TraceEvent& e) {
+    if (!enabled_) return;
+    record(e);
   }
 
   /// Events currently held, oldest first (at most `capacity` of the
@@ -107,15 +126,19 @@ class Tracer {
 
   /// One JSON object per line: {"t":<ns>,"ev":"tx","sbf":0,"a":0,"b":1400,
   /// "c":17}. Integer-only, hence byte-identical across same-seed runs.
+  /// Events tagged with a connection id additionally carry "conn":<id>;
+  /// untagged events keep the exact single-connection format.
   [[nodiscard]] std::string to_jsonl() const;
 
-  /// CSV with header "t_ns,ev,sbf,a,b,c".
+  /// CSV with header "t_ns,ev,sbf,a,b,c" — or "t_ns,ev,conn,sbf,a,b,c" when
+  /// any held event carries a connection id (multi-connection export).
   [[nodiscard]] std::string to_csv() const;
 
  private:
   void record(const TraceEvent& e);
 
   bool enabled_ = false;
+  std::int16_t conn_id_ = -1;
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  ///< ring write index once full
@@ -130,10 +153,13 @@ class Tracer {
 /// `exclude_reinjections`, tx events flagged as a repeat transmission of an
 /// already-sent packet (a=1: reinjection after a subflow death / redundant
 /// copy) are skipped, so the series reflects first transmissions only.
+/// `conn` filters to one connection id in a host-aggregated stream (-1 = any
+/// — also matches untagged single-connection events).
 std::int64_t trace_bytes_between(std::span<const TraceEvent> events,
                                  std::initializer_list<TraceEventType> types,
                                  int subflow, TimeNs from, TimeNs to,
-                                 bool exclude_reinjections = false);
+                                 bool exclude_reinjections = false,
+                                 int conn = -1);
 
 /// Sliding-window throughput series (bytes/sec): the byte field of matching
 /// events summed over a trailing `window`, sampled every `sample` — the
@@ -142,6 +168,7 @@ TimeSeries trace_rate_series(std::span<const TraceEvent> events,
                              std::initializer_list<TraceEventType> types,
                              int subflow, TimeNs sample = milliseconds(33),
                              TimeNs window = milliseconds(1000),
-                             bool exclude_reinjections = false);
+                             bool exclude_reinjections = false,
+                             int conn = -1);
 
 }  // namespace progmp

@@ -11,6 +11,8 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
   registers_.assign(static_cast<std::size_t>(cfg_.num_registers), 0);
 
   trace_.set_enabled(cfg_.trace_enabled);
+  trace_.set_conn_id(cfg_.conn_id);
+  metrics_.set_conn_id(cfg_.conn_id);
   hist_insns_per_exec_ = metrics_.histogram("engine.insns_per_exec");
   hist_execs_per_trigger_ = metrics_.histogram("engine.execs_per_trigger");
   hist_pushes_per_exec_ = metrics_.histogram("engine.pushes_per_exec");
@@ -59,17 +61,36 @@ std::unique_ptr<tcp::CongestionControl> MptcpConnection::make_cc() {
 int MptcpConnection::create_subflow(const SubflowSpec& spec) {
   const int slot = static_cast<int>(subflows_.size());
   PROGMP_CHECK_MSG(slot < kMaxSubflows, "too many subflows");
-  paths_.push_back(std::make_unique<sim::NetPath>(sim_, spec.forward,
-                                                  spec.reverse, rng_.fork()));
-  paths_.back()->forward.set_tracer(&trace_, slot, /*direction=*/0);
-  paths_.back()->reverse.set_tracer(&trace_, slot, /*direction=*/1);
+  link_down_epoch_.push_back(0);
+  restore_amnesty_.push_back(false);
   // A restore of the *data* link revives a failed subflow (the injector
   // restores the ACK link first for whole-path blackouts, so both directions
   // are usable by the time this fires). revive_subflow() is a no-op unless
   // the subflow actually failed, so fault-free runs never take this path.
-  paths_.back()->forward.set_state_change_fn([this, slot](bool up) {
-    if (up && cfg_.revive_on_restore) revive_subflow(slot);
-  });
+  if (spec.path_id.empty()) {
+    // Private link pair, owned by the connection — the original behaviour.
+    owned_paths_.push_back(std::make_unique<sim::NetPath>(
+        sim_, spec.forward, spec.reverse, rng_.fork()));
+    sim::NetPath& p = *owned_paths_.back();
+    paths_.push_back(&p);
+    p.forward.set_tracer(&trace_, slot, /*direction=*/0);
+    p.reverse.set_tracer(&trace_, slot, /*direction=*/1);
+    p.forward.set_state_change_fn(
+        [this, slot](bool up) { on_path_state(slot, up); });
+  } else {
+    // Shared path: the network owns links, tracer attachment and RNG; this
+    // connection only observes state transitions. The observer is guarded by
+    // the connection's lifetime token because shared links may outlive it.
+    PROGMP_CHECK_MSG(cfg_.network != nullptr,
+                     "SubflowSpec.path_id requires Config::network");
+    sim::NetPath& p = cfg_.network->path(spec.path_id);
+    paths_.push_back(&p);
+    std::weak_ptr<int> guard{alive_};
+    p.forward.add_state_observer([this, guard, slot](bool up) {
+      if (guard.expired()) return;
+      on_path_state(slot, up);
+    });
+  }
   SubflowSender::Host host;
   host.may_transmit = [this](const SkbPtr& skb) {
     // TCP window check on the right edge: offsets below it always fit.
@@ -86,7 +107,12 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
       qu_bytes_ += skb->size;
     }
   };
-  host.on_ack_done = [this](int s) { trigger({TriggerKind::kAck, s}); };
+  host.on_ack_done = [this](int s) {
+    // A successful ACK proves the path works post-restore; a later death is
+    // then a genuine black-path death, not the tail of a healed outage.
+    restore_amnesty_[static_cast<std::size_t>(s)] = false;
+    trigger({TriggerKind::kAck, s});
+  };
   host.on_loss_suspected = [this](int s, const SkbPtr& skb) {
     handle_loss_suspected(s, skb);
   };
@@ -94,7 +120,23 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
     handle_meta_ack(meta_ack, rwnd);
   };
   host.on_tsq_freed = [this](int s) { trigger({TriggerKind::kTsqFreed, s}); };
-  host.on_subflow_dead = [this](int s) { fail_subflow(s); };
+  host.on_subflow_dead = [this](int s) {
+    fail_subflow(s);
+    // RTO backoff can place the fatal consecutive RTO *after* the link
+    // already came back up (short blackouts). No further up-transition will
+    // arrive in that case, so a death whose RTO spiral straddled a restore
+    // must arm its own revival check or the subflow stays dead forever.
+    // The amnesty is one-shot per restore: a congestion death on a link
+    // that never went down (or that already ACKed since the restore) keeps
+    // the stay-dead-until-restore semantics, as do manual fail_subflow()
+    // calls — otherwise an up-but-black path would churn die/revive and
+    // starve the backup-subflow failover.
+    if (cfg_.revive_on_restore && restore_amnesty_[static_cast<std::size_t>(s)] &&
+        path(s).forward.is_up()) {
+      restore_amnesty_[static_cast<std::size_t>(s)] = false;
+      schedule_revival_check(s, std::max(cfg_.revival_min_uptime, TimeNs{0}));
+    }
+  };
 
   SubflowSender::Config sender_cfg = spec.sender;
   if (sender_cfg.rto_death_threshold == 0) {
@@ -190,6 +232,44 @@ void MptcpConnection::fail_subflow(int slot) {
   // the slot from SUBFLOWS) and reschedules the stranded packets on the
   // survivors — including backup subflows, per the default backup semantics.
   trigger({TriggerKind::kSubflowClosed, slot});
+}
+
+void MptcpConnection::on_path_state(int slot, bool up) {
+  if (!up) {
+    // Any pending hysteresis revival for this slot is now stale, and so is
+    // any pending death amnesty — the coming restore re-arms it.
+    ++link_down_epoch_[static_cast<std::size_t>(slot)];
+    restore_amnesty_[static_cast<std::size_t>(slot)] = false;
+    return;
+  }
+  if (!cfg_.revive_on_restore) return;
+  if (subflows_[static_cast<std::size_t>(slot)]->state() ==
+      SubflowSender::State::kEstablished) {
+    // The subflow survived the outage so far, but its RTO spiral may still
+    // declare it dead after this restore — arm the one-shot death amnesty.
+    restore_amnesty_[static_cast<std::size_t>(slot)] = true;
+  }
+  if (cfg_.revival_min_uptime <= TimeNs{0}) {
+    // Seed behaviour: trust the first up-transition.
+    revive_subflow(slot);
+    return;
+  }
+  // Hysteresis for flapping paths: re-admit the subflow only once the link
+  // stayed up for the whole probe window. A down-transition inside the
+  // window bumps the epoch and the check below abandons the revival; the
+  // next (stable) restore schedules a fresh one.
+  schedule_revival_check(slot, cfg_.revival_min_uptime);
+}
+
+void MptcpConnection::schedule_revival_check(int slot, TimeNs delay) {
+  const std::uint32_t epoch = link_down_epoch_[static_cast<std::size_t>(slot)];
+  std::weak_ptr<int> guard{alive_};
+  sim_.schedule_after(delay, [this, guard, slot, epoch] {
+    if (guard.expired()) return;
+    if (link_down_epoch_[static_cast<std::size_t>(slot)] != epoch) return;
+    if (!path(slot).forward.is_up()) return;
+    if (cfg_.revive_on_restore) revive_subflow(slot);
+  });
 }
 
 void MptcpConnection::revive_subflow(int slot) {

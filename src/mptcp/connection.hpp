@@ -25,6 +25,7 @@
 #include "mptcp/skb.hpp"
 #include "mptcp/subflow.hpp"
 #include "sim/link.hpp"
+#include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "tcp/congestion.hpp"
 
@@ -34,11 +35,19 @@ enum class CcKind { kReno, kLia, kCubic };
 
 class MptcpConnection {
  public:
-  /// Everything needed to bring up one subflow and its network path.
+  /// Everything needed to bring up one subflow and its network path. Two
+  /// binding modes:
+  ///  * `path_id` empty (default): the connection creates a private NetPath
+  ///    from `forward`/`reverse` — the original single-tenant behaviour,
+  ///    bit-identical at the same seed.
+  ///  * `path_id` set: the subflow binds to the named shared path of
+  ///    Config::network; `forward`/`reverse` are ignored and the subflow
+  ///    contends with every other flow on that path's links.
   struct SubflowSpec {
     SubflowSender::Config sender;
-    sim::Link::Config forward;   ///< data direction
-    sim::Link::Config reverse;   ///< ACK direction
+    sim::Link::Config forward;   ///< data direction (private-path mode)
+    sim::Link::Config reverse;   ///< ACK direction (private-path mode)
+    std::string path_id;         ///< shared path reference (shared mode)
   };
 
   struct Config {
@@ -46,6 +55,13 @@ class MptcpConnection {
     Receiver::Config receiver;
     CcKind cc = CcKind::kReno;
     int num_registers = 8;
+    /// Shared topology for subflow specs that reference a path by id.
+    /// Must outlive the connection; may stay null when every spec inlines a
+    /// private link pair (the single-tenant default).
+    sim::Network* network = nullptr;
+    /// Identity of this connection inside a multi-connection host: stamped
+    /// onto every trace event and exported metric series (-1 = untagged).
+    int conn_id = -1;
     /// Bound on scheduler executions per external trigger (defensive cap on
     /// the push-until-blocked loop). Generous: schedulers that compensate
     /// whole flights (§5.3) legitimately act many times per trigger.
@@ -64,6 +80,11 @@ class MptcpConnection {
     /// Revive a failed subflow when its forward (data) link comes back up.
     /// Only engages after a failure, so it cannot change fault-free runs.
     bool revive_on_restore = true;
+    /// Revival hysteresis for flapping paths: the restored link must stay up
+    /// this long before revive_on_restore re-admits the subflow; another
+    /// down-transition inside the window cancels the pending revival. 0 (the
+    /// seed default) trusts the first up-transition immediately.
+    TimeNs revival_min_uptime{0};
     /// When a scheduler program faults at runtime (budget exhaustion, VM
     /// error), roll its effects back and run the built-in default scheduler
     /// for that trigger instead of silently doing nothing.
@@ -119,6 +140,7 @@ class MptcpConnection {
   /// disables detection).
   void set_rto_death_threshold(int threshold);
   void set_revive_on_restore(bool on) { cfg_.revive_on_restore = on; }
+  void set_revival_min_uptime(TimeNs t) { cfg_.revival_min_uptime = t; }
   void set_sched_fault_fallback(bool on) { cfg_.sched_fault_fallback = on; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
@@ -133,6 +155,8 @@ class MptcpConnection {
   [[nodiscard]] sim::NetPath& path(int slot) {
     return *paths_[static_cast<std::size_t>(slot)];
   }
+  /// Identity inside a multi-connection host (-1 when standalone).
+  [[nodiscard]] int conn_id() const { return cfg_.conn_id; }
 
   [[nodiscard]] std::int64_t delivered_bytes() const {
     return delivered_bytes_;
@@ -176,6 +200,12 @@ class MptcpConnection {
 
  private:
   int create_subflow(const SubflowSpec& spec);
+  /// Up/down observer for the forward (data) link of `slot` — drives the
+  /// revival policy, including the revival_min_uptime hysteresis window.
+  void on_path_state(int slot, bool up);
+  /// Arms an epoch-guarded revival of `slot` after `delay`; abandoned if the
+  /// link goes down again (epoch bump) or is down when the check fires.
+  void schedule_revival_check(int slot, TimeNs delay);
   std::unique_ptr<tcp::CongestionControl> make_cc();
   void reinject_orphans(const std::vector<SkbPtr>& orphans);
   void run_engine();
@@ -190,8 +220,22 @@ class MptcpConnection {
   Rng rng_;
 
   std::unique_ptr<Receiver> receiver_;
-  std::vector<std::unique_ptr<sim::NetPath>> paths_;
+  /// Per-slot path binding. Shared paths are owned by Config::network;
+  /// private ones live in owned_paths_. Either way the pointer is stable for
+  /// the connection's lifetime.
+  std::vector<sim::NetPath*> paths_;
+  std::vector<std::unique_ptr<sim::NetPath>> owned_paths_;
   std::vector<std::unique_ptr<SubflowSender>> subflows_;
+  /// Down-transition counter per slot: a pending hysteresis revival is
+  /// cancelled when the link flapped again inside its window.
+  std::vector<std::uint32_t> link_down_epoch_;
+  /// One-shot per-slot amnesty armed when a link restore finds the subflow
+  /// still established: RTO backoff can declare the death *after* the
+  /// restore, when no further up-transition will arrive to revive it. The
+  /// amnesty is consumed by that death (bounding congestion-death churn to
+  /// one retry per restore) and cancelled by the first successful ACK —
+  /// a path that proved working post-restore dies for real reasons.
+  std::vector<bool> restore_amnesty_;
   std::shared_ptr<tcp::LiaCoupling> lia_group_;
 
   std::unique_ptr<Scheduler> scheduler_;

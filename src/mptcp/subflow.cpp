@@ -132,6 +132,7 @@ void SubflowSender::on_ack(const AckInfo& ack) {
     dupacks_ = 0;
     rto_backoff_ = 1;
     consecutive_rtos_ = 0;  // ACK progress: the path is alive
+    probation_ = false;
     while (!inflight_.empty() && inflight_.front().sbf_seq < snd_una_) {
       const TxSeg& seg = inflight_.front();
       if (!seg.retransmitted) {
@@ -191,8 +192,9 @@ void SubflowSender::on_rto_fired() {
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kRto, sim_.now(), slot_, rto_backoff_);
   }
-  if (cfg_.rto_death_threshold > 0 &&
-      consecutive_rtos_ >= cfg_.rto_death_threshold && host_.on_subflow_dead) {
+  const int death_threshold = probation_ ? 1 : cfg_.rto_death_threshold;
+  if (cfg_.rto_death_threshold > 0 && consecutive_rtos_ >= death_threshold &&
+      host_.on_subflow_dead) {
     // The path looks dead. Hand the decision to the connection (which is
     // expected to call fail()) instead of burning another retransmit on a
     // black hole. Note: the callback may tear this subflow's queues down.
@@ -315,6 +317,8 @@ void SubflowSender::reopen() {
   recover_ = 0;
   rto_backoff_ = 1;
   consecutive_rtos_ = 0;
+  probation_ = true;  // must prove itself with an ACK before RTOs are
+                      // tolerated again
   established_at_ = sim_.now();
   last_tx_at_ = TimeNs{0};
   // Slow-start restart: whatever cwnd the subflow had before the failure

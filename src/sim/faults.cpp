@@ -48,4 +48,25 @@ void FaultInjector::burst_loss(Link& link, TimeNs from, TimeNs until,
   }
 }
 
+void FaultInjector::blackout(Network& net, const std::string& path_id,
+                             TimeNs from, TimeNs until) {
+  blackout(net.path(path_id), from, until);
+}
+
+void FaultInjector::ack_blackout(Network& net, const std::string& path_id,
+                                 TimeNs from, TimeNs until) {
+  ack_blackout(net.path(path_id), from, until);
+}
+
+void FaultInjector::flap(Network& net, const std::string& path_id, TimeNs from,
+                         TimeNs until, TimeNs down_for, TimeNs up_for) {
+  flap(net.path(path_id), from, until, down_for, up_for);
+}
+
+void FaultInjector::burst_loss(Network& net, const std::string& path_id,
+                               TimeNs from, TimeNs until,
+                               Link::GilbertElliott ge) {
+  burst_loss(net.path(path_id).forward, from, until, ge);
+}
+
 }  // namespace progmp::sim

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "core/time.hpp"
 #include "sim/link.hpp"
+#include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace progmp::sim {
@@ -52,6 +54,20 @@ class FaultInjector {
   /// [from, until), then restores the configured Bernoulli behaviour.
   void burst_loss(Link& link, TimeNs from, TimeNs until,
                   Link::GilbertElliott ge);
+
+  // ---- By path id on a shared network --------------------------------------
+  // Fault plans against a sim::Network address paths by their registered id,
+  // so scenario scripts don't need the NetPath objects — and a fault on a
+  // shared path hits every connection bound to it at once.
+  void blackout(Network& net, const std::string& path_id, TimeNs from,
+                TimeNs until);
+  void ack_blackout(Network& net, const std::string& path_id, TimeNs from,
+                    TimeNs until);
+  void flap(Network& net, const std::string& path_id, TimeNs from, TimeNs until,
+            TimeNs down_for, TimeNs up_for);
+  /// Burst loss on the forward (data) link of the path.
+  void burst_loss(Network& net, const std::string& path_id, TimeNs from,
+                  TimeNs until, Link::GilbertElliott ge);
 
   /// Number of fault events scheduled so far (for plan introspection).
   [[nodiscard]] std::int64_t scheduled_events() const { return scheduled_; }

@@ -33,7 +33,9 @@ void Link::set_down() {
     trace_->emit(TraceEventType::kLinkDown, sim_.now(), trace_slot_,
                  trace_direction_);
   }
-  if (state_fn_) state_fn_(false);
+  for (const StateChangeFn& fn : state_fns_) {
+    if (fn) fn(false);
+  }
 }
 
 void Link::set_up() {
@@ -43,7 +45,9 @@ void Link::set_up() {
     trace_->emit(TraceEventType::kLinkUp, sim_.now(), trace_slot_,
                  trace_direction_);
   }
-  if (state_fn_) state_fn_(true);
+  for (const StateChangeFn& fn : state_fns_) {
+    if (fn) fn(true);
+  }
 }
 
 bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
@@ -61,6 +65,7 @@ bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
   }
   ++stats_.packets_sent;
   queued_bytes_ += bytes;
+  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
 
   const TimeNs now = sim_.now();
   const TimeNs start = std::max(now, serializer_free_);

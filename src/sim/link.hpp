@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "core/rng.hpp"
 #include "core/time.hpp"
@@ -59,6 +60,9 @@ class Link {
     std::int64_t drops_down = 0;   ///< packets sent into a downed link
     std::int64_t down_transitions = 0;  ///< up -> down events
     std::int64_t bytes_delivered = 0;
+    /// High-water mark of the drop-tail queue — the contention signal for
+    /// shared links (many flows arbitrating for one serializer).
+    std::int64_t max_queued_bytes = 0;
   };
 
   Link(Simulator& sim, Config cfg, Rng rng)
@@ -98,7 +102,18 @@ class Link {
 
   /// Observer for up/down transitions (called after the state changed).
   using StateChangeFn = std::function<void(bool up)>;
-  void set_state_change_fn(StateChangeFn fn) { state_fn_ = std::move(fn); }
+  /// Replaces all observers with `fn` — the single-owner (private path)
+  /// interface, unchanged semantics.
+  void set_state_change_fn(StateChangeFn fn) {
+    state_fns_.clear();
+    state_fns_.push_back(std::move(fn));
+  }
+  /// Adds an observer without displacing existing ones. Shared links are
+  /// watched by every connection with a subflow bound to them; observers
+  /// fire in registration order.
+  void add_state_observer(StateChangeFn fn) {
+    state_fns_.push_back(std::move(fn));
+  }
 
   /// Enables/disables the Gilbert–Elliott burst-loss model. While enabled it
   /// replaces the Bernoulli loss draw; the chain state persists across
@@ -134,7 +149,7 @@ class Link {
   Rng rng_;
   Stats stats_;
   std::function<bool(std::int64_t)> loss_fn_;
-  StateChangeFn state_fn_;
+  std::vector<StateChangeFn> state_fns_;
 
   bool up_ = true;
   std::optional<GilbertElliott> ge_;

@@ -5,6 +5,7 @@
 // must replay bit-identically at the same seed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -16,6 +17,8 @@
 #include "mptcp/connection.hpp"
 #include "sched/specs.hpp"
 #include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace progmp {
 namespace {
@@ -262,6 +265,175 @@ TEST(FaultResilienceTest, RandomizedFaultSoakAtFixedSeeds) {
     sim.run_until(seconds(120));
     EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes()) << "seed " << seed;
   }
+}
+
+TEST(FaultResilienceTest, RevivalHysteresisDelaysReadmission) {
+  // With revival_min_uptime set, a restored link must stay up that long
+  // before the dead subflow is re-admitted — revival fires at restore +
+  // window, not at restore.
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(/*rto_death_threshold=*/3);
+  cfg.revival_min_uptime = milliseconds(500);
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(1), seconds(3));
+
+  conn.write(2000 * 1400);
+  sim.run_until(seconds(30));
+
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow(0).stats().revivals, 1);
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type == TraceEventType::kSubflowRevived && e.subflow == 0) {
+      EXPECT_GE(e.at, seconds(3) + milliseconds(500));
+      EXPECT_LT(e.at, seconds(4));
+    }
+  }
+}
+
+TEST(FaultResilienceTest, FlappingPathIsNotReadmittedInsideTheWindow) {
+  // A path flapping faster than the hysteresis window never comes back:
+  // every up-period (300 ms) is shorter than revival_min_uptime (500 ms), so
+  // each pending revival is cancelled by the next down-transition. Only
+  // after the flapping stops does the subflow revive — once.
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(/*rto_death_threshold=*/3);
+  cfg.revival_min_uptime = milliseconds(500);
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(1), seconds(3));
+  faults.flap(conn.path(0), seconds(3), seconds(6), /*down_for=*/
+              milliseconds(200), /*up_for=*/milliseconds(300));
+
+  conn.write(4000 * 1400);
+  sim.run_until(seconds(60));
+
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow(0).stats().revivals, 1);
+  EXPECT_TRUE(conn.subflow(0).established());
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type == TraceEventType::kSubflowRevived && e.subflow == 0) {
+      // Not during [3s, 6s) flapping — only after the last restore + window.
+      EXPECT_GE(e.at, seconds(6));
+    }
+  }
+}
+
+TEST(FaultResilienceTest, ZeroHysteresisRevivesImmediatelyOnRestore) {
+  // The seed behaviour (revival_min_uptime = 0) trusts the very first
+  // up-transition: under the same flap plan the subflow is re-admitted right
+  // at the t=3s restore, inside the flapping window — the churn the
+  // hysteresis exists to prevent.
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(/*rto_death_threshold=*/3);
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(1), seconds(3));
+  faults.flap(conn.path(0), seconds(3), seconds(6), /*down_for=*/
+              milliseconds(200), /*up_for=*/milliseconds(300));
+
+  conn.write(4000 * 1400);
+  sim.run_until(seconds(60));
+
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  ASSERT_GE(conn.subflow(0).stats().revivals, 1);
+  TimeNs first_revival = seconds(1000);
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type == TraceEventType::kSubflowRevived && e.subflow == 0) {
+      first_revival = std::min(first_revival, e.at);
+    }
+  }
+  EXPECT_LT(first_revival, seconds(3) + milliseconds(500));
+}
+
+TEST(FaultResilienceTest, DeathLandingAfterRestoreStillRevives) {
+  // RTO backoff can place the fatal consecutive RTO *after* the link came
+  // back up (short blackout): the revival check armed by the up-transition
+  // finds the subflow still established and does nothing, and no further
+  // up-transition ever arrives. The post-restore death amnesty must arm its
+  // own revival check or the subflow stays dead forever (regression: found
+  // driving 64-user fleets through a 1.8 s AP blackout).
+  sim::Simulator sim;
+  sim::Network net(sim, Rng(99));
+  apps::install_fleet_network(net);
+  mptcp::MptcpConnection::Config cfg =
+      apps::fleet_handover_config(/*rto_death_threshold=*/3,
+                                  /*revival_min_uptime=*/milliseconds(50));
+  cfg.network = &net;
+  cfg.trace_enabled = true;
+  // 28 MB of bulk data emit more tx/ack events than the default ring holds;
+  // keep the early death/revival events from being evicted.
+  cfg.trace_capacity = 1 << 18;
+  MptcpConnection conn(sim, cfg, Rng(1));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  // Blackout [1 s, 1.8 s): short enough that the third consecutive RTO
+  // (death, ~2.4 s here) fires only after the restore.
+  faults.blackout(net, apps::kFleetWifiPath, seconds(1), milliseconds(1800));
+
+  conn.write(20000 * 1400);
+  sim.run_until(seconds(6));
+
+  const TimeNs restore = milliseconds(1800);
+  TimeNs death_at{0};
+  TimeNs first_revival{0};
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.subflow != 0) continue;
+    if (e.type == TraceEventType::kSubflowDead) death_at = e.at;
+    if (e.type == TraceEventType::kSubflowRevived &&
+        first_revival == TimeNs{0}) {
+      first_revival = e.at;
+    }
+  }
+  // The scenario only exercises the race if the death really landed after
+  // the restore — guard against parameter drift making it vacuous.
+  ASSERT_GT(death_at, restore) << "death no longer straddles the restore";
+  EXPECT_EQ(conn.subflow(0).stats().deaths, 1);
+  EXPECT_GE(conn.subflow(0).stats().revivals, 1);
+  EXPECT_TRUE(conn.subflow(0).established());
+  // The amnesty revival still honours the hysteresis window.
+  EXPECT_GE(first_revival, death_at + milliseconds(50));
+}
+
+TEST(FaultResilienceTest, CongestionDeathWithoutOutageGetsNoAmnesty) {
+  // A death on a link that never went down gets no amnesty: the path proved
+  // black while "up", so re-admitting it would just wedge the connection
+  // again (and again) while backup failover starves. The subflow stays dead
+  // until a genuine restore — which never comes here — and LTE carries the
+  // rest of the stream.
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(/*rto_death_threshold=*/3);
+  cfg.revival_min_uptime = milliseconds(50);
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  // Total loss without any down-transition: drop everything on the WiFi
+  // data link from t=1s on. The link stays administratively "up".
+  sim.schedule_after(seconds(1),
+                     [&conn] { conn.path(0).forward.set_loss_rate(1.0); });
+
+  conn.write(2000 * 1400);
+  sim.run_until(seconds(30));
+
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow(0).stats().deaths, 1);
+  EXPECT_EQ(conn.subflow(0).stats().revivals, 0);
+  EXPECT_FALSE(conn.subflow(0).established());
 }
 
 }  // namespace
