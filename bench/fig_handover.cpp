@@ -21,6 +21,7 @@
 #include "core/table.hpp"
 #include "core/trace.hpp"
 #include "mptcp/connection.hpp"
+#include "mptcp/path_health.hpp"
 #include "sim/faults.hpp"
 
 namespace progmp::bench {
@@ -39,22 +40,43 @@ struct Result {
   std::int64_t reinjected_tx = 0;  // kTx events flagged as reinjections
   std::int64_t deaths = 0;
   std::int64_t revivals = 0;
+  TimeNs revived_at{0};             // kSubflowRevived on wifi, 0 if never
+  TimeNs recovery_latency{-1};      // first fresh wifi tx after the heal - 8s
+  std::int64_t probe_wire_bytes = 0;  // probes + echoes, all slots
   TimeSeries series;
   std::string proc_dump;
   std::string trace_jsonl;
 };
 
-Result run(const char* scheduler, int rto_death_threshold) {
+/// Total loss on the wifi forward link: packets die but the link observer
+/// never reports a down/up transition — the silent blackout.
+sim::Link::GilbertElliott silent_loss() {
+  sim::Link::GilbertElliott ge;
+  ge.p_enter_bad = 1.0;
+  ge.p_exit_bad = 0.0;
+  ge.loss_good = 1.0;
+  ge.loss_bad = 1.0;
+  return ge;
+}
+
+Result run(const char* scheduler, int rto_death_threshold,
+           bool probe_revival = false, bool silent_blackout = false) {
   sim::Simulator sim;
   mptcp::MptcpConnection::Config cfg =
       apps::handover_config(rto_death_threshold);
   cfg.trace_enabled = true;
   cfg.trace_capacity = 1 << 21;
+  cfg.probe_revival = probe_revival;
   mptcp::MptcpConnection conn(sim, cfg, Rng(42));
   conn.set_scheduler(load_builtin(scheduler));
 
   sim::FaultInjector faults(sim);
-  faults.blackout(conn.path(0), seconds(3), seconds(8));
+  if (silent_blackout) {
+    faults.burst_loss(conn.path(0).forward, seconds(3), seconds(8),
+                      silent_loss());
+  } else {
+    faults.blackout(conn.path(0), seconds(3), seconds(8));
+  }
 
   apps::CbrSource::Options opts;
   opts.schedule = {{TimeNs{0}, kRateBytesPerSec}};
@@ -82,9 +104,25 @@ Result run(const char* scheduler, int rto_death_threshold) {
                           seconds(16), /*exclude_reinjections=*/true);
   for (const TraceEvent& e : events) {
     if (e.type == TT::kTx && e.a == 1) ++result.reinjected_tx;
+    if (e.type == TT::kSubflowRevived && e.subflow == 0) result.revived_at = e.at;
+    // Recovery latency: first fresh (non-reinjected) wifi transmission after
+    // the path heals at t=8 s.
+    if (e.type == TT::kTx && e.subflow == 0 && e.a == 0 && e.at >= seconds(8) &&
+        result.recovery_latency < TimeNs{0}) {
+      result.recovery_latency = e.at - seconds(8);
+    }
   }
   result.deaths = conn.subflow(0).stats().deaths;
   result.revivals = conn.subflow(0).stats().revivals;
+  if (const mptcp::PathHealthMonitor* health = conn.path_health()) {
+    for (int s = 0; s < conn.subflow_count(); ++s) {
+      const mptcp::PathHealthMonitor::SlotStats& ph = health->stats(s);
+      result.probe_wire_bytes +=
+          (ph.probes_sent + ph.keepalives_sent) *
+              mptcp::PathHealthMonitor::kProbeWireBytes +
+          ph.probe_acks * mptcp::SubflowSender::kAckBytes;
+    }
+  }
   result.proc_dump = api::ProgmpApi::proc_dump(conn);
   result.trace_jsonl = conn.tracer().to_jsonl();
   return result;
@@ -104,6 +142,18 @@ int main() {
 
   const Result frozen = run("minrtt", /*rto_death_threshold=*/0);
   const Result resilient = run("minrtt", /*rto_death_threshold=*/3);
+  // Probe-proven revival: the restore is only a hint, re-admission waits for
+  // answered keepalive probes (probe_required_acks sane echoes).
+  const Result probed =
+      run("minrtt", /*rto_death_threshold=*/3, /*probe_revival=*/true);
+  // The silent blackout: total loss with no link-down/up signal at all.
+  // Trust-the-link revival has nothing to trust — only probing can heal.
+  const Result silent_trust =
+      run("minrtt", /*rto_death_threshold=*/3, /*probe_revival=*/false,
+          /*silent_blackout=*/true);
+  const Result silent_probed =
+      run("minrtt", /*rto_death_threshold=*/3, /*probe_revival=*/true,
+          /*silent_blackout=*/true);
   // Scheduler-level outage masking (§5.3): redundant schedulers keep a live
   // copy on LTE the whole time, so the blackout never shows — at the price
   // of transmission overhead that reactive handover does not pay.
@@ -127,9 +177,33 @@ int main() {
   };
   row("minrtt, no handling", frozen);
   row("minrtt, rto_death_threshold=3", resilient);
+  row("minrtt, + probe-proven revival", probed);
   row("redundant (ReMP)", remp);
   row("opportunistic_redundant", opportunistic);
   std::printf("%s", table.str().c_str());
+
+  const auto latency_str = [](const Result& r) {
+    return r.recovery_latency >= TimeNs{0} ? r.recovery_latency.str()
+                                           : std::string("never");
+  };
+  std::printf(
+      "\nRecovery after the path heals at t=8 s (first fresh wifi tx):\n");
+  std::printf("  signaled blackout, trust-the-link revival : %s\n",
+              latency_str(resilient).c_str());
+  std::printf(
+      "  signaled blackout, probe-proven revival   : %s  "
+      "(probe wire bytes: %lld)\n",
+      latency_str(probed).c_str(),
+      static_cast<long long>(probed.probe_wire_bytes));
+  std::printf("  silent blackout,   trust-the-link revival : %s  "
+              "(wifi revivals: %lld)\n",
+              latency_str(silent_trust).c_str(),
+              static_cast<long long>(silent_trust.revivals));
+  std::printf(
+      "  silent blackout,   probe-proven revival   : %s  "
+      "(probe wire bytes: %lld)\n",
+      latency_str(silent_probed).c_str(),
+      static_cast<long long>(silent_probed.probe_wire_bytes));
 
   std::printf("\n%s",
               frozen.series
@@ -179,5 +253,26 @@ int main() {
       "still stranded on the dying path and head-of-line-block delivery",
       opportunistic.rate_outage < 400'000 && opportunistic.overhead > 1.3 &&
           opportunistic.delivered < opportunistic.written);
+  ok &= check_shape(
+      "probe-proven revival still delivers the whole stream and re-admits "
+      "wifi within 100 ms of the restore (a few probe RTTs, not a timer)",
+      probed.delivered == probed.written && probed.revivals == 1 &&
+          probed.recovery_latency >= TimeNs{0} &&
+          probed.recovery_latency < milliseconds(100));
+  ok &= check_shape(
+      "probing overhead is negligible: probe + echo wire bytes under 0.1% "
+      "of delivered payload",
+      probed.probe_wire_bytes > 0 &&
+          probed.probe_wire_bytes * 1000 < probed.delivered);
+  ok &= check_shape(
+      "under a silent blackout trust-the-link never revives wifi (no link "
+      "event ever fires) while probing heals it",
+      silent_trust.revivals == 0 && silent_probed.revivals == 1);
+  ok &= check_shape(
+      "probe-proven recovery from the silent blackout is bounded by the "
+      "probe schedule (fresh wifi data within 3 s of the heal, i.e. "
+      "probe_interval_max + the required-acks proof)",
+      silent_probed.recovery_latency >= TimeNs{0} &&
+          silent_probed.recovery_latency < seconds(3));
   return ok ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "mptcp/path_health.hpp"
 #include "sched/specs.hpp"
 
 namespace progmp::api {
@@ -137,6 +138,25 @@ std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
                 cc.rto_death_threshold, cc.revive_on_restore ? "on" : "off",
                 cc.sched_fault_fallback ? "on" : "off");
   out += buf;
+  std::snprintf(buf, sizeof buf,
+                "path_health: probe_revival=%s probe_interval=%s "
+                "probe_required_acks=%d keepalive_idle=%s stall_timeout=%s "
+                "stall_rescue=%s\n",
+                cc.probe_revival ? "on" : "off",
+                cc.probe_interval.str().c_str(), cc.probe_required_acks,
+                cc.keepalive_idle.str().c_str(),
+                cc.stall_timeout.str().c_str(),
+                cc.stall_rescue ? "on" : "off");
+  out += buf;
+  if (const mptcp::PathHealthMonitor* health = conn.path_health()) {
+    out += health->proc_dump();
+  }
+  if (conn.stalls() > 0 || conn.stall_rescues() > 0) {
+    std::snprintf(buf, sizeof buf, "watchdog: stalls=%lld rescues=%lld\n",
+                  static_cast<long long>(conn.stalls()),
+                  static_cast<long long>(conn.stall_rescues()));
+    out += buf;
+  }
   const Tracer& trace = conn.tracer();
   std::snprintf(buf, sizeof buf,
                 "trace: %s emitted=%llu overwritten=%llu capacity=%zu\n",

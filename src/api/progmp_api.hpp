@@ -78,6 +78,31 @@ class ProgmpApi {
     conn.set_sched_fault_fallback(on);
   }
 
+  // ---- Path health / watchdog knobs ---------------------------------------
+  /// Probe-proven revival: a failed subflow comes back only after answering
+  /// `probe_required_acks` keepalive probes with sane RTTs (off by default —
+  /// the trust-the-link-restore behaviour).
+  static void set_probe_revival(mptcp::MptcpConnection& conn, bool on) {
+    conn.set_probe_revival(on);
+  }
+  /// Idle keepalives: probe an established-but-idle subflow every `idle`;
+  /// `misses` consecutive unanswered probes declare it dead. idle=0 disables.
+  static void set_keepalive(mptcp::MptcpConnection& conn, TimeNs idle,
+                            int misses = 2) {
+    conn.set_keepalive(idle, misses);
+  }
+  /// Connection-liveness watchdog: declare (and trace) a meta-level stall
+  /// when delivered bytes make no progress for `timeout` while packets are
+  /// outstanding and a subflow is established. 0 disables.
+  static void set_stall_timeout(mptcp::MptcpConnection& conn, TimeNs timeout) {
+    conn.set_stall_timeout(timeout);
+  }
+  /// On a declared stall, force-reinject the oldest in-flight packet so the
+  /// scheduler retransmits it on another subflow.
+  static void set_stall_rescue(mptcp::MptcpConnection& conn, bool on) {
+    conn.set_stall_rescue(on);
+  }
+
   /// Signals the end of the current flow (used by the Compensating
   /// schedulers, which watch R2).
   static void signal_flow_end(mptcp::MptcpConnection& conn) {

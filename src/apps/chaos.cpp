@@ -1,0 +1,242 @@
+#include "apps/chaos.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "core/invariants.hpp"
+#include "core/rng.hpp"
+#include "mptcp/conn_invariants.hpp"
+#include "mptcp/connection.hpp"
+#include "sched/native.hpp"
+#include "sim/faults.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::apps {
+namespace {
+
+const char* kind_name(ChaosFault::Kind k) {
+  switch (k) {
+    case ChaosFault::Kind::kBlackout:
+      return "blackout";
+    case ChaosFault::Kind::kAckBlackout:
+      return "ack_blackout";
+    case ChaosFault::Kind::kFlap:
+      return "flap";
+    case ChaosFault::Kind::kBurstLoss:
+      return "burst_loss";
+  }
+  return "?";
+}
+
+const char* path_name(int path) { return path == 0 ? "wifi_ap" : "lte_cell"; }
+
+const char* path_id(int path) {
+  return path == 0 ? kFleetWifiPath : kFleetLtePath;
+}
+
+/// Uniform TimeNs in [lo, hi], millisecond granularity (keeps plans short to
+/// print and diff; the simulator itself is nanosecond-exact).
+TimeNs next_time(Rng& rng, TimeNs lo, TimeNs hi) {
+  const std::int64_t lo_ms = lo.ns() / 1'000'000;
+  const std::int64_t hi_ms = hi.ns() / 1'000'000;
+  return milliseconds(rng.next_range(lo_ms, std::max(lo_ms, hi_ms)));
+}
+
+}  // namespace
+
+std::string ChaosFault::str() const {
+  char buf[224];
+  switch (kind) {
+    case Kind::kFlap:
+      std::snprintf(buf, sizeof buf,
+                    "flap %s from=%s until=%s down_for=%s up_for=%s",
+                    path_name(path), from.str().c_str(), until.str().c_str(),
+                    down_for.str().c_str(), up_for.str().c_str());
+      break;
+    case Kind::kBurstLoss:
+      std::snprintf(buf, sizeof buf,
+                    "burst_loss %s from=%s until=%s p_enter=%.3f p_exit=%.3f "
+                    "loss_bad=%.2f",
+                    path_name(path), from.str().c_str(), until.str().c_str(),
+                    ge.p_enter_bad, ge.p_exit_bad, ge.loss_bad);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "%s %s from=%s until=%s", kind_name(kind),
+                    path_name(path), from.str().c_str(), until.str().c_str());
+      break;
+  }
+  return buf;
+}
+
+std::string ChaosPlan::str() const {
+  std::string out = "chaos plan seed=" + std::to_string(seed) +
+                    " horizon=" + horizon.str() +
+                    " faults=" + std::to_string(faults.size()) + "\n";
+  for (const ChaosFault& f : faults) out += "  " + f.str() + "\n";
+  return out;
+}
+
+ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& opts) {
+  ChaosPlan plan;
+  plan.seed = seed;
+  plan.horizon = opts.horizon;
+  Rng rng(seed);
+
+  // Every fault must be fully over before the horizon so delivery is
+  // assertable after the grace period — leave a margin at the end.
+  const TimeNs latest_end = plan.horizon - milliseconds(500);
+  const int n = static_cast<int>(
+      rng.next_range(opts.min_faults, std::max(opts.min_faults,
+                                               opts.max_faults)));
+  for (int i = 0; i < n; ++i) {
+    ChaosFault f;
+    f.kind = static_cast<ChaosFault::Kind>(rng.next_range(0, 3));
+    f.path = static_cast<int>(rng.next_range(0, 1));
+    f.from = next_time(rng, milliseconds(500), latest_end - seconds(1));
+    switch (f.kind) {
+      case ChaosFault::Kind::kFlap: {
+        f.until = std::min(latest_end,
+                           f.from + next_time(rng, seconds(1), seconds(4)));
+        f.down_for = next_time(rng, milliseconds(100), milliseconds(600));
+        f.up_for = next_time(rng, milliseconds(100), milliseconds(600));
+        break;
+      }
+      case ChaosFault::Kind::kBurstLoss: {
+        f.until = std::min(latest_end,
+                           f.from + next_time(rng, milliseconds(300),
+                                              seconds(3)));
+        f.ge.p_enter_bad = 0.05 + 0.25 * rng.next_double();
+        f.ge.p_exit_bad = 0.10 + 0.40 * rng.next_double();
+        f.ge.loss_good = 0.0;
+        f.ge.loss_bad = 1.0;
+        break;
+      }
+      default: {
+        f.until = std::min(latest_end,
+                           f.from + next_time(rng, milliseconds(200),
+                                              seconds(3)));
+        break;
+      }
+    }
+    plan.faults.push_back(f);
+  }
+  return plan;
+}
+
+ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
+  sim::Simulator sim;
+  // The network RNG is derived from the plan seed so link loss draws are
+  // part of the reproducible run.
+  sim::Network net(sim, Rng(plan.seed ^ 0xc4a05f00dULL));
+  // Single-user capacities (fleet defaults are sized for a whole cell).
+  install_fleet_network(net, /*wifi_ap_mbps=*/16, /*lte_cell_mbps=*/48);
+
+  mptcp::MptcpConnection::Config cfg =
+      fleet_handover_config(opts.rto_death_threshold);
+  cfg.network = &net;
+  cfg.probe_revival = opts.probe_revival;
+  cfg.keepalive_idle = opts.keepalive_idle;
+  cfg.stall_timeout = opts.stall_timeout;
+  cfg.stall_rescue = opts.stall_rescue;
+  if (opts.capture_trace) {
+    cfg.trace_enabled = true;
+    cfg.trace_capacity = 1 << 20;
+  }
+  mptcp::MptcpConnection conn(sim, cfg, Rng(plan.seed));
+  conn.set_test_drop_failed_subflow_orphans(
+      opts.test_drop_failed_subflow_orphans);
+  conn.set_scheduler(sched::make_native_minrtt());
+
+  InvariantChecker checker;
+  checker.set_stride(opts.invariant_stride);
+  mptcp::install_connection_invariants(checker, conn);
+  sim.set_post_event_hook([&checker, &sim] { checker.run(sim.now()); });
+
+  sim::FaultInjector injector(sim);
+  for (const ChaosFault& f : plan.faults) {
+    switch (f.kind) {
+      case ChaosFault::Kind::kBlackout:
+        injector.blackout(net, path_id(f.path), f.from, f.until);
+        break;
+      case ChaosFault::Kind::kAckBlackout:
+        injector.ack_blackout(net, path_id(f.path), f.from, f.until);
+        break;
+      case ChaosFault::Kind::kFlap:
+        injector.flap(net, path_id(f.path), f.from, f.until, f.down_for,
+                      f.up_for);
+        break;
+      case ChaosFault::Kind::kBurstLoss:
+        injector.burst_loss(net, path_id(f.path), f.from, f.until, f.ge);
+        break;
+    }
+  }
+  // Overlapping fault windows can interleave their down/up (set/clear)
+  // events so the *last* event on a link is a down or a GE enable. The plan
+  // contract is "everything is over by the horizon", so enforce it with one
+  // final cleanup sweep there.
+  sim.schedule_at(plan.horizon, [&net] {
+    for (const char* id : {kFleetWifiPath, kFleetLtePath}) {
+      net.set_up(id);
+      net.path(id).forward.clear_gilbert_elliott();
+      net.path(id).reverse.clear_gilbert_elliott();
+    }
+  });
+
+  CbrSource::Options wl;
+  wl.schedule = {{TimeNs{0}, opts.cbr_bytes_per_sec}};
+  wl.duration = plan.horizon - seconds(1);
+  CbrSource source(sim, conn, wl);
+  source.start();
+
+  sim.run_until(plan.horizon + opts.grace);
+  checker.force_run(sim.now());
+
+  ChaosVerdict v;
+  v.invariants_ok = checker.ok();
+  v.violations = checker.total_violations();
+  if (!checker.violations().empty()) {
+    const InvariantChecker::Violation& first = checker.violations().front();
+    v.first_violation = first.check + "@" + first.at.str() + ": " +
+                        first.detail;
+  }
+  v.written = conn.written_bytes();
+  v.delivered = conn.delivered_bytes();
+  v.delivered_all = v.written > 0 && v.delivered == v.written;
+  for (int s = 0; s < conn.subflow_count(); ++s) {
+    v.deaths += conn.subflow(s).stats().deaths;
+    v.revivals += conn.subflow(s).stats().revivals;
+  }
+  v.stalls = conn.stalls();
+  v.checker_runs = checker.runs();
+  if (opts.capture_trace) v.trace_csv = conn.tracer().to_csv();
+  return v;
+}
+
+ChaosPlan minimize_chaos_plan(
+    const ChaosPlan& plan, const ChaosOptions& opts,
+    const std::function<bool(const ChaosVerdict&)>& still_failing) {
+  const auto failing = [&](const ChaosVerdict& v) {
+    return still_failing ? still_failing(v) : !v.ok();
+  };
+  ChaosPlan current = plan;
+  bool shrunk = true;
+  while (shrunk && current.faults.size() > 1) {
+    shrunk = false;
+    for (std::size_t i = 0; i < current.faults.size(); ++i) {
+      ChaosPlan candidate = current;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (failing(run_chaos_plan(candidate, opts))) {
+        current = std::move(candidate);
+        shrunk = true;
+        break;  // restart the sweep over the shorter list
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace progmp::apps

@@ -1,0 +1,133 @@
+// Invariant-checked chaos soak: seeded random fault plans against a live
+// connection on a shared two-path network.
+//
+// A ChaosPlan is a deterministic function of its seed — blackouts, one-way
+// ACK blackouts, flapping episodes and Gilbert–Elliott loss bursts over the
+// shared "wifi_ap"/"lte_cell" paths, all scheduled to end (links restored,
+// Bernoulli loss re-enabled) strictly before the plan horizon. Running a
+// plan arms the full robustness stack — RTO death detection, probe-proven
+// revival, idle keepalives, the liveness watchdog with stall rescue — and
+// attaches the connection invariant pack (mptcp/conn_invariants.hpp) to the
+// simulator's post-event hook, so every event boundary of the faulted run is
+// a checkpoint.
+//
+// The verdict is binary on two axes: no invariant ever broke, and every
+// written byte arrived once the faults were over and the grace period ran
+// out. A failing plan can be handed to minimize_chaos_plan, which greedily
+// deletes faults while the caller's predicate keeps failing — the minimized
+// plan (usually one or two faults) is what a human debugs and what CI
+// uploads as an artifact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/link.hpp"
+
+namespace progmp::apps {
+
+struct ChaosFault {
+  enum class Kind {
+    kBlackout,     ///< both directions of the path down for [from, until)
+    kAckBlackout,  ///< reverse (ACK) link only — the asymmetric failure
+    kFlap,         ///< down/up cycling until `until` (final state: up)
+    kBurstLoss,    ///< Gilbert–Elliott episode on the forward link
+  };
+
+  Kind kind = Kind::kBlackout;
+  int path = 0;  ///< 0 = shared WiFi AP, 1 = shared LTE cell
+  TimeNs from{0};
+  TimeNs until{0};
+  // kFlap only:
+  TimeNs down_for{0};
+  TimeNs up_for{0};
+  // kBurstLoss only:
+  sim::Link::GilbertElliott ge;
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct ChaosPlan {
+  std::uint64_t seed = 0;
+  TimeNs horizon = seconds(20);  ///< every fault is over before this
+  std::vector<ChaosFault> faults;
+
+  /// Human-readable plan (one line per fault) — the minimized-plan artifact.
+  [[nodiscard]] std::string str() const;
+};
+
+struct ChaosOptions {
+  // ---- Plan generation ----------------------------------------------------
+  int min_faults = 2;
+  int max_faults = 6;
+  TimeNs horizon = seconds(20);
+
+  // ---- Workload -----------------------------------------------------------
+  /// Constant-rate app writes from t=0 until one second before the horizon,
+  /// so every fault window in the plan hits live traffic (a bulk transfer
+  /// would finish in ~150 ms and leave most faults punching air). The rate is
+  /// well under either path's capacity: the stream must be recoverable, and
+  /// a 200-seed soak must stay affordable under ASan.
+  std::int64_t cbr_bytes_per_sec = 250'000;
+
+  // ---- Robustness stack armed during the run ------------------------------
+  int rto_death_threshold = 3;
+  bool probe_revival = true;
+  TimeNs keepalive_idle = milliseconds(500);
+  TimeNs stall_timeout = seconds(2);
+  bool stall_rescue = true;
+
+  // ---- Checking -----------------------------------------------------------
+  /// Stride for the heavy (full-scan) invariants; the cheap class still runs
+  /// at every event boundary.
+  std::uint64_t invariant_stride = 16;
+  /// Extra simulated time after the horizon for retransmissions, probe
+  /// revivals and the final delivery to settle.
+  TimeNs grace = seconds(40);
+
+  /// Self-test hook: run with the deliberately-broken fail_subflow() that
+  /// drops stranded packets instead of reinjecting them. The soak must
+  /// catch this via no_stranded_packets (and the delivery shortfall).
+  bool test_drop_failed_subflow_orphans = false;
+
+  /// Record the connection trace and export it in the verdict (CSV) — for
+  /// debugging a minimized plan, not for the soak itself.
+  bool capture_trace = false;
+};
+
+struct ChaosVerdict {
+  bool invariants_ok = false;
+  std::int64_t violations = 0;       ///< total invariant violations observed
+  std::string first_violation;       ///< "name@t: detail" of the first one
+  bool delivered_all = false;        ///< every written byte delivered
+  std::int64_t written = 0;
+  std::int64_t delivered = 0;
+  std::int64_t deaths = 0;           ///< subflow deaths across the run
+  std::int64_t revivals = 0;
+  std::int64_t stalls = 0;           ///< watchdog declarations
+  std::uint64_t checker_runs = 0;    ///< liveness: the checker really ran
+  std::string trace_csv;             ///< only with ChaosOptions::capture_trace
+
+  [[nodiscard]] bool ok() const { return invariants_ok && delivered_all; }
+};
+
+/// Derives a fault plan from `seed` (same seed, same plan — bit-for-bit).
+[[nodiscard]] ChaosPlan make_chaos_plan(std::uint64_t seed,
+                                        const ChaosOptions& opts = {});
+
+/// Runs one plan to horizon + grace under the invariant checker.
+[[nodiscard]] ChaosVerdict run_chaos_plan(const ChaosPlan& plan,
+                                          const ChaosOptions& opts = {});
+
+/// Greedy fault-list minimization: repeatedly re-runs the plan with one
+/// fault removed and keeps the removal while `still_failing(verdict)` holds,
+/// until no single removal preserves the failure. The default predicate
+/// (when `still_failing` is null) is "verdict not ok()".
+[[nodiscard]] ChaosPlan minimize_chaos_plan(
+    const ChaosPlan& plan, const ChaosOptions& opts = {},
+    const std::function<bool(const ChaosVerdict&)>& still_failing = nullptr);
+
+}  // namespace progmp::apps

@@ -1,0 +1,50 @@
+#include "core/invariants.hpp"
+
+#include "core/check.hpp"
+
+namespace progmp {
+
+void InvariantChecker::add_check(std::string name, CheckFn fn,
+                                 bool every_event) {
+  PROGMP_CHECK(fn != nullptr);
+  checks_.push_back({std::move(name), std::move(fn), every_event});
+}
+
+void InvariantChecker::run_check(const Check& c, TimeNs now) {
+  std::optional<std::string> broken = c.fn();
+  if (!broken.has_value()) return;
+  ++total_violations_;
+  PROGMP_CHECK_MSG(!abort_on_violation_,
+                   ("invariant violated: " + c.name + ": " + *broken).c_str());
+  if (violations_.size() < max_kept_) {
+    violations_.push_back({c.name, std::move(*broken), now});
+  }
+}
+
+void InvariantChecker::run(TimeNs now) {
+  ++runs_;
+  const bool full = (calls_++ % stride_) == 0;
+  for (const Check& c : checks_) {
+    if (c.every_event || full) run_check(c, now);
+  }
+}
+
+void InvariantChecker::force_run(TimeNs now) {
+  ++runs_;
+  for (const Check& c : checks_) run_check(c, now);
+}
+
+std::string InvariantChecker::report() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    out += v.check;
+    out += "@";
+    out += std::to_string(v.at.ns());
+    out += "ns: ";
+    out += v.detail;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace progmp

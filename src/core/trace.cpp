@@ -45,6 +45,12 @@ const char* trace_event_name(TraceEventType type) {
       return "subflow_revived";
     case TraceEventType::kSchedFault:
       return "sched_fault";
+    case TraceEventType::kProbeSent:
+      return "probe_sent";
+    case TraceEventType::kProbeAcked:
+      return "probe_acked";
+    case TraceEventType::kConnStall:
+      return "conn_stall";
   }
   return "?";
 }
@@ -58,6 +64,7 @@ void Tracer::record(const TraceEvent& e) {
   } else {
     ring_[next_] = e;
     next_ = (next_ + 1) % capacity_;
+    ++overwritten_;
   }
   ++emitted_;
   if (sink_) sink_(e);
@@ -77,6 +84,7 @@ void Tracer::clear() {
   ring_.clear();
   next_ = 0;
   emitted_ = 0;
+  overwritten_ = 0;
 }
 
 std::string Tracer::to_jsonl() const {

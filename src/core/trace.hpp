@@ -50,6 +50,14 @@ enum class TraceEventType : std::uint8_t {
   kSubflowRevived,      ///< failed subflow revived after a link restore
   kSchedFault,          ///< scheduler runtime fault; effects rolled back and
                         ///< the default scheduler ran instead (a=trigger kind)
+  kProbeSent,           ///< path-health probe on the wire (a=1 for an idle
+                        ///< keepalive on an established subflow, 0 for a
+                        ///< revival probe on a failed one)
+  kProbeAcked,          ///< probe echo returned (a=1 if the RTT sample was
+                        ///< sane, b=RTT ns, c=1 for a keepalive echo)
+  kConnStall,           ///< watchdog declared a meta-level stall (a=1 if a
+                        ///< stuck packet was force-reinjected, b=delivered
+                        ///< bytes, c=outstanding packets in Q+QU+RQ)
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;
@@ -114,12 +122,9 @@ class Tracer {
   [[nodiscard]] std::vector<TraceEvent> events() const;
 
   [[nodiscard]] std::uint64_t total_emitted() const { return emitted_; }
-  /// Events lost to ring overwrite.
-  [[nodiscard]] std::uint64_t overwritten() const {
-    return emitted_ > ring_.size() && ring_.size() == capacity_
-               ? emitted_ - capacity_
-               : 0;
-  }
+  /// Events lost to ring overwrite — counted at overwrite time, so chaos
+  /// triage can tell a quiet run from a truncated trace.
+  [[nodiscard]] std::uint64_t overwritten() const { return overwritten_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   void clear();
@@ -143,6 +148,7 @@ class Tracer {
   std::vector<TraceEvent> ring_;
   std::size_t next_ = 0;  ///< ring write index once full
   std::uint64_t emitted_ = 0;
+  std::uint64_t overwritten_ = 0;
   Sink sink_;
 };
 

@@ -1,0 +1,146 @@
+#include "mptcp/conn_invariants.hpp"
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mptcp/connection.hpp"
+
+namespace progmp::mptcp {
+namespace {
+
+std::string skb_id(const Skb& skb) {
+  return "skb meta_seq=" + std::to_string(skb.meta_seq);
+}
+
+}  // namespace
+
+void install_connection_invariants(InvariantChecker& checker,
+                                   const MptcpConnection& conn) {
+  checker.add_check(
+      "byte_conservation_cheap",
+      [&conn]() -> std::optional<std::string> {
+        if (conn.delivered_bytes() > conn.written_bytes()) {
+          return "delivered " + std::to_string(conn.delivered_bytes()) +
+                 " > written " + std::to_string(conn.written_bytes());
+        }
+        if (conn.meta_una_bytes() >
+            static_cast<std::uint64_t>(conn.written_bytes())) {
+          return "meta_una_bytes " + std::to_string(conn.meta_una_bytes()) +
+                 " > written " + std::to_string(conn.written_bytes());
+        }
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+
+  // Growth-gated in-flight vs cwnd; prev holds the last boundary's counts.
+  auto prev = std::make_shared<std::vector<std::int64_t>>();
+  checker.add_check(
+      "inflight_le_cwnd",
+      [&conn, prev]() -> std::optional<std::string> {
+        const auto n = static_cast<std::size_t>(conn.subflow_count());
+        if (prev->size() < n) prev->resize(n, 0);
+        std::optional<std::string> bad;
+        for (std::size_t s = 0; s < n; ++s) {
+          const SubflowSender& sbf = conn.subflow(static_cast<int>(s));
+          const std::int64_t infl = sbf.in_flight();
+          const std::int64_t cwnd = sbf.cwnd();
+          if (!bad && infl > (*prev)[s] && infl > cwnd) {
+            bad = "sbf" + std::to_string(s) + " grew in-flight to " +
+                  std::to_string(infl) + " segments beyond cwnd " +
+                  std::to_string(cwnd);
+          }
+          (*prev)[s] = infl;
+        }
+        return bad;
+      },
+      /*every_event=*/true);
+
+  checker.add_check(
+      "byte_conservation", [&conn]() -> std::optional<std::string> {
+        std::int64_t outstanding = 0;
+        for (const auto& [seq, skb] : conn.unacked()) outstanding += skb->size;
+        const std::int64_t accounted =
+            static_cast<std::int64_t>(conn.meta_una_bytes()) + outstanding;
+        if (accounted != conn.written_bytes()) {
+          return "meta_una_bytes + unacked = " + std::to_string(accounted) +
+                 " != written " + std::to_string(conn.written_bytes());
+        }
+        return std::nullopt;
+      });
+
+  checker.add_check(
+      "queue_membership", [&conn]() -> std::optional<std::string> {
+        std::unordered_set<const Skb*> seen;
+        for (const SkbPtr& skb : conn.sending_queue()) {
+          if (!skb->in_q) return skb_id(*skb) + " in Q without in_q flag";
+          if (skb->acked || skb->dropped) {
+            return skb_id(*skb) + " in Q but acked/dropped";
+          }
+          if (!seen.insert(skb.get()).second) {
+            return skb_id(*skb) + " duplicated in Q";
+          }
+        }
+        seen.clear();
+        std::int64_t qu_bytes = 0;
+        for (const SkbPtr& skb : conn.inflight_queue()) {
+          if (!skb->in_qu) return skb_id(*skb) + " in QU without in_qu flag";
+          if (skb->acked) return skb_id(*skb) + " in QU but already acked";
+          if (!seen.insert(skb.get()).second) {
+            return skb_id(*skb) + " duplicated in QU";
+          }
+          qu_bytes += skb->size;
+        }
+        if (qu_bytes != conn.qu_bytes()) {
+          return "qu_bytes counter " + std::to_string(conn.qu_bytes()) +
+                 " != actual QU byte sum " + std::to_string(qu_bytes);
+        }
+        seen.clear();
+        for (const SkbPtr& skb : conn.reinjection_queue()) {
+          if (!skb->in_rq) return skb_id(*skb) + " in RQ without in_rq flag";
+          if (skb->acked || skb->dropped) {
+            return skb_id(*skb) + " in RQ but acked/dropped";
+          }
+          if (!seen.insert(skb.get()).second) {
+            return skb_id(*skb) + " duplicated in RQ";
+          }
+        }
+        return std::nullopt;
+      });
+
+  checker.add_check(
+      "sent_mask_sanity", [&conn]() -> std::optional<std::string> {
+        const std::uint32_t valid =
+            (1u << static_cast<unsigned>(conn.subflow_count())) - 1u;
+        for (const auto& [seq, skb] : conn.unacked()) {
+          if ((skb->sent_mask & ~valid) != 0) {
+            return skb_id(*skb) + " sent_mask " +
+                   std::to_string(skb->sent_mask) +
+                   " names a slot beyond subflow_count " +
+                   std::to_string(conn.subflow_count());
+          }
+        }
+        return std::nullopt;
+      });
+
+  checker.add_check(
+      "no_stranded_packets", [&conn]() -> std::optional<std::string> {
+        for (const auto& [seq, skb] : conn.unacked()) {
+          if (skb->acked || skb->dropped) continue;
+          if (skb->in_q || skb->in_rq) continue;
+          bool owned = conn.receiver().has_received(skb->meta_seq);
+          for (int s = 0; !owned && s < conn.subflow_count(); ++s) {
+            owned = conn.subflow(s).tracks(skb.get());
+          }
+          if (!owned) {
+            return skb_id(*skb) +
+                   " is stranded: not in Q/RQ, no subflow tracks it and the "
+                   "receiver never saw it";
+          }
+        }
+        return std::nullopt;
+      });
+}
+
+}  // namespace progmp::mptcp

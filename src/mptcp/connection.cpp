@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mptcp/path_health.hpp"
+
 namespace progmp::mptcp {
 
 MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
@@ -44,6 +46,18 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
   for (const SubflowSpec& spec : cfg_.subflows) {
     create_subflow(spec);
   }
+  if (cfg_.probe_revival || cfg_.keepalive_idle > TimeNs{0}) {
+    ensure_path_health();
+  }
+  if (cfg_.stall_timeout > TimeNs{0}) arm_watchdog();
+}
+
+MptcpConnection::~MptcpConnection() = default;
+
+void MptcpConnection::ensure_path_health() {
+  if (health_ != nullptr) return;
+  health_ = std::make_unique<PathHealthMonitor>(sim_, *this);
+  for (int s = 0; s < subflow_count(); ++s) health_->on_subflow_attached(s);
 }
 
 std::unique_ptr<tcp::CongestionControl> MptcpConnection::make_cc() {
@@ -130,8 +144,11 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
     // that never went down (or that already ACKed since the restore) keeps
     // the stay-dead-until-restore semantics, as do manual fail_subflow()
     // calls — otherwise an up-but-black path would churn die/revive and
-    // starve the backup-subflow failover.
-    if (cfg_.revive_on_restore && restore_amnesty_[static_cast<std::size_t>(s)] &&
+    // starve the backup-subflow failover. With probe_revival the monitor
+    // owns revival: fail_subflow() above already started probing the (up)
+    // path, which subsumes the amnesty with an actual end-to-end proof.
+    if (!cfg_.probe_revival && cfg_.revive_on_restore &&
+        restore_amnesty_[static_cast<std::size_t>(s)] &&
         path(s).forward.is_up()) {
       restore_amnesty_[static_cast<std::size_t>(s)] = false;
       schedule_revival_check(s, std::max(cfg_.revival_min_uptime, TimeNs{0}));
@@ -193,6 +210,7 @@ std::int64_t MptcpConnection::get_register(int idx) const {
 
 int MptcpConnection::add_subflow(const SubflowSpec& spec) {
   const int slot = create_subflow(spec);
+  if (health_ != nullptr) health_->on_subflow_attached(slot);
   trigger({TriggerKind::kSubflowAdded, slot});
   return slot;
 }
@@ -211,6 +229,7 @@ void MptcpConnection::reinject_orphans(const std::vector<SkbPtr>& orphans) {
 void MptcpConnection::close_subflow(int slot) {
   PROGMP_CHECK(slot >= 0 && slot < subflow_count());
   reinject_orphans(subflows_[static_cast<std::size_t>(slot)]->close());
+  if (health_ != nullptr) health_->on_subflow_closed(slot);
   trigger({TriggerKind::kSubflowClosed, slot});
 }
 
@@ -227,7 +246,11 @@ void MptcpConnection::fail_subflow(int slot) {
   for (const SkbPtr& skb : orphans) {
     skb->sent_mask &= ~(1u << static_cast<unsigned>(slot));
   }
-  reinject_orphans(orphans);
+  // The deliberately-broken build for the chaos-soak self-test: dropping the
+  // harvest strands the orphans in QU with no owner, which the
+  // no-stranded-packets invariant must flag.
+  if (!test_drop_failed_subflow_orphans_) reinject_orphans(orphans);
+  if (health_ != nullptr) health_->on_subflow_failed(slot);
   // The scheduler sees the shrunken subflow set (established == false drops
   // the slot from SUBFLOWS) and reschedules the stranded packets on the
   // survivors — including backup subflows, per the default backup semantics.
@@ -240,6 +263,15 @@ void MptcpConnection::on_path_state(int slot, bool up) {
     // any pending death amnesty — the coming restore re-arms it.
     ++link_down_epoch_[static_cast<std::size_t>(slot)];
     restore_amnesty_[static_cast<std::size_t>(slot)] = false;
+    return;
+  }
+  if (cfg_.probe_revival) {
+    // With probing enabled the up-transition is a hint, not proof: it resets
+    // the probe schedule (an immediate probe), and revival happens only once
+    // the monitor collected probe_required_acks sane echoes. The death
+    // amnesty is subsumed for the same reason — a post-restore death starts
+    // probing, which carries its own revival path.
+    if (health_ != nullptr) health_->on_link_restored(slot);
     return;
   }
   if (!cfg_.revive_on_restore) return;
@@ -272,20 +304,128 @@ void MptcpConnection::schedule_revival_check(int slot, TimeNs delay) {
   });
 }
 
-void MptcpConnection::revive_subflow(int slot) {
+void MptcpConnection::revive_subflow(int slot, bool probe_proven) {
   PROGMP_CHECK(slot >= 0 && slot < subflow_count());
   SubflowSender& sbf = *subflows_[static_cast<std::size_t>(slot)];
   if (!sbf.can_revive()) return;
   // Both ends restart the subflow sequence space together.
   receiver_->reset_subflow(slot);
   sbf.reopen();
-  trace_.emit(TraceEventType::kSubflowRevived, sim_.now(), slot);
+  trace_.emit(TraceEventType::kSubflowRevived, sim_.now(), slot,
+              probe_proven ? 1 : 0);
+  if (health_ != nullptr) health_->on_subflow_revived(slot);
   trigger({TriggerKind::kSubflowAdded, slot});
 }
 
 void MptcpConnection::set_rto_death_threshold(int threshold) {
   cfg_.rto_death_threshold = threshold;
   for (auto& sbf : subflows_) sbf->set_rto_death_threshold(threshold);
+}
+
+void MptcpConnection::set_probe_revival(bool on) {
+  const bool was = cfg_.probe_revival;
+  cfg_.probe_revival = on;
+  if (on && !was) {
+    ensure_path_health();
+    // Subflows that failed before the switch start being probed right away
+    // (ensure_path_health covers them only when it created the monitor now).
+    for (int s = 0; s < subflow_count(); ++s) {
+      if (subflows_[static_cast<std::size_t>(s)]->state() ==
+          SubflowSender::State::kFailed) {
+        health_->on_subflow_failed(s);
+      }
+    }
+  } else if (!on && was && health_ != nullptr) {
+    health_->stop_all_probing();
+  }
+}
+
+void MptcpConnection::set_keepalive(TimeNs idle, int misses) {
+  cfg_.keepalive_idle = idle;
+  cfg_.keepalive_misses = misses;
+  if (idle > TimeNs{0}) ensure_path_health();
+  // Re-arm (or, with idle<=0, cancel) the keepalive timers under the new
+  // config — the pending timers carry the old cadence.
+  if (health_ != nullptr) health_->refresh_keepalives();
+}
+
+void MptcpConnection::set_stall_timeout(TimeNs timeout) {
+  cfg_.stall_timeout = timeout;
+  // Disabling (timeout<=0) is handled by the next poll, which observes the
+  // config and stops itself.
+  if (timeout > TimeNs{0}) arm_watchdog();
+}
+
+void MptcpConnection::arm_watchdog() {
+  wd_last_delivered_ = delivered_bytes_;
+  wd_last_progress_at_ = sim_.now();
+  if (watchdog_armed_) return;
+  watchdog_armed_ = true;
+  schedule_watchdog_poll();
+}
+
+void MptcpConnection::schedule_watchdog_poll() {
+  // Poll at half the stall timeout so a stall is declared at most one poll
+  // period late; floor of 1 ms keeps tiny timeouts from flooding the sim.
+  const TimeNs period =
+      std::max(TimeNs{cfg_.stall_timeout.ns() / 2}, milliseconds(1));
+  std::weak_ptr<int> guard{alive_};
+  sim_.schedule_after(period, [this, guard] {
+    if (guard.expired()) return;
+    watchdog_poll();
+  });
+}
+
+void MptcpConnection::watchdog_poll() {
+  if (cfg_.stall_timeout <= TimeNs{0}) {
+    watchdog_armed_ = false;  // disabled live: stop polling
+    return;
+  }
+  const TimeNs now = sim_.now();
+  if (delivered_bytes_ != wd_last_delivered_) {
+    wd_last_delivered_ = delivered_bytes_;
+    wd_last_progress_at_ = now;
+  } else if (now - wd_last_progress_at_ >= cfg_.stall_timeout) {
+    bool any_established = false;
+    for (const auto& sbf : subflows_) {
+      if (sbf->established()) {
+        any_established = true;
+        break;
+      }
+    }
+    const bool outstanding = !q_.empty() || !qu_.empty() || !rq_.empty();
+    if (outstanding && any_established && rwnd_ > 0) {
+      // A genuine meta-level stall: data is waiting, a subflow could carry
+      // it and the peer's window is open — yet nothing was delivered for a
+      // whole stall_timeout. An app-limited idle connection (all queues
+      // empty) never reaches here.
+      bool rescued = false;
+      if (cfg_.stall_rescue) {
+        // Force-reinject the oldest in-flight packet no queue holds — the
+        // packet most likely wedged on a path that silently ate it. The
+        // reinjection-first rule of every scheduler retransmits it on the
+        // next available subflow.
+        for (const SkbPtr& skb : qu_) {
+          if (skb->acked || skb->dropped || skb->in_rq || skb->in_q) continue;
+          skb->in_rq = true;
+          rq_.push_back(skb);
+          ++stall_rescues_;
+          rescued = true;
+          break;
+        }
+      }
+      ++stalls_;
+      trace_.emit(
+          TraceEventType::kConnStall, now, -1, rescued ? 1 : 0,
+          delivered_bytes_,
+          static_cast<std::int64_t>(q_.size() + qu_.size() + rq_.size()));
+      trigger({TriggerKind::kConnStall, -1});
+    }
+    // Rate limit to one declaration per stall_timeout by resetting the
+    // progress clock even when the stall conditions did not hold.
+    wd_last_progress_at_ = now;
+  }
+  schedule_watchdog_poll();
 }
 
 std::int64_t MptcpConnection::wire_bytes_sent() const {
@@ -439,6 +579,10 @@ void MptcpConnection::refresh_metrics() {
       static_cast<std::int64_t>(trace_.total_emitted());
   *metrics_.counter("trace.overwritten") =
       static_cast<std::int64_t>(trace_.overwritten());
+
+  *metrics_.counter("conn.stalls") = stalls_;
+  *metrics_.counter("conn.stall_rescues") = stall_rescues_;
+  if (health_ != nullptr) health_->refresh_metrics(metrics_);
 
   const TimeNs now = sim_.now();
   for (const auto& sbf : subflows_) {

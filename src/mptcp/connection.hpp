@@ -31,6 +31,8 @@
 
 namespace progmp::mptcp {
 
+class PathHealthMonitor;
+
 enum class CcKind { kReno, kLia, kCubic };
 
 class MptcpConnection {
@@ -89,6 +91,39 @@ class MptcpConnection {
     /// error), roll its effects back and run the built-in default scheduler
     /// for that trigger instead of silently doing nothing.
     bool sched_fault_fallback = true;
+
+    // ---- Path health (PathHealthMonitor) -----------------------------------
+    /// Revival requires end-to-end proof: a failed subflow is re-admitted
+    /// only after `probe_required_acks` keepalive probes came back with sane
+    /// RTT samples. A forward-link up-transition then merely resets the
+    /// probe schedule instead of reviving directly. Off (the default) keeps
+    /// the trust-the-link revival — and seed bit-identity.
+    bool probe_revival = false;
+    /// Initial spacing of revival probes; doubles per probe up to
+    /// probe_interval_max (reset by an up-transition or a sane echo).
+    TimeNs probe_interval = milliseconds(200);
+    TimeNs probe_interval_max = seconds(2);
+    /// Consecutive sane probe echoes required before revival.
+    int probe_required_acks = 2;
+    /// When positive, an established subflow with nothing queued or in
+    /// flight is probed every `keepalive_idle`; `keepalive_misses`
+    /// consecutive unanswered keepalives declare it dead. Detects silent
+    /// blackouts on idle paths (e.g. an unused backup), which otherwise
+    /// surface only when the scheduler needs the path. 0 = off (default).
+    TimeNs keepalive_idle{0};
+    int keepalive_misses = 2;
+
+    // ---- Connection watchdog ------------------------------------------------
+    /// When positive, the connection polls for meta-level stalls: delivered
+    /// bytes making no progress for `stall_timeout` while packets are
+    /// outstanding (Q/QU/RQ non-empty), at least one subflow is established
+    /// and the receive window is open. A stall traces `conn_stall`, bumps
+    /// `conn.stalls` and re-triggers the scheduler. 0 = off (default).
+    TimeNs stall_timeout{0};
+    /// On a declared stall, additionally force-reinject the oldest in-flight
+    /// packet into RQ — the §3.3 rescue lifted into infrastructure, for
+    /// wedges a (custom) scheduler never resolves on its own.
+    bool stall_rescue = false;
   };
 
   /// Called for every segment delivered in order to the receiving
@@ -97,6 +132,7 @@ class MptcpConnection {
       std::function<void(std::uint64_t meta_seq, std::int32_t size, TimeNs at)>;
 
   MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng);
+  ~MptcpConnection();  // out of line: PathHealthMonitor is incomplete here
 
   // ---- Application interface (wrapped by api::ProgmpSocket) ---------------
   /// Installs the scheduler for this connection (per-connection choice,
@@ -132,8 +168,10 @@ class MptcpConnection {
   /// Revives a failed subflow: fresh sequence space on both ends, slow-start
   /// restart, and a kSubflowAdded trigger so the scheduler sees it again.
   /// No-op unless the subflow is in the failed state. Called automatically
-  /// on link restore while Config::revive_on_restore is set.
-  void revive_subflow(int slot);
+  /// on link restore while Config::revive_on_restore is set (or, with
+  /// Config::probe_revival, by the PathHealthMonitor once the path answered
+  /// enough sane probes; such revivals trace kSubflowRevived with a=1).
+  void revive_subflow(int slot, bool probe_proven = false);
 
   // ---- Resilience knobs (live reconfiguration) ----------------------------
   /// Applies a new consecutive-RTO death threshold to all subflows (0
@@ -142,7 +180,23 @@ class MptcpConnection {
   void set_revive_on_restore(bool on) { cfg_.revive_on_restore = on; }
   void set_revival_min_uptime(TimeNs t) { cfg_.revival_min_uptime = t; }
   void set_sched_fault_fallback(bool on) { cfg_.sched_fault_fallback = on; }
+  /// Live path-health reconfiguration: enabling probing or keepalives after
+  /// construction creates the monitor on demand (already-failed subflows
+  /// start being probed immediately).
+  void set_probe_revival(bool on);
+  void set_keepalive(TimeNs idle, int misses = 2);
+  /// Live watchdog reconfiguration; enabling arms the poll timer.
+  void set_stall_timeout(TimeNs timeout);
+  void set_stall_rescue(bool on) { cfg_.stall_rescue = on; }
   [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// TEST ONLY: makes fail_subflow() drop the dead subflow's stranded
+  /// packets instead of reinjecting them into RQ — a deliberately broken
+  /// build that the invariant checker's no-stranded-packets check must
+  /// catch (chaos-soak self-test). Never set outside tests.
+  void set_test_drop_failed_subflow_orphans(bool on) {
+    test_drop_failed_subflow_orphans_ = on;
+  }
 
   // ---- Introspection -------------------------------------------------------
   [[nodiscard]] int subflow_count() const {
@@ -151,7 +205,11 @@ class MptcpConnection {
   [[nodiscard]] SubflowSender& subflow(int slot) {
     return *subflows_[static_cast<std::size_t>(slot)];
   }
+  [[nodiscard]] const SubflowSender& subflow(int slot) const {
+    return *subflows_[static_cast<std::size_t>(slot)];
+  }
   [[nodiscard]] Receiver& receiver() { return *receiver_; }
+  [[nodiscard]] const Receiver& receiver() const { return *receiver_; }
   [[nodiscard]] sim::NetPath& path(int slot) {
     return *paths_[static_cast<std::size_t>(slot)];
   }
@@ -165,6 +223,30 @@ class MptcpConnection {
   [[nodiscard]] std::size_t q_len() const { return q_.size(); }
   [[nodiscard]] std::size_t qu_len() const { return qu_.size(); }
   [[nodiscard]] std::size_t rq_len() const { return rq_.size(); }
+
+  // ---- Invariant-checker introspection (read-only queue views) ------------
+  [[nodiscard]] const std::deque<SkbPtr>& sending_queue() const { return q_; }
+  [[nodiscard]] const std::deque<SkbPtr>& inflight_queue() const { return qu_; }
+  [[nodiscard]] const std::deque<SkbPtr>& reinjection_queue() const {
+    return rq_;
+  }
+  [[nodiscard]] const std::unordered_map<std::uint64_t, SkbPtr>& unacked()
+      const {
+    return unacked_;
+  }
+  [[nodiscard]] std::int64_t qu_bytes() const { return qu_bytes_; }
+  [[nodiscard]] std::int64_t rwnd_bytes() const { return rwnd_; }
+  [[nodiscard]] std::uint64_t meta_una_bytes() const { return meta_una_bytes_; }
+
+  // ---- Path health / watchdog introspection -------------------------------
+  /// Null unless probing or keepalives are (or were) enabled.
+  [[nodiscard]] PathHealthMonitor* path_health() { return health_.get(); }
+  [[nodiscard]] const PathHealthMonitor* path_health() const {
+    return health_.get();
+  }
+  /// Meta-level stalls the watchdog declared / packets it force-reinjected.
+  [[nodiscard]] std::int64_t stalls() const { return stalls_; }
+  [[nodiscard]] std::int64_t stall_rescues() const { return stall_rescues_; }
   [[nodiscard]] const SchedulerStats& scheduler_stats() const {
     return sched_stats_;
   }
@@ -200,6 +282,12 @@ class MptcpConnection {
 
  private:
   int create_subflow(const SubflowSpec& spec);
+  /// Creates the PathHealthMonitor on demand and attaches every slot.
+  void ensure_path_health();
+  /// Arms the watchdog poll timer (idempotent; no-op while stall_timeout=0).
+  void arm_watchdog();
+  void schedule_watchdog_poll();
+  void watchdog_poll();
   /// Up/down observer for the forward (data) link of `slot` — drives the
   /// revival policy, including the revival_min_uptime hysteresis window.
   void on_path_state(int slot, bool up);
@@ -237,6 +325,19 @@ class MptcpConnection {
   /// a path that proved working post-restore dies for real reasons.
   std::vector<bool> restore_amnesty_;
   std::shared_ptr<tcp::LiaCoupling> lia_group_;
+  /// Active prober/keepalive engine; created only when Config::probe_revival
+  /// or keepalive_idle enables it (null in default runs).
+  std::unique_ptr<PathHealthMonitor> health_;
+
+  // ---- Watchdog state -----------------------------------------------------
+  bool watchdog_armed_ = false;
+  std::int64_t wd_last_delivered_ = 0;
+  TimeNs wd_last_progress_at_{0};
+  std::int64_t stalls_ = 0;
+  std::int64_t stall_rescues_ = 0;
+
+  /// TEST ONLY — see set_test_drop_failed_subflow_orphans().
+  bool test_drop_failed_subflow_orphans_ = false;
 
   std::unique_ptr<Scheduler> scheduler_;
   SchedulerStats sched_stats_;

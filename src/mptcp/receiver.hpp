@@ -95,6 +95,22 @@ class Receiver {
   }
   [[nodiscard]] std::int64_t duplicate_segments() const { return dup_segs_; }
 
+  /// Whether the receiver holds (or already delivered) the payload of
+  /// `meta_seq` — delivered in order, parked in the meta reassembly, or (in
+  /// the multi-layer model) withheld in a subflow's out-of-order queue. Used
+  /// by the connection-level "no stranded packets" invariant: a packet the
+  /// sender no longer owns anywhere must at least exist here.
+  [[nodiscard]] bool has_received(std::uint64_t meta_seq) const {
+    if (meta_seq < meta_expected_) return true;
+    if (meta_ooo_.count(meta_seq) > 0) return true;
+    for (const SubflowRx& rx : subflows_) {
+      for (const auto& [sbf_seq, seg] : rx.ooo) {
+        if (seg.meta_seq == meta_seq) return true;
+      }
+    }
+    return false;
+  }
+
   /// Chronological log of (delivery time, meta_seq) — the packetdrill-style
   /// receiver trace tests assert on this.
   struct Delivery {

@@ -180,9 +180,19 @@ void run_default_minrtt(SchedulerContext& ctx) {
   // subflow that has not carried it.
   if (!ctx.queue(QueueId::kRq).empty()) {
     const SkbPtr& head = ctx.queue(QueueId::kRq).front();
-    const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
+    int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
       return minrtt_available(s) && backup_ok(s) && !head->sent_on(s.slot);
     });
+    // The fresh-path preference must not become a permanent bar: a packet
+    // every eligible subflow has already carried (e.g. an orphan of a
+    // subflow that died and was later revived, with the other path in
+    // backup standby) is still retransmittable on the same path — plain
+    // TCP does exactly that — or the RQ head wedges the connection.
+    if (slot < 0) {
+      slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
+        return minrtt_available(s) && backup_ok(s);
+      });
+    }
     if (slot >= 0) {
       ctx.push(slot, ctx.pop(QueueId::kRq));
     }

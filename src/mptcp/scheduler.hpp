@@ -32,6 +32,8 @@ enum class TriggerKind {
   kRegisterSet,     ///< the application changed a scheduler register
   kTsqFreed,        ///< TSQ budget freed (packet left the local qdisc)
   kWindowUpdate,    ///< the receiver reopened its window
+  kConnStall,       ///< the watchdog declared a meta-level stall and wants
+                    ///< the scheduler to look at the queues again
 };
 
 struct Trigger {

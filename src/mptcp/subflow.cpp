@@ -238,6 +238,16 @@ void SubflowSender::purge_acked(const SkbPtr& skb) {
   std::erase(queue_, skb);
 }
 
+bool SubflowSender::tracks(const Skb* skb) const {
+  for (const SkbPtr& q : queue_) {
+    if (q.get() == skb) return true;
+  }
+  for (const TxSeg& seg : inflight_) {
+    if (seg.skb.get() == skb) return true;
+  }
+  return false;
+}
+
 std::int64_t SubflowSender::tsq_budget_bytes() const {
   // ~2 ms of data at twice the cwnd/srtt pacing-rate estimate, clamped —
   // the kernel's small-queue rule in the TSO era.

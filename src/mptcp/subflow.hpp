@@ -163,6 +163,16 @@ class SubflowSender {
   }
   [[nodiscard]] const tcp::RttEstimator& rtt() const { return rtt_; }
   [[nodiscard]] tcp::CongestionControl& cc() { return *cc_; }
+  /// Congestion window without exposing the mutable CC object — the
+  /// invariant checker's in-flight-vs-cwnd probe.
+  [[nodiscard]] std::int64_t cwnd() const { return cc_->cwnd(); }
+  [[nodiscard]] TimeNs last_tx_at() const { return last_tx_at_; }
+
+  /// Whether this subflow currently holds a reference to `skb` in its send
+  /// queue or in-flight list — i.e. the subflow is responsible for getting
+  /// (a copy of) the packet delivered. Ownership introspection for the
+  /// connection-level "no stranded packets" invariant.
+  [[nodiscard]] bool tracks(const Skb* skb) const;
 
   /// Duplicate-ACK threshold for fast retransmit (RFC 5681).
   static constexpr int kDupAckThreshold = 3;

@@ -21,6 +21,7 @@ bool Simulator::step() {
     now_ = e.at;
     ++executed_;
     (*e.fn)();
+    if (post_event_hook_) post_event_hook_();
     return true;
   }
   return false;

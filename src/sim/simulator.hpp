@@ -57,6 +57,12 @@ class Simulator {
   /// Total events executed — useful as a work/progress metric in tests.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Hook invoked after every executed event, with the clock still at the
+  /// event's time — the attachment point for invariant checkers, which want
+  /// to observe the system exactly at event boundaries (never mid-callback).
+  /// One unset-branch per event when unused; pass nullptr to detach.
+  void set_post_event_hook(Callback hook) { post_event_hook_ = std::move(hook); }
+
  private:
   struct Entry {
     TimeNs at;
@@ -77,6 +83,7 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
   std::unordered_set<EventId> cancelled_;
+  Callback post_event_hook_;
 };
 
 }  // namespace progmp::sim

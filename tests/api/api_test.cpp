@@ -147,6 +147,40 @@ TEST(ApiTest, ProcDumpMirrorsSchedulerStatsAndMetrics) {
   EXPECT_EQ(conn.metrics().counter_value("engine.pushes"), st.pushes);
 }
 
+TEST(ApiTest, ProcDumpReportsTraceOverflowAndPathHealthKnobs) {
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg = apps::lossy_config(0.0);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 8;  // tiny ring: the run must overflow it
+  mptcp::MptcpConnection conn(sim, cfg, Rng(8));
+  ProgmpApi api;
+  ASSERT_TRUE(api.load_builtin("minrtt"));
+  ASSERT_TRUE(api.set_scheduler(conn, "minrtt"));
+  conn.write(50 * 1400);
+  sim.run_until(seconds(5));
+
+  const std::string dump = ProgmpApi::proc_dump(conn);
+  // Ring overflow is visible both in the dump line and as a metric — a
+  // truncated trace must never read as a quiet run.
+  EXPECT_GT(conn.tracer().overwritten(), 0u);
+  EXPECT_NE(dump.find("overwritten=" +
+                      std::to_string(conn.tracer().overwritten())),
+            std::string::npos);
+  EXPECT_EQ(conn.metrics().counter_value("trace.overwritten"),
+            static_cast<std::int64_t>(conn.tracer().overwritten()));
+  // The path-health knob line reflects the (default-off) configuration.
+  EXPECT_NE(dump.find("path_health: probe_revival=off"), std::string::npos);
+  EXPECT_NE(dump.find("stall_timeout="), std::string::npos);
+
+  // With the robustness stack armed, the knob line flips and the per-slot
+  // monitor lines appear.
+  conn.set_probe_revival(true);
+  conn.set_stall_timeout(seconds(2));
+  const std::string armed = ProgmpApi::proc_dump(conn);
+  EXPECT_NE(armed.find("path_health: probe_revival=on"), std::string::npos);
+  EXPECT_NE(armed.find("path_health: sbf0"), std::string::npos);
+}
+
 TEST(ApiTest, SetTraceSinkStreamsEvents) {
   sim::Simulator sim;
   mptcp::MptcpConnection conn(sim, apps::lossy_config(0.0), Rng(9));

@@ -1,0 +1,110 @@
+// InvariantChecker unit tests: stride cadence, the every_event class,
+// violation recording (bounded), report formatting and the force_run sweep.
+#include "core/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "core/time.hpp"
+
+namespace progmp {
+namespace {
+
+TEST(InvariantCheckerTest, StridedChecksRunEveryNthCall) {
+  InvariantChecker checker;
+  checker.set_stride(4);
+  int heavy_runs = 0;
+  checker.add_check("heavy", [&]() -> std::optional<std::string> {
+    ++heavy_runs;
+    return std::nullopt;
+  });
+  for (int i = 0; i < 12; ++i) checker.run(milliseconds(i));
+  EXPECT_EQ(heavy_runs, 3);
+  EXPECT_EQ(checker.runs(), 12u);
+  EXPECT_TRUE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, EveryEventChecksIgnoreStride) {
+  InvariantChecker checker;
+  checker.set_stride(1000);
+  int cheap_runs = 0;
+  checker.add_check(
+      "cheap",
+      [&]() -> std::optional<std::string> {
+        ++cheap_runs;
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+  for (int i = 0; i < 7; ++i) checker.run(milliseconds(i));
+  EXPECT_EQ(cheap_runs, 7);
+}
+
+TEST(InvariantCheckerTest, ViolationsAreRecordedWithTimestamp) {
+  InvariantChecker checker;
+  bool broken = false;
+  checker.add_check(
+      "conservation",
+      [&]() -> std::optional<std::string> {
+        if (broken) return "lost 42 bytes";
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+
+  checker.run(milliseconds(1));
+  EXPECT_TRUE(checker.ok());
+
+  broken = true;
+  checker.run(milliseconds(2));
+  EXPECT_FALSE(checker.ok());
+  ASSERT_EQ(checker.violations().size(), 1u);
+  EXPECT_EQ(checker.violations()[0].check, "conservation");
+  EXPECT_EQ(checker.violations()[0].detail, "lost 42 bytes");
+  EXPECT_EQ(checker.violations()[0].at, milliseconds(2));
+  EXPECT_NE(checker.report().find("conservation"), std::string::npos);
+  EXPECT_NE(checker.report().find("lost 42 bytes"), std::string::npos);
+}
+
+TEST(InvariantCheckerTest, StoredViolationsAreBoundedButCountingIsNot) {
+  InvariantChecker checker;
+  checker.set_max_violations_kept(3);
+  checker.add_check(
+      "always_broken",
+      []() -> std::optional<std::string> { return "broken"; },
+      /*every_event=*/true);
+  for (int i = 0; i < 10; ++i) checker.run(milliseconds(i));
+  EXPECT_EQ(checker.violations().size(), 3u);
+  EXPECT_EQ(checker.total_violations(), 10);
+  EXPECT_FALSE(checker.ok());
+}
+
+TEST(InvariantCheckerTest, ForceRunSweepsBothClassesRegardlessOfStride) {
+  InvariantChecker checker;
+  // The strided class fires on the first call and then not again until
+  // call 2^20 — force_run must sweep it anyway.
+  checker.set_stride(1 << 20);
+  int heavy_runs = 0;
+  int cheap_runs = 0;
+  checker.add_check("heavy", [&]() -> std::optional<std::string> {
+    ++heavy_runs;
+    return std::nullopt;
+  });
+  checker.add_check(
+      "cheap",
+      [&]() -> std::optional<std::string> {
+        ++cheap_runs;
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+  checker.run(milliseconds(1));
+  checker.run(milliseconds(2));
+  EXPECT_EQ(heavy_runs, 1);
+  EXPECT_EQ(cheap_runs, 2);
+  checker.force_run(milliseconds(3));
+  EXPECT_EQ(heavy_runs, 2);
+  EXPECT_EQ(cheap_runs, 3);
+}
+
+}  // namespace
+}  // namespace progmp

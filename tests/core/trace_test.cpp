@@ -71,13 +71,18 @@ TEST(TracerTest, JsonlAndCsvFormats) {
 }
 
 TEST(TracerTest, ClearResetsRingAndCounters) {
-  Tracer trace;
+  Tracer trace(2);
   trace.set_enabled(true);
-  trace.emit(TT::kTx, TimeNs{1}, 0);
+  for (int i = 0; i < 5; ++i) trace.emit(TT::kTx, TimeNs{i}, 0);
+  EXPECT_EQ(trace.overwritten(), 3u);
   trace.clear();
   EXPECT_EQ(trace.total_emitted(), 0u);
+  EXPECT_EQ(trace.overwritten(), 0u);  // the loss counter is data, not config
   EXPECT_TRUE(trace.events().empty());
   EXPECT_TRUE(trace.enabled());  // clear drops data, not configuration
+  // A post-clear overflow counts from zero again.
+  for (int i = 0; i < 3; ++i) trace.emit(TT::kTx, TimeNs{i}, 0);
+  EXPECT_EQ(trace.overwritten(), 1u);
 }
 
 TEST(TraceReconstructionTest, BytesBetweenFiltersTypeSubflowAndTime) {

@@ -436,5 +436,99 @@ TEST(FaultResilienceTest, CongestionDeathWithoutOutageGetsNoAmnesty) {
   EXPECT_FALSE(conn.subflow(0).established());
 }
 
+TEST(FaultResilienceTest, RtoBackoffCollapsesAfterAckProgress) {
+  // RFC 6298 §5.7: the exponential backoff multiplier is per-spiral, not
+  // cumulative — once an ACK acknowledges new data the timer must collapse
+  // back to the SRTT-derived RTO. Two separate outages on a single path:
+  // the second spiral must start at backoff 1 again, not resume where the
+  // first one left off.
+  sim::Simulator sim;
+  apps::PathSpec path;
+  mptcp::MptcpConnection::Config cfg = apps::single_path_config(path);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 20;  // the 10 s run overflows the default ring
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), milliseconds(100), seconds(3));
+  faults.blackout(conn.path(0), seconds(5), milliseconds(7500));
+
+  apps::CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, 1'000'000}};
+  opts.duration = seconds(10);
+  apps::CbrSource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(25));
+
+  std::vector<std::int32_t> first_outage;   // backoffs traced in [100ms, 3s)
+  std::vector<std::int32_t> second_outage;  // backoffs traced in [5s, 7.5s)
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type != TraceEventType::kRto || e.subflow != 0) continue;
+    if (e.at >= milliseconds(100) && e.at < seconds(3)) {
+      first_outage.push_back(e.a);
+    } else if (e.at >= seconds(5) && e.at < milliseconds(7500)) {
+      second_outage.push_back(e.a);
+    }
+  }
+  ASSERT_GE(first_outage.size(), 2u);
+  EXPECT_GE(first_outage.back(), 2)  // the first spiral really backed off
+      << "first outage never escalated the multiplier";
+  ASSERT_FALSE(second_outage.empty());
+  EXPECT_EQ(second_outage.front(), 1)
+      << "backoff multiplier survived the ACK progress between outages";
+  // Both outages healed: the stream completes.
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_EQ(conn.subflow(0).stats().deaths, 0);
+}
+
+TEST(FaultResilienceTest, RevivedThenProvenSubflowRestartsBackoffSpiral) {
+  // The §5.7 reset after revival: a revived subflow starts at backoff 1 in
+  // probation (one RTO re-kills it), but once it has proven itself with ACK
+  // progress the full consecutive-RTO death threshold applies again and a
+  // later outage must run a fresh spiral from backoff 1.
+  sim::Simulator sim;
+  mptcp::MptcpConnection::Config cfg =
+      apps::handover_config(/*rto_death_threshold=*/3);
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 20;
+  MptcpConnection conn(sim, cfg, Rng(42));
+  conn.set_scheduler(minrtt());
+
+  sim::FaultInjector faults(sim);
+  faults.blackout(conn.path(0), seconds(1), seconds(4));
+  faults.blackout(conn.path(0), seconds(6), seconds(9));
+
+  apps::CbrSource::Options opts;
+  opts.schedule = {{TimeNs{0}, 1'500'000}};
+  opts.duration = seconds(11);
+  apps::CbrSource source(sim, conn, opts);
+  source.start();
+  sim.run_until(seconds(20));
+
+  // Died in each outage, revived after each restore, proven in between.
+  EXPECT_EQ(conn.subflow(0).stats().deaths, 2);
+  EXPECT_EQ(conn.subflow(0).stats().revivals, 2);
+  EXPECT_TRUE(conn.subflow(0).established());
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+
+  // The second outage's spiral: starts at backoff 1, and the death takes
+  // the full threshold of consecutive RTOs (probation was cleared by the
+  // ACK progress after the first revival; a=consecutive RTOs on the death
+  // event).
+  std::vector<std::int32_t> second_spiral;
+  std::int32_t second_death_rtos = 0;
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.subflow != 0 || e.at < seconds(6)) continue;
+    if (e.type == TraceEventType::kRto) second_spiral.push_back(e.a);
+    if (e.type == TraceEventType::kSubflowDead) second_death_rtos = e.a;
+  }
+  ASSERT_FALSE(second_spiral.empty());
+  EXPECT_EQ(second_spiral.front(), 1)
+      << "revived-then-proven subflow resumed the old backoff spiral";
+  EXPECT_EQ(second_death_rtos, 3)
+      << "proven subflow was not granted the full death threshold";
+}
+
 }  // namespace
 }  // namespace progmp
