@@ -248,11 +248,14 @@ int main() {
       "it delivers, reactive handover does not",
       remp.overhead > 1.3 && resilient.overhead < 1.15);
   ok &= check_shape(
-      "opportunistic redundancy pays ReMP-like overhead yet cannot mask the "
-      "outage: packets replicated only across momentarily-open cwnds are "
-      "still stranded on the dying path and head-of-line-block delivery",
-      opportunistic.rate_outage < 400'000 && opportunistic.overhead > 1.3 &&
-          opportunistic.delivered < opportunistic.written);
+      "opportunistic redundancy cannot mask the outage: packets replicated "
+      "only across momentarily-open cwnds are still stranded on the dying "
+      "path and head-of-line-block delivery until the restore (the "
+      "window-blocked requeue then reschedules the survivors, so the stream "
+      "drains after the heal instead of rotting in the subflow queue)",
+      opportunistic.rate_outage < 400'000 &&
+          opportunistic.rate_after > remp.rate_after &&
+          opportunistic.delivered == opportunistic.written);
   ok &= check_shape(
       "probe-proven revival still delivers the whole stream and re-admits "
       "wifi within 100 ms of the restore (a few probe RTTs, not a timer)",

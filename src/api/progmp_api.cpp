@@ -151,6 +151,17 @@ std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
   if (const mptcp::PathHealthMonitor* health = conn.path_health()) {
     out += health->proc_dump();
   }
+  std::snprintf(buf, sizeof buf,
+                "rwnd: window_update_subflow=%d zero_window_probe=%s "
+                "probes=%lld persist_armed=%s updates_routed=%lld "
+                "recv_buf_drops=%lld\n",
+                cc.window_update_subflow,
+                cc.zero_window_probe ? "on" : "off",
+                static_cast<long long>(conn.zero_window_probes()),
+                conn.persist_armed() ? "yes" : "no",
+                static_cast<long long>(conn.wnd_updates_routed()),
+                static_cast<long long>(conn.receiver().recv_buf_drops()));
+  out += buf;
   if (conn.stalls() > 0 || conn.stall_rescues() > 0) {
     std::snprintf(buf, sizeof buf, "watchdog: stalls=%lld rescues=%lld\n",
                   static_cast<long long>(conn.stalls()),

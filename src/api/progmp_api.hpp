@@ -103,6 +103,21 @@ class ProgmpApi {
     conn.set_stall_rescue(on);
   }
 
+  // ---- Receive-window hardening knobs -------------------------------------
+  /// Route window updates over a real subflow's reverse link (they then pay
+  /// delay, queueing and loss like any ACK) instead of the seed's lossless
+  /// side channel. -1 restores the side channel.
+  static void set_window_update_subflow(mptcp::MptcpConnection& conn,
+                                        int slot) {
+    conn.set_window_update_subflow(slot);
+  }
+  /// RFC 9293 §3.8.6.1 persist timer: while rwnd-blocked with nothing in
+  /// flight, send zero-window probes on exponential backoff so a lost
+  /// window update cannot deadlock the connection (off by default).
+  static void set_zero_window_probe(mptcp::MptcpConnection& conn, bool on) {
+    conn.set_zero_window_probe(on);
+  }
+
   /// Signals the end of the current flow (used by the Compensating
   /// schedulers, which watch R2).
   static void signal_flow_end(mptcp::MptcpConnection& conn) {

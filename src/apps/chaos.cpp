@@ -75,6 +75,9 @@ std::string ChaosPlan::str() const {
   std::string out = "chaos plan seed=" + std::to_string(seed) +
                     " horizon=" + horizon.str() +
                     " faults=" + std::to_string(faults.size()) + "\n";
+  out += "  receiver recv_buf=" + std::to_string(recv_buf_bytes) +
+         " app_read=" + std::to_string(app_read_bytes_per_sec) +
+         " wnd_update_subflow=" + std::to_string(wnd_update_subflow) + "\n";
   for (const ChaosFault& f : faults) out += "  " + f.str() + "\n";
   return out;
 }
@@ -123,6 +126,21 @@ ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& opts) {
     }
     plan.faults.push_back(f);
   }
+  if (opts.harden_receiver) {
+    // Receiver-shape draws come after the fault loop on purpose: the fault
+    // list for a given seed is unchanged from pre-hardening soaks.
+    static constexpr std::int64_t kBufs[] = {256 * 1024, 512 * 1024,
+                                             2 * 1024 * 1024,
+                                             8 * 1024 * 1024};
+    static constexpr std::int64_t kReads[] = {0, 400'000, 750'000, 1'500'000};
+    plan.recv_buf_bytes = kBufs[rng.next_range(0, 3)];
+    plan.app_read_bytes_per_sec = kReads[rng.next_range(0, 3)];
+    // -1 side channel, 0 wifi_ap reverse, 1 lte_cell reverse.
+    plan.wnd_update_subflow = static_cast<int>(rng.next_range(0, 2)) - 1;
+    if (opts.recv_buf_override > 0) {
+      plan.recv_buf_bytes = opts.recv_buf_override;
+    }
+  }
   return plan;
 }
 
@@ -141,6 +159,14 @@ ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
   cfg.keepalive_idle = opts.keepalive_idle;
   cfg.stall_timeout = opts.stall_timeout;
   cfg.stall_rescue = opts.stall_rescue;
+  if (opts.harden_receiver) {
+    cfg.receiver.recv_buf_bytes = plan.recv_buf_bytes;
+    cfg.receiver.app_read_bytes_per_sec = plan.app_read_bytes_per_sec;
+    cfg.receiver.enforce_recv_buf = true;
+    cfg.receiver.coalesce_window_updates = true;
+    cfg.window_update_subflow = plan.wnd_update_subflow;
+    cfg.zero_window_probe = true;
+  }
   if (opts.capture_trace) {
     cfg.trace_enabled = true;
     cfg.trace_capacity = 1 << 20;
@@ -210,6 +236,8 @@ ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
     v.revivals += conn.subflow(s).stats().revivals;
   }
   v.stalls = conn.stalls();
+  v.zero_window_probes = conn.zero_window_probes();
+  v.recv_buf_drops = conn.receiver().recv_buf_drops();
   v.checker_runs = checker.runs();
   if (opts.capture_trace) v.trace_csv = conn.tracer().to_csv();
   return v;

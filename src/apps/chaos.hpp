@@ -55,6 +55,13 @@ struct ChaosPlan {
   TimeNs horizon = seconds(20);  ///< every fault is over before this
   std::vector<ChaosFault> faults;
 
+  // ---- Receiver shape (ChaosOptions::harden_receiver) ---------------------
+  // Drawn *after* the fault list so per-seed fault draws stay unchanged
+  // across soak generations.
+  std::int64_t recv_buf_bytes = 8 * 1024 * 1024;
+  std::int64_t app_read_bytes_per_sec = 0;  ///< 0 = instant reader
+  int wnd_update_subflow = -1;  ///< -1 = lossless side channel, else routed
+
   /// Human-readable plan (one line per fault) — the minimized-plan artifact.
   [[nodiscard]] std::string str() const;
 };
@@ -79,6 +86,18 @@ struct ChaosOptions {
   TimeNs keepalive_idle = milliseconds(500);
   TimeNs stall_timeout = seconds(2);
   bool stall_rescue = true;
+
+  // ---- Receive-window hardening -------------------------------------------
+  /// Randomize the receiver shape per seed — recv_buf size, app-read rate,
+  /// window-update routing (lossless side channel vs either real reverse
+  /// link) — and arm recv-buf enforcement, SWS window-update coalescing and
+  /// the zero-window persist timer. The app-read rate choices stay above
+  /// the CBR write rate so the stream remains drainable and final delivery
+  /// stays assertable.
+  bool harden_receiver = true;
+  /// When positive, overrides the plan's drawn recv_buf_bytes — the CI
+  /// small-buffer (256 KB) chaos variant.
+  std::int64_t recv_buf_override = 0;
 
   // ---- Checking -----------------------------------------------------------
   /// Stride for the heavy (full-scan) invariants; the cheap class still runs
@@ -108,6 +127,8 @@ struct ChaosVerdict {
   std::int64_t deaths = 0;           ///< subflow deaths across the run
   std::int64_t revivals = 0;
   std::int64_t stalls = 0;           ///< watchdog declarations
+  std::int64_t zero_window_probes = 0;  ///< persist-timer probes sent
+  std::int64_t recv_buf_drops = 0;   ///< OOO segments refused by the buffer
   std::uint64_t checker_runs = 0;    ///< liveness: the checker really ran
   std::string trace_csv;             ///< only with ChaosOptions::capture_trace
 

@@ -51,6 +51,10 @@ const char* trace_event_name(TraceEventType type) {
       return "probe_acked";
     case TraceEventType::kConnStall:
       return "conn_stall";
+    case TraceEventType::kZeroWindowProbe:
+      return "zero_window_probe";
+    case TraceEventType::kRecvBufDrop:
+      return "recv_buf_drop";
   }
   return "?";
 }

@@ -58,6 +58,11 @@ enum class TraceEventType : std::uint8_t {
   kConnStall,           ///< watchdog declared a meta-level stall (a=1 if a
                         ///< stuck packet was force-reinjected, b=delivered
                         ///< bytes, c=outstanding packets in Q+QU+RQ)
+  kZeroWindowProbe,     ///< persist timer fired a zero-window probe
+                        ///< (a=backoff multiplier, b=free window bytes)
+  kRecvBufDrop,         ///< receiver dropped an out-of-order segment that
+                        ///< did not fit recv_buf (a=buffered bytes, b=size,
+                        ///< c=meta_seq)
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;

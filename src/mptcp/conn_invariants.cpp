@@ -125,6 +125,55 @@ void install_connection_invariants(InvariantChecker& checker,
       });
 
   checker.add_check(
+      "recv_buffer_bound",
+      [&conn]() -> std::optional<std::string> {
+        const Receiver& rx = conn.receiver();
+        if (rx.rwnd_bytes() < 0 || conn.rwnd_bytes() < 0) {
+          return "negative receive window: receiver " +
+                 std::to_string(rx.rwnd_bytes()) + ", sender view " +
+                 std::to_string(conn.rwnd_bytes());
+        }
+        // The occupancy bound only holds once enforcement is on — without
+        // it the reassembly buffers are unbounded by design (seed mode).
+        if (rx.config().enforce_recv_buf &&
+            rx.buffered_bytes() > rx.config().recv_buf_bytes) {
+          return "receive buffer overrun: unread+ooo " +
+                 std::to_string(rx.buffered_bytes()) + " > recv_buf " +
+                 std::to_string(rx.config().recv_buf_bytes);
+        }
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+
+  // Growth-gated sender-vs-window check: cross-path reordering can shrink
+  // the sender's *view* of the window after data was legitimately sent
+  // (rwnd_ is overwritten by whichever ACK arrives last), so only an
+  // advance of the transmitted right edge past the currently-believed
+  // window edge is a violation — the transmission gate saw the same state.
+  auto prev_edge = std::make_shared<std::uint64_t>(0);
+  checker.add_check(
+      "sender_within_window",
+      [&conn, prev_edge]() -> std::optional<std::string> {
+        const std::uint64_t edge = conn.right_edge_bytes();
+        std::optional<std::string> bad;
+        if (edge > *prev_edge &&
+            edge > conn.meta_una_bytes() +
+                       static_cast<std::uint64_t>(conn.rwnd_bytes())) {
+          bad = "transmitted right edge " + std::to_string(edge) +
+                " grew past meta_una " + std::to_string(conn.meta_una_bytes()) +
+                " + advertised window " + std::to_string(conn.rwnd_bytes());
+        }
+        *prev_edge = edge;
+        return bad;
+      },
+      /*every_event=*/true);
+
+  checker.add_check("receiver_accounting",
+                    [&conn]() -> std::optional<std::string> {
+                      return conn.receiver().audit();
+                    });
+
+  checker.add_check(
       "no_stranded_packets", [&conn]() -> std::optional<std::string> {
         for (const auto& [seq, skb] : conn.unacked()) {
           if (skb->acked || skb->dropped) continue;

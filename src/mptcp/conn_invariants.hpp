@@ -15,6 +15,13 @@
 //    window; within one event the final pump() always sees the final cwnd,
 //    so growth beyond it is a real violation. This rule needs *consecutive*
 //    boundaries, hence the every-event class.
+//  * recv_buffer_bound — the advertised window is never negative, and (with
+//    Receiver::Config::enforce_recv_buf) unread + out-of-order bytes never
+//    exceed recv_buf_bytes;
+//  * sender_within_window — the transmitted right edge never *grows* past
+//    meta_una + the advertised window. Growth-gated like inflight_le_cwnd:
+//    cross-path ACK reordering can legitimately shrink the sender's window
+//    view after a compliant transmission.
 //
 // Strided checks (full scans; their violations are persistent, so a sparser
 // cadence still catches them):
@@ -24,6 +31,9 @@
 //    the actual QU byte sum;
 //  * sent_mask_sanity — no skb claims transmission on a slot that does not
 //    exist;
+//  * receiver_accounting — Receiver::audit(): the OOO byte counters and the
+//    has_received meta_seq index match a ground-truth recount of the
+//    reassembly queues, and the occupancy bound holds;
 //  * no_stranded_packets — every unacked, undropped packet has an owner:
 //    waiting in Q or RQ, tracked by some subflow's queue/in-flight list, or
 //    already received by the far end (sbf-ACKed but meta-holed packets park

@@ -26,19 +26,9 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
     delivered_bytes_ += size;
     if (on_deliver_) on_deliver_(meta_seq, size, sim_.now());
   });
-  receiver_->set_window_update_fn([this](std::int64_t rwnd) {
-    // A window update travels back like an ACK; model it with the first
-    // subflow's reverse-path delay.
-    const TimeNs delay = paths_.empty() ? TimeNs{0}
-                                        : paths_.front()->reverse.config().delay;
-    std::weak_ptr<int> guard{alive_};
-    sim_.schedule_after(delay, [this, guard, rwnd] {
-      if (guard.expired()) return;
-      rwnd_ = rwnd;
-      for (auto& sbf : subflows_) sbf->pump();
-      trigger({TriggerKind::kWindowUpdate, -1});
-    });
-  });
+  receiver_->set_window_update_fn(
+      [this](std::int64_t wnd_stamp, std::uint64_t /*meta_ack*/,
+             std::int64_t rwnd) { deliver_window_update(wnd_stamp, rwnd); });
 
   if (cfg_.cc == CcKind::kLia) {
     lia_group_ = std::make_shared<tcp::LiaCoupling>();
@@ -130,10 +120,25 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
   host.on_loss_suspected = [this](int s, const SkbPtr& skb) {
     handle_loss_suspected(s, skb);
   };
-  host.on_meta_ack = [this](std::uint64_t meta_ack, std::int64_t rwnd) {
-    handle_meta_ack(meta_ack, rwnd);
+  host.on_meta_ack = [this](std::uint64_t meta_ack, std::int64_t rwnd,
+                            std::int64_t wnd_stamp) {
+    handle_meta_ack(meta_ack, rwnd, wnd_stamp);
   };
   host.on_tsq_freed = [this](int s) { trigger({TriggerKind::kTsqFreed, s}); };
+  host.on_window_blocked = [this](int, std::vector<SkbPtr> blocked) {
+    // The receive window regressed under packets already scheduled onto the
+    // subflow: return them to the front of the meta sending queue (order
+    // preserved) so they are rescheduled when the window reopens instead of
+    // squatting on the subflow's cwnd headroom. Packets that meanwhile
+    // gained another owner (acked, dropped, re-entered Q or RQ, e.g. a
+    // redundant copy) are simply released.
+    for (auto it = blocked.rbegin(); it != blocked.rend(); ++it) {
+      const SkbPtr& skb = *it;
+      if (skb->acked || skb->dropped || skb->in_q || skb->in_rq) continue;
+      skb->in_q = true;
+      q_.push_front(skb);
+    }
+  };
   host.on_subflow_dead = [this](int s) {
     fail_subflow(s);
     // RTO backoff can place the fatal consecutive RTO *after* the link
@@ -349,6 +354,162 @@ void MptcpConnection::set_keepalive(TimeNs idle, int misses) {
   if (health_ != nullptr) health_->refresh_keepalives();
 }
 
+void MptcpConnection::deliver_window_update(std::int64_t wnd_stamp,
+                                            std::int64_t rwnd) {
+  const int slot = cfg_.window_update_subflow;
+  if (slot >= 0 && slot < subflow_count()) {
+    // Routed: the update rides the subflow's real reverse link as a pure
+    // ACK — it queues behind other ACKs, pays serialization and delay, and
+    // dies in blackouts, drops or a full queue like anything on the wire.
+    ++wnd_updates_routed_;
+    std::weak_ptr<int> guard{alive_};
+    paths_[static_cast<std::size_t>(slot)]->reverse.send(
+        SubflowSender::kAckBytes, nullptr, [this, guard, wnd_stamp, rwnd] {
+          if (guard.expired()) return;
+          ++wnd_updates_delivered_;
+          apply_window_update(wnd_stamp, rwnd);
+        });
+    return;
+  }
+  // Seed side channel: a window update travels back like an ACK; model it
+  // with the first subflow's reverse-path delay, immune to loss.
+  const TimeNs delay = paths_.empty() ? TimeNs{0}
+                                      : paths_.front()->reverse.config().delay;
+  std::weak_ptr<int> guard{alive_};
+  sim_.schedule_after(delay, [this, guard, wnd_stamp, rwnd] {
+    if (guard.expired()) return;
+    apply_window_update(wnd_stamp, rwnd);
+  });
+}
+
+void MptcpConnection::apply_window_update(std::int64_t wnd_stamp,
+                                          std::int64_t rwnd) {
+  apply_window(wnd_stamp, rwnd);
+  for (auto& sbf : subflows_) sbf->pump();
+  trigger({TriggerKind::kWindowUpdate, -1});
+}
+
+void MptcpConnection::apply_window(std::int64_t wnd_stamp, std::int64_t rwnd) {
+  // RFC 9293 §3.10.7.4 window-update guard (the WL1/WL2 rule), keyed on
+  // the receiver's emission-order stamp: only a strictly newer
+  // advertisement may replace the window view. ACKs and window updates
+  // race each other across paths; on asymmetric delays a slow subflow's
+  // ACK carries a fresher cumulative ack but an *older* window snapshot
+  // than the updates it raced, and letting it win either overruns the
+  // receiver's promise or wedges the sender on a long-reopened window.
+  // peek_ack() echoes reuse the latest stamp; between stamps the window
+  // only grows (app reads), so at an equal stamp the max is the newest.
+  if (wnd_stamp > wnd_stamp_) {
+    wnd_stamp_ = wnd_stamp;
+    rwnd_ = rwnd;
+  } else if (wnd_stamp == wnd_stamp_) {
+    rwnd_ = std::max(rwnd_, rwnd);
+  }
+}
+
+void MptcpConnection::set_zero_window_probe(bool on) {
+  cfg_.zero_window_probe = on;
+  if (on) {
+    maybe_arm_persist();
+  } else if (persist_armed_) {
+    persist_armed_ = false;
+    persist_backoff_ = 1;
+    ++persist_epoch_;  // cancels the pending probe chain
+  }
+}
+
+bool MptcpConnection::rwnd_blocked() const {
+  bool any_established = false;
+  std::int64_t in_flight = 0;
+  bool pending = !q_.empty();
+  for (const auto& sbf : subflows_) {
+    if (sbf->established()) any_established = true;
+    in_flight += sbf->in_flight();
+    pending = pending || sbf->queued() > 0;
+  }
+  // With data in flight the ACK clock (or the RTO) still runs — the persist
+  // timer only covers the state where no other timer will ever fire.
+  if (!any_established || !pending || in_flight > 0) return false;
+  // Free window for the next packet. Reinjections sit below the transmitted
+  // right edge and always fit, so RQ alone never counts as window-blocked.
+  const std::int64_t claimed =
+      static_cast<std::int64_t>(right_edge_bytes_ - meta_una_bytes_);
+  const std::int64_t need =
+      q_.empty() ? subflows_.front()->config().mss : q_.front()->size;
+  return rwnd_ - claimed < need;
+}
+
+void MptcpConnection::maybe_arm_persist() {
+  if (!cfg_.zero_window_probe) return;
+  if (!rwnd_blocked()) {
+    if (persist_armed_) {
+      // The window opened (or the data drained): cancel the probe chain.
+      persist_armed_ = false;
+      persist_backoff_ = 1;
+      ++persist_epoch_;
+    }
+    return;
+  }
+  if (persist_armed_) return;
+  persist_armed_ = true;
+  persist_backoff_ = 1;
+  schedule_persist_probe(persist_epoch_);
+  // §3.4's rwnd-limited signal, raised once per blocked episode: schedulers
+  // (e.g. opportunistic retransmission) get to react to the block.
+  trigger({TriggerKind::kRwndLimited, -1});
+}
+
+void MptcpConnection::schedule_persist_probe(std::uint64_t epoch) {
+  TimeNs delay{cfg_.persist_interval.ns() * persist_backoff_};
+  if (delay > cfg_.persist_interval_max) delay = cfg_.persist_interval_max;
+  std::weak_ptr<int> guard{alive_};
+  sim_.schedule_after(delay, [this, guard, epoch] {
+    if (guard.expired()) return;
+    if (epoch != persist_epoch_) return;  // chain was cancelled
+    if (!rwnd_blocked()) {
+      persist_armed_ = false;
+      persist_backoff_ = 1;
+      ++persist_epoch_;
+      return;
+    }
+    // Probe on the first established subflow; with none alive keep the
+    // chain ticking — a revival re-establishes a carrier for the probe.
+    for (int s = 0; s < subflow_count(); ++s) {
+      if (subflows_[static_cast<std::size_t>(s)]->established()) {
+        send_zero_window_probe(s);
+        break;
+      }
+    }
+    persist_backoff_ = std::min(persist_backoff_ * 2, 1 << 16);
+    schedule_persist_probe(epoch);
+  });
+}
+
+void MptcpConnection::send_zero_window_probe(int slot) {
+  ++zero_window_probes_;
+  const std::int64_t claimed =
+      static_cast<std::int64_t>(right_edge_bytes_ - meta_una_bytes_);
+  trace_.emit(TraceEventType::kZeroWindowProbe, sim_.now(), slot,
+              persist_backoff_, std::max<std::int64_t>(0, rwnd_ - claimed));
+  // A header-only segment below the window edge; the peer answers with a
+  // pure ACK carrying its live window (RFC 9293 §3.8.6.1). Both legs ride
+  // the real links, so a blacked-out path eats probes until it heals.
+  sim::NetPath* path = paths_[static_cast<std::size_t>(slot)];
+  const std::int64_t header =
+      subflows_[static_cast<std::size_t>(slot)]->config().header_bytes;
+  std::weak_ptr<int> guard{alive_};
+  path->forward.send(header, nullptr, [this, guard, slot, path] {
+    if (guard.expired()) return;
+    const AckInfo ack = receiver_->peek_ack(slot);
+    path->reverse.send(SubflowSender::kAckBytes, nullptr, [this, guard, ack] {
+      if (guard.expired()) return;
+      handle_meta_ack(ack.meta_ack, ack.rwnd_bytes, ack.wnd_stamp);
+      for (auto& sbf : subflows_) sbf->pump();
+      trigger({TriggerKind::kWindowUpdate, -1});
+    });
+  });
+}
+
 void MptcpConnection::set_stall_timeout(TimeNs timeout) {
   cfg_.stall_timeout = timeout;
   // Disabling (timeout<=0) is handled by the next poll, which observes the
@@ -468,6 +629,9 @@ void MptcpConnection::run_engine() {
     }
   }
   in_engine_ = false;
+  // Every engine drain is a state boundary where the sender may have just
+  // become (or stopped being) rwnd-blocked — keep the persist timer in sync.
+  maybe_arm_persist();
 }
 
 bool MptcpConnection::run_scheduler_once(Trigger t) {
@@ -532,8 +696,9 @@ void MptcpConnection::apply_actions(const SchedulerContext& ctx) {
 }
 
 void MptcpConnection::handle_meta_ack(std::uint64_t meta_ack,
-                                      std::int64_t rwnd) {
-  rwnd_ = rwnd;
+                                      std::int64_t rwnd,
+                                      std::int64_t wnd_stamp) {
+  apply_window(wnd_stamp, rwnd);
   while (meta_una_ < meta_ack) {
     auto it = unacked_.find(meta_una_);
     if (it != unacked_.end()) {
@@ -582,6 +747,16 @@ void MptcpConnection::refresh_metrics() {
 
   *metrics_.counter("conn.stalls") = stalls_;
   *metrics_.counter("conn.stall_rescues") = stall_rescues_;
+  *metrics_.counter("conn.zero_window_probes") = zero_window_probes_;
+  *metrics_.counter("conn.wnd_updates_routed") = wnd_updates_routed_;
+  *metrics_.counter("conn.wnd_updates_delivered") = wnd_updates_delivered_;
+  *metrics_.counter("recv.buf_drops") = receiver_->recv_buf_drops();
+  *metrics_.counter("recv.window_updates_emitted") =
+      receiver_->window_updates_emitted();
+  *metrics_.counter("recv.window_updates_coalesced") =
+      receiver_->window_updates_coalesced();
+  *metrics_.gauge("recv.unread_bytes") = receiver_->unread_bytes();
+  *metrics_.gauge("recv.ooo_bytes") = receiver_->ooo_bytes();
   if (health_ != nullptr) health_->refresh_metrics(metrics_);
 
   const TimeNs now = sim_.now();

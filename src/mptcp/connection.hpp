@@ -124,6 +124,26 @@ class MptcpConnection {
     /// packet into RQ — the §3.3 rescue lifted into infrastructure, for
     /// wedges a (custom) scheduler never resolves on its own.
     bool stall_rescue = false;
+
+    // ---- Receive-window hardening -------------------------------------------
+    /// Window-update transport. -1 (the seed default) delivers app-read
+    /// window updates over a lossless side channel delayed by the first
+    /// subflow's reverse-path latency. >= 0 routes them over that subflow's
+    /// real reverse link as pure ACKs, where they queue, pay serialization
+    /// and die in blackouts or drops like anything else on the wire — an
+    /// ack_blackout can then silently close the window forever, which is
+    /// exactly what zero_window_probe below exists to survive.
+    int window_update_subflow = -1;
+    /// RFC 9293 §3.8.6.1 persist timer: when the advertised window cannot
+    /// fit the next packet, nothing is in flight (so no RTO is armed) and
+    /// data is waiting, probe the window on an exponential backoff
+    /// (persist_interval doubling up to persist_interval_max). The probe's
+    /// pure-ACK echo carries the live window, so a lost window update can
+    /// no longer deadlock the connection. Raises TriggerKind::kRwndLimited
+    /// once per blocked episode. Off = seed behaviour.
+    bool zero_window_probe = false;
+    TimeNs persist_interval = milliseconds(200);
+    TimeNs persist_interval_max = seconds(2);
   };
 
   /// Called for every segment delivered in order to the receiving
@@ -188,6 +208,13 @@ class MptcpConnection {
   /// Live watchdog reconfiguration; enabling arms the poll timer.
   void set_stall_timeout(TimeNs timeout);
   void set_stall_rescue(bool on) { cfg_.stall_rescue = on; }
+  /// Live receive-window hardening knobs. Routing applies from the next
+  /// window update; enabling probing arms the persist timer immediately if
+  /// the sender is already rwnd-blocked, disabling cancels a pending chain.
+  void set_window_update_subflow(int slot) {
+    cfg_.window_update_subflow = slot;
+  }
+  void set_zero_window_probe(bool on);
   [[nodiscard]] const Config& config() const { return cfg_; }
 
   /// TEST ONLY: makes fail_subflow() drop the dead subflow's stranded
@@ -237,6 +264,24 @@ class MptcpConnection {
   [[nodiscard]] std::int64_t qu_bytes() const { return qu_bytes_; }
   [[nodiscard]] std::int64_t rwnd_bytes() const { return rwnd_; }
   [[nodiscard]] std::uint64_t meta_una_bytes() const { return meta_una_bytes_; }
+  [[nodiscard]] std::uint64_t right_edge_bytes() const {
+    return right_edge_bytes_;
+  }
+
+  // ---- Receive-window hardening introspection -----------------------------
+  /// Zero-window probes the persist timer put on the wire.
+  [[nodiscard]] std::int64_t zero_window_probes() const {
+    return zero_window_probes_;
+  }
+  /// Window updates routed over a real reverse link / that survived it.
+  [[nodiscard]] std::int64_t wnd_updates_routed() const {
+    return wnd_updates_routed_;
+  }
+  [[nodiscard]] std::int64_t wnd_updates_delivered() const {
+    return wnd_updates_delivered_;
+  }
+  /// Whether the persist timer is currently armed (sender rwnd-blocked).
+  [[nodiscard]] bool persist_armed() const { return persist_armed_; }
 
   // ---- Path health / watchdog introspection -------------------------------
   /// Null unless probing or keepalives are (or were) enabled.
@@ -299,9 +344,29 @@ class MptcpConnection {
   void run_engine();
   bool run_scheduler_once(Trigger t);
   void apply_actions(const SchedulerContext& ctx);
-  void handle_meta_ack(std::uint64_t meta_ack, std::int64_t rwnd);
+  void handle_meta_ack(std::uint64_t meta_ack, std::int64_t rwnd,
+                       std::int64_t wnd_stamp);
   void handle_loss_suspected(int slot, const SkbPtr& skb);
   void detach_everywhere(const SkbPtr& skb);
+  /// Transports an app-read window update to the sender side — over the
+  /// seed's lossless side channel or a real reverse link (Config knob).
+  void deliver_window_update(std::int64_t wnd_stamp, std::int64_t rwnd);
+  void apply_window_update(std::int64_t wnd_stamp, std::int64_t rwnd);
+  /// RFC 9293 §3.10.7.4 (WL1/WL2) staleness guard, keyed on the receiver's
+  /// emission-order stamp: only a strictly newer advertisement may change
+  /// the window view. Ordering by cumulative ack alone is not enough — on
+  /// asymmetric paths a slow subflow's ACK arrives with a fresher meta_ack
+  /// but an older window snapshot than the side-channel updates it raced,
+  /// and letting it win wedges the sender on a long-reopened window.
+  void apply_window(std::int64_t wnd_stamp, std::int64_t rwnd);
+  /// True when data is waiting, nothing is in flight anywhere, and the
+  /// advertised window cannot fit the next packet — the persist condition.
+  [[nodiscard]] bool rwnd_blocked() const;
+  /// Arms or cancels the persist timer to match rwnd_blocked(); called at
+  /// every engine-drain boundary.
+  void maybe_arm_persist();
+  void schedule_persist_probe(std::uint64_t epoch);
+  void send_zero_window_probe(int slot);
 
   sim::Simulator& sim_;
   Config cfg_;
@@ -339,6 +404,15 @@ class MptcpConnection {
   /// TEST ONLY — see set_test_drop_failed_subflow_orphans().
   bool test_drop_failed_subflow_orphans_ = false;
 
+  // ---- Persist (zero-window probe) state ----------------------------------
+  bool persist_armed_ = false;
+  int persist_backoff_ = 1;  ///< interval multiplier; doubles per probe
+  /// Bumped to cancel a pending probe chain (window opened, knob flipped).
+  std::uint64_t persist_epoch_ = 0;
+  std::int64_t zero_window_probes_ = 0;
+  std::int64_t wnd_updates_routed_ = 0;
+  std::int64_t wnd_updates_delivered_ = 0;
+
   std::unique_ptr<Scheduler> scheduler_;
   SchedulerStats sched_stats_;
 
@@ -364,6 +438,7 @@ class MptcpConnection {
   std::uint64_t right_edge_bytes_ = 0;  ///< highest transmitted byte + 1
   std::int64_t qu_bytes_ = 0;         ///< bytes in flight at the meta level
   std::int64_t rwnd_ = 0;             ///< last advertised receive window
+  std::int64_t wnd_stamp_ = 0;        ///< emission stamp rwnd_ came from
   std::int64_t written_bytes_ = 0;
   std::int64_t delivered_bytes_ = 0;
 

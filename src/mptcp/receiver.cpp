@@ -10,12 +10,30 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
   PROGMP_CHECK(seg.sbf_slot >= 0 && seg.sbf_slot < kMaxSubflows);
   SubflowRx& rx = subflows_[static_cast<std::size_t>(seg.sbf_slot)];
 
-  bool first_seen = true;
   if (seg.sbf_seq < rx.expected || rx.ooo.contains(seg.sbf_seq)) {
     // Subflow-level duplicate (spurious retransmission); re-ACK.
-    first_seen = false;
     ++dup_segs_;
-  } else if (seg.sbf_seq == rx.expected) {
+    return make_ack(seg.sbf_slot);
+  }
+
+  // Bounded reassembly: a first-seen segment that would be *parked* out of
+  // order must fit in what is left of the receive buffer, or it is dropped
+  // as if lost on the wire (the sender's RTO recovers it once space frees
+  // up). In-order data always fits — the advertised window already charges
+  // for unread bytes, and OOO data inside the advertised span never shrank
+  // it — so only the slow-path-fills-the-buffer pathology is cut off here.
+  if (cfg_.enforce_recv_buf && would_park(rx, seg) &&
+      buffered_bytes() + seg.size > cfg_.recv_buf_bytes) {
+    ++recv_buf_drops_;
+    if (trace_ != nullptr) {
+      trace_->emit(TraceEventType::kRecvBufDrop, sim_.now(), seg.sbf_slot,
+                   buffered_bytes(), seg.size,
+                   static_cast<std::int64_t>(seg.meta_seq));
+    }
+    return make_ack(seg.sbf_slot);
+  }
+
+  if (seg.sbf_seq == rx.expected) {
     // In subflow order: advance and drain any now-contiguous held segments.
     ++rx.expected;
     if (cfg_.model == ReceiverModel::kMultiLayer) {
@@ -28,33 +46,61 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
         sbf_ooo_bytes_ -= it->second.size;
         meta_receive(it->second);
       }
+      index_erase(it->second.meta_seq);
       it = rx.ooo.erase(it);
     }
   } else {
     // Subflow-level out of order: hold (multilayer keeps the data hostage
     // here; optimized only remembers the seq for ACK bookkeeping).
     rx.ooo.emplace(seg.sbf_seq, seg);
+    ++sbf_ooo_meta_[seg.meta_seq];
     if (cfg_.model == ReceiverModel::kMultiLayer) {
       sbf_ooo_bytes_ += seg.size;
     }
   }
 
-  if (first_seen && cfg_.model == ReceiverModel::kOptimized) {
+  if (cfg_.model == ReceiverModel::kOptimized) {
     // The optimized receiver hands every first-seen segment to the meta
     // layer immediately, regardless of subflow ordering.
     meta_receive(seg);
   }
 
-  return AckInfo{seg.sbf_slot, rx.expected, meta_expected_, rwnd_bytes()};
+  return make_ack(seg.sbf_slot);
+}
+
+AckInfo Receiver::peek_ack(int slot) const {
+  PROGMP_CHECK(slot >= 0 && slot < kMaxSubflows);
+  return AckInfo{slot, subflows_[static_cast<std::size_t>(slot)].expected,
+                 meta_expected_, rwnd_bytes(), ack_stamp_};
+}
+
+bool Receiver::would_park(const SubflowRx& rx, const DataSegment& seg) const {
+  if (seg.sbf_seq > rx.expected) return true;  // subflow-level hold
+  // In subflow order; parks only when the meta reassembly has to hold it.
+  return seg.meta_seq > meta_expected_ && meta_ooo_.count(seg.meta_seq) == 0;
+}
+
+AckInfo Receiver::make_ack(int slot) {
+  const AckInfo ack{slot, subflows_[static_cast<std::size_t>(slot)].expected,
+                    meta_expected_, rwnd_bytes(), ++ack_stamp_};
+  last_advertised_rwnd_ = ack.rwnd_bytes;
+  return ack;
+}
+
+void Receiver::index_erase(std::uint64_t meta_seq) {
+  auto it = sbf_ooo_meta_.find(meta_seq);
+  PROGMP_CHECK(it != sbf_ooo_meta_.end());
+  if (--it->second == 0) sbf_ooo_meta_.erase(it);
 }
 
 void Receiver::reset_subflow(int slot) {
   PROGMP_CHECK(slot >= 0 && slot < kMaxSubflows);
   SubflowRx& rx = subflows_[static_cast<std::size_t>(slot)];
-  if (cfg_.model == ReceiverModel::kMultiLayer) {
+  for (const auto& [seq, seg] : rx.ooo) {
     // Segments held hostage at the subflow level die with the subflow; the
     // sender reinjects the unacked meta range elsewhere anyway.
-    for (const auto& [seq, seg] : rx.ooo) sbf_ooo_bytes_ -= seg.size;
+    if (cfg_.model == ReceiverModel::kMultiLayer) sbf_ooo_bytes_ -= seg.size;
+    index_erase(seg.meta_seq);
   }
   rx.ooo.clear();
   rx.expected = 0;
@@ -110,13 +156,63 @@ void Receiver::schedule_app_read() {
   sim_.schedule_after(delay, [this, chunk] {
     read_scheduled_ = false;
     unread_bytes_ = std::max<std::int64_t>(0, unread_bytes_ - chunk);
-    if (trace_ != nullptr) {
-      trace_->emit(TraceEventType::kWindowUpdate, sim_.now(), -1, 0,
-                   rwnd_bytes());
-    }
-    if (window_update_fn_) window_update_fn_(rwnd_bytes());
+    maybe_emit_window_update();
     schedule_app_read();
   });
+}
+
+void Receiver::maybe_emit_window_update() {
+  const std::int64_t rwnd = rwnd_bytes();
+  if (cfg_.coalesce_window_updates) {
+    // SWS avoidance (RFC 9293 §3.8.6.2.2): silly little window advances are
+    // swallowed; only a window opening from zero or a full-MSS gain since
+    // the last advertisement is worth an update of its own.
+    const bool opens_from_zero = last_advertised_rwnd_ <= 0 && rwnd > 0;
+    const bool grew_an_mss = rwnd - last_advertised_rwnd_ >= cfg_.sws_mss_bytes;
+    if (!opens_from_zero && !grew_an_mss) {
+      ++window_updates_coalesced_;
+      return;
+    }
+  }
+  ++window_updates_emitted_;
+  last_advertised_rwnd_ = rwnd;
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kWindowUpdate, sim_.now(), -1, 0, rwnd);
+  }
+  if (window_update_fn_) window_update_fn_(++ack_stamp_, meta_expected_, rwnd);
+}
+
+std::optional<std::string> Receiver::audit() const {
+  std::int64_t meta_bytes = 0;
+  for (const auto& [seq, size] : meta_ooo_) meta_bytes += size;
+  if (meta_bytes != meta_ooo_bytes_) {
+    return "meta_ooo_bytes counter " + std::to_string(meta_ooo_bytes_) +
+           " != recomputed " + std::to_string(meta_bytes);
+  }
+  std::int64_t sbf_bytes = 0;
+  std::map<std::uint64_t, int> index;
+  for (const SubflowRx& rx : subflows_) {
+    for (const auto& [sbf_seq, seg] : rx.ooo) {
+      ++index[seg.meta_seq];
+      if (cfg_.model == ReceiverModel::kMultiLayer) sbf_bytes += seg.size;
+    }
+  }
+  if (sbf_bytes != sbf_ooo_bytes_) {
+    return "sbf_ooo_bytes counter " + std::to_string(sbf_ooo_bytes_) +
+           " != recomputed " + std::to_string(sbf_bytes);
+  }
+  if (index != sbf_ooo_meta_) {
+    return "has_received meta_seq index out of sync with subflow OOO queues";
+  }
+  if (unread_bytes_ < 0) {
+    return "unread_bytes negative: " + std::to_string(unread_bytes_);
+  }
+  if (cfg_.enforce_recv_buf && buffered_bytes() > cfg_.recv_buf_bytes) {
+    return "receive buffer overrun: unread+ooo " +
+           std::to_string(buffered_bytes()) + " > recv_buf " +
+           std::to_string(cfg_.recv_buf_bytes);
+  }
+  return std::nullopt;
 }
 
 }  // namespace progmp::mptcp

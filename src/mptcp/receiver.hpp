@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/time.hpp"
@@ -42,6 +44,13 @@ struct AckInfo {
   std::uint64_t sbf_ack = 0;   ///< next expected subflow seq
   std::uint64_t meta_ack = 0;  ///< next expected meta seq
   std::int64_t rwnd_bytes = 0;
+  /// Receiver emission-order stamp, shared with window updates (the role
+  /// SEG.SEQ plays in RFC 9293 §3.10.7.4's WL1/WL2 check). ACKs and window
+  /// updates race each other across subflows with wildly different delays;
+  /// a fresher cumulative ack can carry an *older* window snapshot, and a
+  /// sender that let it win would wedge on a window the receiver has long
+  /// since reopened. Only the newest stamp may change the sender's view.
+  std::int64_t wnd_stamp = 0;
 };
 
 enum class ReceiverModel { kMultiLayer, kOptimized };
@@ -54,6 +63,21 @@ class Receiver {
     /// 0 means the application reads delivered data instantly; otherwise
     /// delivered bytes drain at this rate, shrinking the advertised window.
     std::int64_t app_read_bytes_per_sec = 0;
+    /// Enforce recv_buf_bytes against out-of-order data: a first-seen
+    /// segment that would be *parked* (subflow OOO queue or meta
+    /// reassembly) when unread + held OOO bytes cannot absorb it is dropped
+    /// (kRecvBufDrop) instead of stored — the reassembly buffers stop being
+    /// magically unbounded. In-order data is always accepted: it lies
+    /// inside the advertised window, which already accounts for unread
+    /// bytes. Default off = seed behaviour.
+    bool enforce_recv_buf = false;
+    /// SWS avoidance (RFC 9293 §3.8.6.2.2): only emit a window update when
+    /// the window opens from zero or has grown >= sws_mss_bytes since the
+    /// last advertisement (updates below that threshold are counted as
+    /// coalesced). Default off = one update per 4 KB app-read chunk (seed
+    /// behaviour).
+    bool coalesce_window_updates = false;
+    std::int32_t sws_mss_bytes = 1400;
   };
 
   /// Called for every segment that becomes deliverable to the application,
@@ -63,10 +87,15 @@ class Receiver {
 
   /// Fired when the application reader frees buffer space — the TCP window
   /// update that reopens a closed window (otherwise a sender blocked on a
-  /// zero window would deadlock, since no data means no ACKs).
-  using WindowUpdateFn = std::function<void(std::int64_t rwnd_bytes)>;
+  /// zero window would deadlock, since no data means no ACKs). Carries the
+  /// emission-order stamp and the cumulative ack the window is paired
+  /// with, so the sender can apply the RFC 9293 WL1/WL2 staleness guard
+  /// when updates race data-path ACKs across subflows.
+  using WindowUpdateFn = std::function<void(
+      std::int64_t wnd_stamp, std::uint64_t meta_ack, std::int64_t rwnd_bytes)>;
 
-  Receiver(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg) {}
+  Receiver(sim::Simulator& sim, Config cfg)
+      : sim_(sim), cfg_(cfg), last_advertised_rwnd_(cfg.recv_buf_bytes) {}
 
   void set_deliver_fn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
   void set_window_update_fn(WindowUpdateFn fn) {
@@ -78,6 +107,11 @@ class Receiver {
   /// Processes one arriving segment and returns the ACK to send back on the
   /// same subflow.
   AckInfo on_data(const DataSegment& seg);
+
+  /// Current cumulative state for `slot` without processing any data — the
+  /// answer to a zero-window probe (RFC 9293 §3.8.6.1): a pure ACK carrying
+  /// the live receive window.
+  [[nodiscard]] AckInfo peek_ack(int slot) const;
 
   /// Forgets all per-subflow sequence state for `slot` — the receiver half of
   /// reviving a failed subflow, which restarts with a fresh subflow sequence
@@ -94,22 +128,43 @@ class Receiver {
     return delivered_bytes_;
   }
   [[nodiscard]] std::int64_t duplicate_segments() const { return dup_segs_; }
+  [[nodiscard]] std::int64_t unread_bytes() const { return unread_bytes_; }
+  /// Bytes parked out of order: meta reassembly plus (multi-layer only)
+  /// data held hostage in subflow OOO queues.
+  [[nodiscard]] std::int64_t ooo_bytes() const {
+    return meta_ooo_bytes_ + sbf_ooo_bytes_;
+  }
+  /// Total receive-buffer occupancy the enforcement bound applies to.
+  [[nodiscard]] std::int64_t buffered_bytes() const {
+    return unread_bytes_ + ooo_bytes();
+  }
+  [[nodiscard]] std::int64_t recv_buf_drops() const { return recv_buf_drops_; }
+  [[nodiscard]] std::int64_t window_updates_emitted() const {
+    return window_updates_emitted_;
+  }
+  [[nodiscard]] std::int64_t window_updates_coalesced() const {
+    return window_updates_coalesced_;
+  }
+  [[nodiscard]] const Config& config() const { return cfg_; }
 
   /// Whether the receiver holds (or already delivered) the payload of
   /// `meta_seq` — delivered in order, parked in the meta reassembly, or (in
   /// the multi-layer model) withheld in a subflow's out-of-order queue. Used
   /// by the connection-level "no stranded packets" invariant: a packet the
-  /// sender no longer owns anywhere must at least exist here.
+  /// sender no longer owns anywhere must at least exist here. O(log n) via
+  /// the subflow-OOO meta_seq index (a full scan of every subflow queue made
+  /// strided invariant passes quadratic at chaos scale).
   [[nodiscard]] bool has_received(std::uint64_t meta_seq) const {
     if (meta_seq < meta_expected_) return true;
     if (meta_ooo_.count(meta_seq) > 0) return true;
-    for (const SubflowRx& rx : subflows_) {
-      for (const auto& [sbf_seq, seg] : rx.ooo) {
-        if (seg.meta_seq == meta_seq) return true;
-      }
-    }
-    return false;
+    return sbf_ooo_meta_.count(meta_seq) > 0;
   }
+
+  /// Full self-audit for strided invariant passes: recomputes the OOO byte
+  /// counters and the has_received index from the ground-truth queues and
+  /// checks the buffer bound. Returns a description of the first
+  /// inconsistency, or nullopt when clean.
+  [[nodiscard]] std::optional<std::string> audit() const;
 
   /// Chronological log of (delivery time, meta_seq) — the packetdrill-style
   /// receiver trace tests assert on this.
@@ -131,6 +186,11 @@ class Receiver {
   void meta_receive(const DataSegment& seg);
   void deliver_contiguous();
   void schedule_app_read();
+  void maybe_emit_window_update();
+  [[nodiscard]] bool would_park(const SubflowRx& rx,
+                                const DataSegment& seg) const;
+  AckInfo make_ack(int slot);
+  void index_erase(std::uint64_t meta_seq);
 
   sim::Simulator& sim_;
   Config cfg_;
@@ -144,12 +204,27 @@ class Receiver {
   std::map<std::uint64_t, std::int32_t> meta_ooo_;  ///< meta_seq -> size
   std::int64_t meta_ooo_bytes_ = 0;
   std::int64_t sbf_ooo_bytes_ = 0;
+  /// meta_seq -> number of subflow OOO queues holding it (redundant copies
+  /// of one meta segment can sit on several subflows at once).
+  std::map<std::uint64_t, int> sbf_ooo_meta_;
 
   std::int64_t unread_bytes_ = 0;  ///< delivered but not yet read by the app
   bool read_scheduled_ = false;
+  /// Window carried by the most recent ACK or window update we produced —
+  /// the SWS-avoidance baseline. Optimistic under ACK loss; the
+  /// opens-from-zero rule and the sender's persist timer cover that.
+  std::int64_t last_advertised_rwnd_ = 0;
+  /// Emission-order stamp shared by ACKs and window updates (AckInfo's
+  /// wnd_stamp). peek_ack() reuses the current stamp without bumping it;
+  /// between bumps the window only grows (app reads), so the sender's
+  /// take-the-max rule at an equal stamp stays correct.
+  std::int64_t ack_stamp_ = 0;
 
   std::int64_t delivered_bytes_ = 0;
   std::int64_t dup_segs_ = 0;
+  std::int64_t recv_buf_drops_ = 0;
+  std::int64_t window_updates_emitted_ = 0;
+  std::int64_t window_updates_coalesced_ = 0;
   std::vector<Delivery> deliveries_;
 };
 

@@ -198,6 +198,11 @@ void run_default_minrtt(SchedulerContext& ctx) {
     }
   }
   if (ctx.queue(QueueId::kQ).empty()) return;
+  // Fresh data must fit the free receive window (reinjections above go
+  // below the transmitted right edge and are exempt). Without this gate a
+  // push of beyond-window data just bounces off the subflow's transmit
+  // gate and back into Q, spinning the engine's push-until-blocked loop.
+  if (!ctx.has_window_for(ctx.queue(QueueId::kQ).front())) return;
 
   const int slot = min_rtt_slot(ctx, [&](const SubflowInfo& s) {
     return minrtt_available(s) && backup_ok(s);

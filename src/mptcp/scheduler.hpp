@@ -34,6 +34,9 @@ enum class TriggerKind {
   kWindowUpdate,    ///< the receiver reopened its window
   kConnStall,       ///< the watchdog declared a meta-level stall and wants
                     ///< the scheduler to look at the queues again
+  kRwndLimited,     ///< the sender is blocked on a zero receive window with
+                    ///< nothing in flight (§3.4's rwnd-limited signal); the
+                    ///< persist timer starts probing
 };
 
 struct Trigger {

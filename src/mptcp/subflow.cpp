@@ -49,7 +49,17 @@ void SubflowSender::pump() {
       queue_.pop_front();
       continue;  // meta-acked while waiting: vanish from this queue too
     }
-    if (host_.may_transmit && !host_.may_transmit(skb)) break;
+    if (host_.may_transmit && !host_.may_transmit(skb)) {
+      if (host_.on_window_blocked) {
+        // Hand the whole remaining queue back to the connection rather than
+        // letting window-blocked packets occupy this subflow's cwnd
+        // headroom indefinitely (see Host::on_window_blocked).
+        std::vector<SkbPtr> blocked(queue_.begin(), queue_.end());
+        queue_.clear();
+        host_.on_window_blocked(slot_, std::move(blocked));
+      }
+      break;
+    }
     queue_.pop_front();
     transmit_fresh(skb);
   }
@@ -166,7 +176,9 @@ void SubflowSender::on_ack(const AckInfo& ack) {
       enter_recovery_and_reinject();
     }
   }
-  if (host_.on_meta_ack) host_.on_meta_ack(ack.meta_ack, ack.rwnd_bytes);
+  if (host_.on_meta_ack) {
+    host_.on_meta_ack(ack.meta_ack, ack.rwnd_bytes, ack.wnd_stamp);
+  }
   pump();
   if (host_.on_ack_done) host_.on_ack_done(slot_);
 }

@@ -17,6 +17,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/time.hpp"
 #include "core/trace.hpp"
@@ -70,8 +71,11 @@ class SubflowSender {
     /// Loss suspected for this packet (fast retransmit or RTO) — the
     /// connection adds it to RQ and triggers the scheduler.
     std::function<void(int slot, const SkbPtr&)> on_loss_suspected;
-    /// Cumulative data-level ACK and advertised window from the receiver.
-    std::function<void(std::uint64_t meta_ack, std::int64_t rwnd)> on_meta_ack;
+    /// Cumulative data-level ACK, advertised window and emission-order
+    /// stamp from the receiver (AckInfo::wnd_stamp).
+    std::function<void(std::uint64_t meta_ack, std::int64_t rwnd,
+                       std::int64_t wnd_stamp)>
+        on_meta_ack;
     /// TSQ budget freed — the scheduler may want to run.
     std::function<void(int slot)> on_tsq_freed;
     /// The consecutive-RTO death threshold was reached: the subflow looks
@@ -79,6 +83,16 @@ class SubflowSender {
     /// stranded packets); the subflow itself takes no further action on
     /// this RTO.
     std::function<void(int slot)> on_subflow_dead;
+    /// The queue head failed may_transmit (receive window regressed under
+    /// packets already scheduled here). The whole remaining queue is handed
+    /// back, in order, so the connection can return it to the meta sending
+    /// queue. Without this, window-blocked packets squat in the subflow
+    /// queue and count against the scheduler's cwnd_free() availability
+    /// test forever — which can starve reinjection placement and wedge the
+    /// connection (the packets can only transmit once meta_una advances,
+    /// and meta_una can only advance via the reinjections being starved).
+    std::function<void(int slot, std::vector<SkbPtr> blocked)>
+        on_window_blocked;
   };
 
   struct Stats {
