@@ -1,0 +1,206 @@
+// bench_fleet — event-core throughput at fleet scale.
+//
+// Sweeps N concurrent connections (default 64 → 256 → 1024 → 4096) over the
+// shared-link fleet topology (one WiFi AP + one LTE cell) and the single
+// shared bottleneck, all users running bulk transfers, and reports how fast
+// the discrete-event core turns simulated traffic into wall-clock progress:
+// events/sec, wall-clock per sweep point, events executed and peak RSS.
+//
+// Unlike the fig benches this does not reproduce a paper figure — it tracks
+// the perf trajectory of the simulator itself across PRs (ROADMAP: 1k–10k
+// connections at interactive wall-clock). Every run writes BENCH_fleet.json
+// (schema in docs/OBSERVABILITY.md) so CI can archive the trend.
+//
+// Usage:
+//   bench_fleet [--conns 64,256,1024,4096] [--horizon-ms 2000]
+//               [--scenario fleet|bottleneck|both] [--out BENCH_fleet.json]
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/host.hpp"
+#include "api/progmp_api.hpp"
+#include "apps/scenarios.hpp"
+#include "apps/workloads.hpp"
+#include "bench_util.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp::bench {
+namespace {
+
+struct SweepRow {
+  std::string scenario;
+  int conns = 0;
+  std::int64_t horizon_ms = 0;
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0;
+  std::int64_t peak_rss_kb = 0;
+  std::int64_t delivered_bytes = 0;
+  std::int64_t wire_bytes = 0;
+};
+
+std::int64_t peak_rss_kb() {
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<std::int64_t>(ru.ru_maxrss);  // KB on Linux
+}
+
+SweepRow run_sweep_point(const std::string& scenario, int conns,
+                         std::int64_t horizon_ms) {
+  sim::Simulator sim;
+  api::ProgmpApi api;
+  if (!api.load_builtin("minrtt")) std::abort();
+
+  api::Host host(sim, api, Rng(0xF1EE7 + static_cast<std::uint64_t>(conns)));
+  if (scenario == "fleet") {
+    apps::install_fleet_network(host.network());
+  } else {
+    apps::install_bottleneck_network(host.network());
+  }
+
+  std::vector<std::unique_ptr<apps::BulkSource>> sources;
+  sources.reserve(static_cast<std::size_t>(conns));
+  for (int i = 0; i < conns; ++i) {
+    std::string error;
+    mptcp::MptcpConnection* conn = host.open_connection(
+        scenario == "fleet" ? apps::fleet_user_config()
+                            : apps::bottleneck_user_config(),
+        "minrtt", &error);
+    if (conn == nullptr) {
+      std::fprintf(stderr, "open_connection: %s\n", error.c_str());
+      std::abort();
+    }
+    apps::BulkSource::Options src;
+    src.total_bytes = 1LL << 40;  // transport-limited for the whole horizon
+    sources.push_back(std::make_unique<apps::BulkSource>(sim, *conn, src));
+    sources.back()->start();
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(milliseconds(horizon_ms));
+  const auto t1 = std::chrono::steady_clock::now();
+
+  SweepRow row;
+  row.scenario = scenario;
+  row.conns = conns;
+  row.horizon_ms = horizon_ms;
+  row.wall_ms =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      1e6;
+  row.events = sim.executed();
+  row.events_per_sec =
+      row.wall_ms > 0 ? static_cast<double>(row.events) / (row.wall_ms / 1e3)
+                      : 0;
+  row.peak_rss_kb = peak_rss_kb();
+  row.delivered_bytes = host.total_delivered_bytes();
+  row.wire_bytes = host.total_wire_bytes_sent();
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<SweepRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::abort();
+  }
+  std::fprintf(f, "{\n  \"bench\": \"fleet\",\n  \"schema\": 1,\n");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"conns\": %d, \"horizon_ms\": %lld, "
+        "\"wall_ms\": %.1f, \"events\": %llu, \"events_per_sec\": %.0f, "
+        "\"peak_rss_kb\": %lld, \"delivered_bytes\": %lld, "
+        "\"wire_bytes\": %lld}%s\n",
+        r.scenario.c_str(), r.conns, static_cast<long long>(r.horizon_ms),
+        r.wall_ms, static_cast<unsigned long long>(r.events),
+        r.events_per_sec, static_cast<long long>(r.peak_rss_kb),
+        static_cast<long long>(r.delivered_bytes),
+        static_cast<long long>(r.wire_bytes),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+std::vector<int> parse_conns(const char* arg) {
+  std::vector<int> out;
+  const char* p = arg;
+  while (*p != '\0') {
+    out.push_back(std::atoi(p));
+    const char* comma = std::strchr(p, ',');
+    if (comma == nullptr) break;
+    p = comma + 1;
+  }
+  return out;
+}
+
+int main_impl(int argc, char** argv) {
+  std::vector<int> conns{64, 256, 1024, 4096};
+  std::int64_t horizon_ms = 2000;
+  std::string scenario = "both";
+  std::string out = "BENCH_fleet.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--conns" && i + 1 < argc) {
+      conns = parse_conns(argv[++i]);
+    } else if (a == "--horizon-ms" && i + 1 < argc) {
+      horizon_ms = std::atoll(argv[++i]);
+    } else if (a == "--scenario" && i + 1 < argc) {
+      scenario = argv[++i];
+    } else if (a == "--out" && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fleet [--conns N,N,...] [--horizon-ms N] "
+                   "[--scenario fleet|bottleneck|both] [--out file.json]\n");
+      return 2;
+    }
+  }
+
+  print_header("Fleet-scale event-core throughput (bench_fleet)",
+               "none — simulator perf trajectory (ROADMAP fleet-scale item)");
+  std::printf("  %-10s %6s %10s %10s %12s %12s %9s\n", "scenario", "conns",
+              "horizon", "wall", "events", "events/sec", "rss");
+  std::vector<SweepRow> rows;
+  for (const std::string& s :
+       scenario == "both" ? std::vector<std::string>{"fleet", "bottleneck"}
+                          : std::vector<std::string>{scenario}) {
+    for (const int n : conns) {
+      SweepRow row = run_sweep_point(s, n, horizon_ms);
+      std::printf("  %-10s %6d %8lldms %8.0fms %12llu %12.0f %7lldMB\n",
+                  row.scenario.c_str(), row.conns,
+                  static_cast<long long>(row.horizon_ms), row.wall_ms,
+                  static_cast<unsigned long long>(row.events),
+                  row.events_per_sec,
+                  static_cast<long long>(row.peak_rss_kb / 1024));
+      rows.push_back(std::move(row));
+    }
+  }
+  write_json(out, rows);
+  std::printf("\n  wrote %s (%zu rows)\n", out.c_str(), rows.size());
+
+  // Sanity shape: the core must actually have simulated traffic at every
+  // sweep point — a zero-event or zero-delivery row means the rig is broken,
+  // not slow.
+  bool ok = true;
+  for (const SweepRow& r : rows) {
+    ok &= check_shape("events executed > 0 and bytes delivered > 0 at " +
+                          r.scenario + "/" + std::to_string(r.conns),
+                      r.events > 0 && r.delivered_bytes > 0);
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace progmp::bench
+
+int main(int argc, char** argv) { return progmp::bench::main_impl(argc, argv); }

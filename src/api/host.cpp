@@ -3,6 +3,8 @@
 #include <sstream>
 #include <utility>
 
+#include "mptcp/skb_pool.hpp"
+
 namespace progmp::api {
 
 Host::Host(sim::Simulator& sim, ProgmpApi& api, Rng rng, Options opts)
@@ -75,6 +77,15 @@ std::string Host::proc_dump() {
   out << "total_wire_bytes_sent: " << total_wire_bytes_sent() << "\n";
   out << "trace_events: " << host_trace_.total_emitted()
       << " (overwritten " << host_trace_.overwritten() << ")\n";
+  // Event-core health: a heap depth far above pending means a cancel-heavy
+  // workload is building lazy-deletion backlog.
+  out << "sim: executed=" << sim_.executed() << " pending=" << sim_.pending()
+      << " cancelled=" << sim_.cancelled()
+      << " heap_depth=" << sim_.heap_depth() << "\n";
+  const mptcp::SkbPoolStats pool = mptcp::skb_pool_stats();
+  out << "skb_pool: live=" << pool.live_chunks
+      << " recycled=" << pool.chunks_recycled << " slabs=" << pool.slabs
+      << "\n";
   for (std::size_t i = 0; i < connections_.size(); ++i) {
     out << "\n=== conn " << i << " (scheduler=" << scheduler_names_[i]
         << ") ===\n";

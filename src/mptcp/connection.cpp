@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mptcp/path_health.hpp"
+#include "mptcp/skb_pool.hpp"
 
 namespace progmp::mptcp {
 
@@ -184,7 +185,7 @@ void MptcpConnection::write(std::int64_t bytes, const SkbProps& props) {
   while (remaining > 0) {
     const auto size = static_cast<std::int32_t>(std::min(remaining, mss));
     remaining -= size;
-    auto skb = std::make_shared<Skb>();
+    auto skb = make_skb();
     skb->meta_seq = next_meta_seq_++;
     skb->byte_offset = next_byte_offset_;
     next_byte_offset_ += static_cast<std::uint64_t>(size);

@@ -1,0 +1,87 @@
+#include "mptcp/skb_pool.hpp"
+
+#include <new>
+
+#include "core/check.hpp"
+
+namespace progmp::mptcp {
+namespace detail {
+namespace {
+
+constexpr std::size_t kChunksPerSlab = 256;
+
+constexpr std::size_t round_up(std::size_t bytes) {
+  constexpr std::size_t a = alignof(std::max_align_t);
+  return (bytes + a - 1) / a * a;
+}
+
+}  // namespace
+
+SkbPoolCore::~SkbPoolCore() {
+  for (void* slab : slabs_) ::operator delete(slab);
+}
+
+SkbPoolCore::Bin& SkbPoolCore::bin_for(std::size_t chunk_size) {
+  if (hot_bin_ < bins_.size() && bins_[hot_bin_].chunk_size == chunk_size) {
+    return bins_[hot_bin_];
+  }
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i].chunk_size == chunk_size) {
+      hot_bin_ = i;
+      return bins_[i];
+    }
+  }
+  bins_.push_back(Bin{chunk_size, {}});
+  hot_bin_ = bins_.size() - 1;
+  return bins_.back();
+}
+
+void* SkbPoolCore::allocate(std::size_t bytes) {
+  const std::size_t chunk_size = round_up(bytes);
+  Bin& bin = bin_for(chunk_size);
+  if (bin.free_chunks.empty()) {
+    auto* slab =
+        static_cast<unsigned char*>(::operator new(chunk_size * kChunksPerSlab));
+    slabs_.push_back(slab);
+    ++stats_.slabs;
+    bin.free_chunks.reserve(bin.free_chunks.size() + kChunksPerSlab);
+    // Reverse order so chunks are handed out slab-start first.
+    for (std::size_t i = kChunksPerSlab; i > 0; --i) {
+      bin.free_chunks.push_back(slab + (i - 1) * chunk_size);
+    }
+    stats_.chunks_carved += kChunksPerSlab;
+  } else {
+    ++stats_.chunks_recycled;
+  }
+  void* p = bin.free_chunks.back();
+  bin.free_chunks.pop_back();
+  ++stats_.live_chunks;
+  return p;
+}
+
+void SkbPoolCore::deallocate(void* p, std::size_t bytes) {
+  Bin& bin = bin_for(round_up(bytes));
+  bin.free_chunks.push_back(p);
+  PROGMP_CHECK(stats_.live_chunks > 0);
+  --stats_.live_chunks;
+}
+
+std::shared_ptr<SkbPoolCore> skb_pool_core() {
+  static std::shared_ptr<SkbPoolCore> core =
+      std::make_shared<SkbPoolCore>();
+  return core;
+}
+
+}  // namespace detail
+
+SkbPtr make_skb() {
+  // One-time core lookup; allocate_shared copies the allocator (and its
+  // core reference) into the control block, which is what keeps the pool
+  // alive until the last Skb dies.
+  static const detail::SkbPoolAllocator<Skb> alloc(detail::skb_pool_core());
+  return std::allocate_shared<Skb>(alloc);
+}
+
+SkbPoolStats skb_pool_stats() { return detail::skb_pool_core()->stats(); }
+
+}  // namespace progmp::mptcp

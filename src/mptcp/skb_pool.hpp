@@ -1,0 +1,109 @@
+// Free-list pool for Skb allocation.
+//
+// Fleet-scale runs allocate and release one Skb per MSS of application data;
+// under bulk traffic the general-purpose allocator becomes a measurable hot
+// spot and fragments the heap. make_skb() instead carves Skbs out of slab
+// chunks recycled through a free list: std::allocate_shared places the
+// shared_ptr control block and the Skb in ONE chunk, so an Skb allocation
+// after warm-up is a free-list pop and its release a push — no malloc, no
+// fragmentation, and the SkbPtr type (std::shared_ptr<Skb>) is unchanged, so
+// the shared-queue-membership semantics of §3.1/§4.1 (one packet in Q, QU,
+// RQ and per-subflow queues at once, flag-tracked) are untouched.
+//
+// Lifetime: the pool core is refcounted and every chunk's control block
+// holds a reference through its stored allocator, so an SkbPtr that outlives
+// the pool singleton (static teardown, detached test state) still releases
+// into live storage; the slabs are freed when the last Skb dies. The pool is
+// single-threaded, like the simulator it feeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "mptcp/skb.hpp"
+
+namespace progmp::mptcp {
+
+/// Observability counters for the pool (proc dumps, tests).
+struct SkbPoolStats {
+  std::uint64_t chunks_carved = 0;   ///< fresh chunks cut from slabs
+  std::uint64_t chunks_recycled = 0; ///< allocations served by the free list
+  std::uint64_t live_chunks = 0;     ///< currently allocated (not yet freed)
+  std::uint64_t slabs = 0;           ///< OS allocations backing the pool
+};
+
+namespace detail {
+
+class SkbPoolCore {
+ public:
+  SkbPoolCore() = default;
+  SkbPoolCore(const SkbPoolCore&) = delete;
+  SkbPoolCore& operator=(const SkbPoolCore&) = delete;
+  ~SkbPoolCore();
+
+  void* allocate(std::size_t bytes);
+  void deallocate(void* p, std::size_t bytes);
+
+  [[nodiscard]] const SkbPoolStats& stats() const { return stats_; }
+
+ private:
+  // allocate_shared<Skb> asks for exactly one size (control block + Skb,
+  // fused); bins keep the pool correct should a toolchain ever rebind to a
+  // second size. Linear scan: one or two bins in practice.
+  struct Bin {
+    std::size_t chunk_size = 0;
+    std::vector<void*> free_chunks;
+  };
+
+  Bin& bin_for(std::size_t chunk_size);
+
+  std::size_t hot_bin_ = 0;  ///< last-hit bin — the only bin, in practice
+  std::vector<Bin> bins_;
+  std::vector<void*> slabs_;
+  SkbPoolStats stats_;
+};
+
+std::shared_ptr<SkbPoolCore> skb_pool_core();
+
+template <class T>
+struct SkbPoolAllocator {
+  using value_type = T;
+
+  explicit SkbPoolAllocator(std::shared_ptr<SkbPoolCore> c)
+      : core(std::move(c)) {}
+  template <class U>
+  SkbPoolAllocator(const SkbPoolAllocator<U>& o)  // NOLINT
+      : core(o.core) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(core->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+    core->deallocate(p, n * sizeof(T));
+  }
+
+  template <class U>
+  bool operator==(const SkbPoolAllocator<U>& o) const {
+    return core == o.core;
+  }
+  template <class U>
+  bool operator!=(const SkbPoolAllocator<U>& o) const {
+    return core != o.core;
+  }
+
+  std::shared_ptr<SkbPoolCore> core;
+};
+
+}  // namespace detail
+
+/// Allocates a default-constructed Skb from the pool. Drop-in for
+/// std::make_shared<Skb>() — the returned SkbPtr behaves identically.
+[[nodiscard]] SkbPtr make_skb();
+
+/// Pool counters of the process-wide Skb pool.
+[[nodiscard]] SkbPoolStats skb_pool_stats();
+
+}  // namespace progmp::mptcp

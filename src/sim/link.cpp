@@ -50,72 +50,6 @@ void Link::set_up() {
   }
 }
 
-bool Link::send(std::int64_t bytes, std::function<void()> on_serialized,
-                std::function<void()> on_delivered) {
-  PROGMP_CHECK(bytes > 0);
-  if (!up_) {
-    // Blackout: the packet is simply gone (neither callback fires), exactly
-    // like a drop-tail loss — the transport's RTO recovers it.
-    note_drop(DropCause::kDown, bytes);
-    return false;
-  }
-  if (queued_bytes_ + bytes > cfg_.queue_limit_bytes) {
-    note_drop(DropCause::kQueue, bytes);
-    return false;
-  }
-  ++stats_.packets_sent;
-  queued_bytes_ += bytes;
-  stats_.max_queued_bytes = std::max(stats_.max_queued_bytes, queued_bytes_);
-
-  const TimeNs now = sim_.now();
-  const TimeNs start = std::max(now, serializer_free_);
-  const TimeNs tx = transmission_time(bytes, cfg_.rate_bps);
-  serializer_free_ = start + tx;
-  const TimeNs serialized_at = serializer_free_;
-
-  const std::int64_t idx = pkt_index_++;
-  bool lost = false;
-  DropCause cause = DropCause::kRandom;
-  if (loss_fn_) {
-    lost = loss_fn_(idx);
-  } else if (ge_.has_value()) {
-    // Packet-driven Gilbert–Elliott chain: step the state, then draw loss
-    // from the state's rate. Two RNG draws per packet, only while enabled,
-    // so fault-free runs consume exactly the pre-fault RNG sequence.
-    ge_bad_ = ge_bad_ ? !rng_.chance(ge_->p_exit_bad)
-                      : rng_.chance(ge_->p_enter_bad);
-    lost = rng_.chance(ge_bad_ ? ge_->loss_bad : ge_->loss_good);
-    cause = DropCause::kBurst;
-  } else {
-    lost = rng_.chance(cfg_.loss_rate);
-  }
-
-  sim_.schedule_at(serialized_at, [this, bytes,
-                                   cb = std::move(on_serialized)]() mutable {
-    queued_bytes_ -= bytes;
-    if (cb) cb();
-  });
-
-  if (lost) {
-    note_drop(cause, bytes);
-  } else {
-    TimeNs arrival = serialized_at + cfg_.delay;
-    if (cfg_.jitter > TimeNs{0}) {
-      arrival += TimeNs{static_cast<std::int64_t>(
-          rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter.ns()) + 1))};
-      arrival = std::max(arrival, last_arrival_);  // FIFO preserved
-    }
-    last_arrival_ = arrival;
-    sim_.schedule_at(arrival,
-                     [this, bytes, cb = std::move(on_delivered)]() mutable {
-                       ++stats_.packets_delivered;
-                       stats_.bytes_delivered += bytes;
-                       if (cb) cb();
-                     });
-  }
-  return true;
-}
-
 TimeNs Link::current_queue_delay(std::int64_t bytes) const {
   const TimeNs now = sim_.now();
   const TimeNs backlog =

@@ -84,6 +84,27 @@ TEST(ChaosSoakTest, SameSeedSamePlanAndVerdict) {
   EXPECT_EQ(va.deaths, vb.deaths);
 }
 
+TEST(ChaosSoakTest, OptimizedQueueReplaysPlansBitIdentically) {
+  // The event core's lazy-deletion heap, slot recycling and same-timestamp
+  // batch dispatch must not perturb execution order: replaying the same plan
+  // must produce a byte-identical event trace, not merely the same verdict.
+  // Several seeds so the check covers plans with heavy cancel traffic
+  // (flaps re-arm and disarm RTOs constantly — the slot-reuse hot case).
+  ChaosOptions traced;
+  traced.capture_trace = true;
+  for (const std::uint64_t seed : {3u, 11u, 29u}) {
+    const ChaosPlan plan = apps::make_chaos_plan(seed, traced);
+    const ChaosVerdict first = apps::run_chaos_plan(plan, traced);
+    const ChaosVerdict second = apps::run_chaos_plan(plan, traced);
+    ASSERT_FALSE(first.trace_csv.empty()) << "seed " << seed;
+    EXPECT_EQ(first.trace_csv, second.trace_csv)
+        << "seed " << seed << " replay diverged";
+    EXPECT_EQ(first.delivered, second.delivered) << "seed " << seed;
+    EXPECT_EQ(first.deaths, second.deaths) << "seed " << seed;
+    EXPECT_EQ(first.revivals, second.revivals) << "seed " << seed;
+  }
+}
+
 TEST(ChaosSoakTest, BrokenHarvestIsCaughtAndMinimized) {
   // Deliberately-broken engine: fail_subflow() drops its orphan harvest, so
   // a death strands the dead subflow's packets. The soak must flag it via

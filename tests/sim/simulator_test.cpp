@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace progmp::sim {
@@ -79,6 +80,153 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   sim.run_all();
   EXPECT_EQ(depth, 10);
   EXPECT_EQ(sim.now(), milliseconds(10));
+}
+
+TEST(SimulatorTest, CancelledHeadDoesNotAdmitEventsPastDeadline) {
+  // Regression: with a cancelled entry at the heap head, run_until() used to
+  // enter its drain loop (head time <= deadline), skip the tombstone, and
+  // then execute the NEXT event even when that one lay beyond the deadline.
+  Simulator sim;
+  int fired_at_20 = 0;
+  const EventId head = sim.schedule_at(milliseconds(10), [] {});
+  sim.schedule_at(milliseconds(20), [&] { ++fired_at_20; });
+  sim.cancel(head);
+
+  sim.run_until(milliseconds(15));
+  EXPECT_EQ(fired_at_20, 0) << "event past the deadline was executed";
+  EXPECT_EQ(sim.now(), milliseconds(15));
+  EXPECT_EQ(sim.pending(), 1u);
+
+  sim.run_until(milliseconds(25));
+  EXPECT_EQ(fired_at_20, 1);
+  EXPECT_EQ(sim.now(), milliseconds(25));
+}
+
+TEST(SimulatorTest, PendingIsExactAcrossCancelAndFireOrderings) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // Live schedule / cancel.
+  const EventId a = sim.schedule_at(milliseconds(1), [] {});
+  const EventId b = sim.schedule_at(milliseconds(2), [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+
+  // Double-cancel is a no-op, not a second decrement.
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+
+  sim.run_all();
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // Regression: cancelling an id that already FIRED used to leave a
+  // tombstone behind and wrap pending() to ~2^64. It must stay an exact 0.
+  sim.cancel(b);
+  EXPECT_EQ(sim.pending(), 0u);
+  sim.cancel(777777);  // never-issued id: same story
+  EXPECT_EQ(sim.pending(), 0u);
+
+  // The queue still works normally afterwards.
+  bool fired = false;
+  sim.schedule_after(milliseconds(1), [&] { fired = true; });
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, CancelReleasesCallbackImmediately) {
+  // Regression: cancel() used to only tombstone the heap entry, so a
+  // long-armed timer's captured state (e.g. SkbPtrs) stayed pinned until the
+  // entry surfaced — for an RTO that could be seconds of simulated time.
+  Simulator sim;
+  auto sentinel = std::make_shared<int>(42);
+  std::weak_ptr<int> watch = sentinel;
+
+  const EventId id =
+      sim.schedule_at(seconds(60), [keep = std::move(sentinel)] { (void)keep; });
+  ASSERT_FALSE(watch.expired());
+
+  sim.cancel(id);
+  EXPECT_TRUE(watch.expired())
+      << "cancelled callback still pins its captured state";
+
+  sim.run_until(seconds(61));  // the stale entry drains without incident
+  EXPECT_EQ(sim.executed(), 0u);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, StaleIdAfterSlotReuseIsNoop) {
+  // Slot indices are recycled; generation counters must keep an old handle
+  // from cancelling the slot's new occupant.
+  Simulator sim;
+  bool first = false;
+  const EventId old_id = sim.schedule_at(milliseconds(1), [&] { first = true; });
+  sim.run_all();
+  EXPECT_TRUE(first);
+
+  bool second = false;
+  sim.schedule_at(milliseconds(2), [&] { second = true; });  // reuses the slot
+  sim.cancel(old_id);  // stale generation: must not touch the new event
+  sim.run_all();
+  EXPECT_TRUE(second);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, SelfCancelInsideCallbackIsNoop) {
+  Simulator sim;
+  EventId self = 0;
+  int runs = 0;
+  self = sim.schedule_at(milliseconds(1), [&] {
+    ++runs;
+    sim.cancel(self);  // firing event cancelling itself: harmless
+  });
+  sim.run_all();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, BatchMateCanCancelSameInstantEvent) {
+  // Same-timestamp events dispatch as a batch; an earlier event cancelling a
+  // later one at the same instant must still suppress it.
+  Simulator sim;
+  bool victim_ran = false;
+  EventId victim = 0;
+  sim.schedule_at(milliseconds(5), [&] { sim.cancel(victim); });
+  victim = sim.schedule_at(milliseconds(5), [&] { victim_ran = true; });
+  sim.run_all();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, CancelStormKeepsCountersCoherent) {
+  // Mixed workload: every third event cancelled (some before, some after
+  // firing), with reschedules in between. pending/executed/cancelled must
+  // stay exact and the heap must fully drain.
+  Simulator sim;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(
+        sim.schedule_at(milliseconds(1 + i % 7), [&] { ++fired; }));
+  }
+  std::size_t cancelled_live = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    sim.cancel(ids[i]);
+    ++cancelled_live;
+  }
+  EXPECT_EQ(sim.pending(), 300u - cancelled_live);
+  sim.run_all();
+  EXPECT_EQ(static_cast<std::size_t>(fired), 300u - cancelled_live);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.executed(), 300u - cancelled_live);
+  EXPECT_EQ(sim.cancelled(), cancelled_live);
+  EXPECT_EQ(sim.heap_depth(), 0u);
+  // Cancel everything again, fired or not: counters must not move.
+  for (const EventId id : ids) sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.cancelled(), cancelled_live);
 }
 
 TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
