@@ -1,8 +1,10 @@
 #include "api/host.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <utility>
 
+#include "core/invariants.hpp"
 #include "mptcp/skb_pool.hpp"
 
 namespace progmp::api {
@@ -20,6 +22,25 @@ Host::Host(sim::Simulator& sim, ProgmpApi& api, Rng rng, Options opts)
     // connection id: they belong to the topology, not to one tenant.
     network_.set_tracer(&host_trace_);
   }
+  if (opts_.host_recv_mem_bytes > 0) {
+    RecvMemPool::Config pc;
+    pc.pool_bytes = opts_.host_recv_mem_bytes;
+    pc.min_share_bytes = opts_.mem_min_share_bytes;
+    pc.floor_share_bytes = opts_.mem_floor_share_bytes;
+    pc.shed_enabled = opts_.mem_shed;
+    pc.shed_after = opts_.mem_shed_after;
+    mem_pool_ = std::make_unique<RecvMemPool>(sim_, pc);
+    mem_pool_->set_apply_grant_fn(
+        [this](int conn_id, std::int64_t grant, bool shed) {
+          connection(conn_id).set_recv_buf_grant(grant, shed);
+        });
+    mem_pool_->set_signal_pressure_fn([this](int conn_id, std::int64_t level) {
+      connection(conn_id).signal_mem_pressure(level);
+    });
+    mem_pool_->set_usage_fn([this](int conn_id) {
+      return connection(conn_id).delivered_bytes();
+    });
+  }
 }
 
 mptcp::MptcpConnection* Host::open_connection(
@@ -35,10 +56,41 @@ mptcp::MptcpConnection* Host::open_connection(
   cfg.conn_id = static_cast<int>(connections_.size());
   if (opts_.trace_enabled) cfg.trace_enabled = true;
 
+  // Admission control happens before the connection exists: a refused
+  // tenant costs the host nothing, and the conn id is not consumed.
+  bool pooled = false;
+  if (mem_pool_ != nullptr) {
+    const std::int64_t demand = cfg.receiver.recv_buf_bytes;
+    const std::int64_t grant =
+        mem_pool_->admit(cfg.conn_id, std::max(1, cfg.recv_priority), demand);
+    if (grant <= 0) {
+      if (error != nullptr) {
+        *error = "receive-memory pool exhausted: cannot grant a minimum "
+                 "share of " +
+                 std::to_string(std::min(opts_.mem_min_share_bytes, demand)) +
+                 " bytes (pool " +
+                 std::to_string(opts_.host_recv_mem_bytes) + ", granted " +
+                 std::to_string(mem_pool_->granted_bytes()) + ")";
+      }
+      return nullptr;
+    }
+    pooled = true;
+    cfg.receiver.recv_buf_bytes = grant;
+    if (opts_.recv_autotune) cfg.receiver.autotune = true;
+  }
+
   auto conn = std::make_unique<mptcp::MptcpConnection>(sim_, std::move(cfg),
                                                        std::move(rng));
   if (!api_.set_scheduler(*conn, scheduler_name, error)) {
-    return nullptr;  // conn id not consumed; the next open reuses it
+    // conn id not consumed; the next open reuses it — return the grant too.
+    if (pooled) mem_pool_->release(conn->conn_id());
+    return nullptr;
+  }
+  if (pooled) {
+    const int id = conn->conn_id();
+    conn->receiver().set_mem_grant_fn([this, id](std::int64_t want) {
+      return mem_pool_->request(id, want);
+    });
   }
   if (opts_.trace_enabled) {
     conn->tracer().set_sink(
@@ -67,6 +119,23 @@ std::int64_t Host::total_wire_bytes_sent() const {
   return total;
 }
 
+void Host::refresh_metrics() {
+  if (mem_pool_ == nullptr) return;
+  const RecvMemPool::Stats& ps = mem_pool_->stats();
+  *metrics_.gauge("host.mem.pool_bytes") = mem_pool_->config().pool_bytes;
+  *metrics_.gauge("host.mem.granted_bytes") = mem_pool_->granted_bytes();
+  *metrics_.gauge("host.mem.free_bytes") = mem_pool_->free_bytes();
+  *metrics_.gauge("host.mem.members") = mem_pool_->member_count();
+  *metrics_.gauge("host.mem.pressure_level") = mem_pool_->pressure_level();
+  *metrics_.gauge("host.mem.peak_granted_bytes") = ps.peak_granted_bytes;
+  *metrics_.counter("host.mem.admissions") = ps.admissions;
+  *metrics_.counter("host.mem.refusals") = ps.refusals;
+  *metrics_.counter("host.mem.reclaimed_bytes") = ps.reclaimed_bytes;
+  *metrics_.counter("host.mem.pressure_episodes") = ps.pressure_episodes;
+  *metrics_.counter("host.mem.sheds") = ps.sheds;
+  *metrics_.counter("host.mem.restores") = ps.restores;
+}
+
 std::string Host::proc_dump() {
   std::ostringstream out;
   out << "=== host ===\n";
@@ -84,8 +153,22 @@ std::string Host::proc_dump() {
       << " heap_depth=" << sim_.heap_depth() << "\n";
   const mptcp::SkbPoolStats pool = mptcp::skb_pool_stats();
   out << "skb_pool: live=" << pool.live_chunks
+      << " peak=" << pool.peak_live_chunks
       << " recycled=" << pool.chunks_recycled << " slabs=" << pool.slabs
       << "\n";
+  if (mem_pool_ != nullptr) {
+    const RecvMemPool::Stats& ps = mem_pool_->stats();
+    out << "host_mem: pool=" << mem_pool_->config().pool_bytes
+        << " granted=" << mem_pool_->granted_bytes()
+        << " free=" << mem_pool_->free_bytes()
+        << " members=" << mem_pool_->member_count()
+        << " pressure=" << mem_pool_->pressure_level()
+        << " admissions=" << ps.admissions << " refusals=" << ps.refusals
+        << " reclaimed=" << ps.reclaimed_bytes << " sheds=" << ps.sheds
+        << " restores=" << ps.restores << "\n";
+    refresh_metrics();
+    out << metrics_.proc_dump();
+  }
   for (std::size_t i = 0; i < connections_.size(); ++i) {
     out << "\n=== conn " << i << " (scheduler=" << scheduler_names_[i]
         << ") ===\n";
@@ -94,6 +177,51 @@ std::string Host::proc_dump() {
   out << "\n=== network ===\n";
   out << network_.proc_dump();
   return out.str();
+}
+
+void install_mem_invariants(InvariantChecker& checker, Host& host) {
+  checker.add_check(
+      "mem_pool_accounting",
+      [&host]() -> std::optional<std::string> {
+        const RecvMemPool* pool = host.mem_pool();
+        if (pool == nullptr) return std::nullopt;
+        if (pool->granted_bytes() > pool->config().pool_bytes) {
+          return "granted shares " + std::to_string(pool->granted_bytes()) +
+                 " exceed pool " + std::to_string(pool->config().pool_bytes);
+        }
+        std::int64_t sum = 0;
+        for (int id : pool->member_ids()) sum += pool->grant_of(id);
+        if (sum != pool->granted_bytes()) {
+          return "grant sum " + std::to_string(sum) +
+                 " != granted counter " +
+                 std::to_string(pool->granted_bytes());
+        }
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+
+  checker.add_check(
+      "rwnd_within_grant",
+      [&host]() -> std::optional<std::string> {
+        const RecvMemPool* pool = host.mem_pool();
+        if (pool == nullptr) return std::nullopt;
+        for (int id : pool->member_ids()) {
+          const mptcp::Receiver& rx = host.connection(id).receiver();
+          const std::int64_t grant = pool->grant_of(id);
+          if (rx.recv_buf_target() > grant) {
+            return "conn " + std::to_string(id) + " buffer target " +
+                   std::to_string(rx.recv_buf_target()) + " above grant " +
+                   std::to_string(grant);
+          }
+          if (rx.rwnd_bytes() > grant) {
+            return "conn " + std::to_string(id) + " advertised rwnd " +
+                   std::to_string(rx.rwnd_bytes()) + " above grant " +
+                   std::to_string(grant);
+          }
+        }
+        return std::nullopt;
+      },
+      /*every_event=*/true);
 }
 
 }  // namespace progmp::api

@@ -22,11 +22,17 @@
 #include <vector>
 
 #include "api/progmp_api.hpp"
+#include "api/recv_mem_pool.hpp"
+#include "core/metrics.hpp"
 #include "core/rng.hpp"
 #include "core/trace.hpp"
 #include "mptcp/connection.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+
+namespace progmp {
+class InvariantChecker;
+}
 
 namespace progmp::api {
 
@@ -38,6 +44,24 @@ class Host {
     bool trace_enabled = false;
     /// Ring capacity of the aggregated host tracer.
     std::size_t trace_capacity = 1 << 18;
+
+    // ---- Receive-memory pool (RecvMemPool) ---------------------------------
+    /// Total receive memory shared by all connections. 0 (the default)
+    /// disables the pool entirely: every connection keeps its private
+    /// static recv_buf_bytes — the seed behaviour.
+    std::int64_t host_recv_mem_bytes = 0;
+    /// Admission floor: open_connection refuses (returns nullptr) when the
+    /// pool cannot grant at least this much.
+    std::int64_t mem_min_share_bytes = 64 * 1024;
+    /// Shed floor for demoted connections.
+    std::int64_t mem_floor_share_bytes = 32 * 1024;
+    /// Turns on receiver autotuning (DRS) for pool-managed connections:
+    /// each starts at a small initial buffer and grows toward 2xBDP within
+    /// its grant instead of holding the full demand from byte one.
+    bool recv_autotune = false;
+    /// Enables the shed policy after `mem_shed_after` pressure episodes.
+    bool mem_shed = false;
+    int mem_shed_after = 3;
   };
 
   /// `api` holds the loaded scheduler programs and must outlive the host.
@@ -56,6 +80,10 @@ class Host {
   /// scheduler `scheduler_name`. The config's network/conn_id fields are
   /// filled in by the host; its RNG is forked from the host stream. Returns
   /// nullptr (with `*error` set) when the scheduler is not loaded.
+  /// With the receive-memory pool enabled, the config's
+  /// receiver.recv_buf_bytes is the connection's *demand*: admission grants
+  /// a fair share clamped to it, and the connection is refused (nullptr,
+  /// `*error` explains) when the pool cannot cover a minimum share.
   mptcp::MptcpConnection* open_connection(mptcp::MptcpConnection::Config cfg,
                                           const std::string& scheduler_name,
                                           std::string* error = nullptr);
@@ -91,15 +119,31 @@ class Host {
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
 
+  /// The receive-memory pool — null while Options::host_recv_mem_bytes is 0.
+  [[nodiscard]] RecvMemPool* mem_pool() { return mem_pool_.get(); }
+  [[nodiscard]] const RecvMemPool* mem_pool() const { return mem_pool_.get(); }
+
+  /// Host-level metrics (host.mem.* pool gauges); refreshed by
+  /// refresh_metrics()/proc_dump().
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  void refresh_metrics();
+
  private:
   sim::Simulator& sim_;
   ProgmpApi& api_;
   Rng rng_;
   Options opts_;
   Tracer host_trace_;
+  MetricsRegistry metrics_;
   sim::Network network_;  ///< declared before connections_: destroyed after
   std::vector<std::unique_ptr<mptcp::MptcpConnection>> connections_;
   std::vector<std::string> scheduler_names_;  ///< per conn id, for the dump
+  std::unique_ptr<RecvMemPool> mem_pool_;
 };
+
+/// Registers the host memory-pool invariant pack on `checker`: granted
+/// shares never sum past the pool, and no managed connection's buffer
+/// target or advertised window exceeds its grant.
+void install_mem_invariants(InvariantChecker& checker, Host& host);
 
 }  // namespace progmp::api

@@ -123,7 +123,7 @@ std::string ProgmpApi::proc_stats(mptcp::MptcpConnection& conn) {
 
 std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
   std::string out = proc_stats(conn);
-  char buf[256];
+  char buf[384];
   const mptcp::SchedulerStats& st = conn.scheduler_stats();
   std::snprintf(buf, sizeof buf,
                 "trigger_drops: %lld\nsched_faults: %lld\nbackend: %s\n",
@@ -151,16 +151,23 @@ std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
   if (const mptcp::PathHealthMonitor* health = conn.path_health()) {
     out += health->proc_dump();
   }
+  const mptcp::Receiver& rx = conn.receiver();
   std::snprintf(buf, sizeof buf,
                 "rwnd: window_update_subflow=%d zero_window_probe=%s "
                 "probes=%lld persist_armed=%s updates_routed=%lld "
-                "recv_buf_drops=%lld\n",
+                "recv_buf_drops=%lld dups_net=%lld dups_dsack=%lld "
+                "buf_target=%lld buf_limit=%lld autotune=%s\n",
                 cc.window_update_subflow,
                 cc.zero_window_probe ? "on" : "off",
                 static_cast<long long>(conn.zero_window_probes()),
                 conn.persist_armed() ? "yes" : "no",
                 static_cast<long long>(conn.wnd_updates_routed()),
-                static_cast<long long>(conn.receiver().recv_buf_drops()));
+                static_cast<long long>(rx.recv_buf_drops()),
+                static_cast<long long>(rx.network_dup_segments()),
+                static_cast<long long>(rx.dsack_dup_segments()),
+                static_cast<long long>(rx.recv_buf_target()),
+                static_cast<long long>(rx.recv_buf_limit()),
+                rx.config().autotune ? "on" : "off");
   out += buf;
   if (conn.stalls() > 0 || conn.stall_rescues() > 0) {
     std::snprintf(buf, sizeof buf, "watchdog: stalls=%lld rescues=%lld\n",

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
+#include "api/host.hpp"
+#include "api/progmp_api.hpp"
 #include "apps/scenarios.hpp"
 #include "apps/workloads.hpp"
+#include "core/check.hpp"
 #include "core/invariants.hpp"
 #include "core/rng.hpp"
 #include "mptcp/conn_invariants.hpp"
@@ -78,6 +82,13 @@ std::string ChaosPlan::str() const {
   out += "  receiver recv_buf=" + std::to_string(recv_buf_bytes) +
          " app_read=" + std::to_string(app_read_bytes_per_sec) +
          " wnd_update_subflow=" + std::to_string(wnd_update_subflow) + "\n";
+  if (pool_bytes > 0) {
+    out += "  mem_pool pool=" + std::to_string(pool_bytes) + " priorities=";
+    for (std::size_t i = 0; i < priorities.size(); ++i) {
+      out += (i > 0 ? "," : "") + std::to_string(priorities[i]);
+    }
+    out += "\n";
+  }
   for (const ChaosFault& f : faults) out += "  " + f.str() + "\n";
   return out;
 }
@@ -141,10 +152,159 @@ ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& opts) {
       plan.recv_buf_bytes = opts.recv_buf_override;
     }
   }
+  if (opts.memory_pressure) {
+    // The pool is drawn well under the fleet's aggregate demand — autotuned
+    // growth can exhaust it, so pressure episodes and shed demotions really
+    // happen — but always covers mem_conns admission minima: this soak
+    // exercises degradation under overload, not admission refusal (that
+    // path has its own deterministic tests).
+    const auto n = static_cast<std::int64_t>(opts.mem_conns);
+    plan.pool_bytes = n * (64 + rng.next_range(0, 160)) * 1024;
+    for (int i = 0; i < opts.mem_conns; ++i) {
+      plan.priorities.push_back(static_cast<int>(rng.next_range(1, 4)));
+    }
+  }
   return plan;
 }
 
+namespace {
+
+/// Installs the plan's fault schedule on `net` plus the final cleanup sweep
+/// at the horizon (overlapping windows can leave a link down or a GE
+/// episode enabled; the plan contract says everything is over by then).
+void install_plan_faults(sim::Simulator& sim, sim::Network& net,
+                         sim::FaultInjector& injector, const ChaosPlan& plan) {
+  for (const ChaosFault& f : plan.faults) {
+    switch (f.kind) {
+      case ChaosFault::Kind::kBlackout:
+        injector.blackout(net, path_id(f.path), f.from, f.until);
+        break;
+      case ChaosFault::Kind::kAckBlackout:
+        injector.ack_blackout(net, path_id(f.path), f.from, f.until);
+        break;
+      case ChaosFault::Kind::kFlap:
+        injector.flap(net, path_id(f.path), f.from, f.until, f.down_for,
+                      f.up_for);
+        break;
+      case ChaosFault::Kind::kBurstLoss:
+        injector.burst_loss(net, path_id(f.path), f.from, f.until, f.ge);
+        break;
+    }
+  }
+  sim.schedule_at(plan.horizon, [&net] {
+    for (const char* id : {kFleetWifiPath, kFleetLtePath}) {
+      net.set_up(id);
+      net.path(id).forward.clear_gilbert_elliott();
+      net.path(id).reverse.clear_gilbert_elliott();
+    }
+  });
+}
+
+/// The multi-tenant variant (ChaosOptions::memory_pressure): the plan's
+/// fault schedule against a mixed-priority fleet drawing from one
+/// undersized host receive-memory pool, autotuning and shed armed, under
+/// both the per-connection invariant packs and the pool invariants.
+ChaosVerdict run_chaos_plan_mem(const ChaosPlan& plan,
+                                const ChaosOptions& opts) {
+  sim::Simulator sim;
+  api::ProgmpApi papi;
+  std::string err;
+  PROGMP_CHECK_MSG(papi.load_builtin("minrtt", &err), err.c_str());
+
+  api::Host::Options hopts;
+  hopts.host_recv_mem_bytes = plan.pool_bytes;
+  hopts.recv_autotune = true;
+  hopts.mem_shed = true;
+  hopts.mem_shed_after = 2;
+  api::Host host(sim, papi, Rng(plan.seed ^ 0xc4a05f00dULL), hopts);
+  install_fleet_network(host.network(), /*wifi_ap_mbps=*/16,
+                        /*lte_cell_mbps=*/48);
+
+  InvariantChecker checker;
+  checker.set_stride(opts.invariant_stride);
+
+  std::vector<mptcp::MptcpConnection*> conns;
+  for (int pri : plan.priorities) {
+    mptcp::MptcpConnection::Config cfg =
+        fleet_priority_config(pri, opts.rto_death_threshold);
+    cfg.probe_revival = opts.probe_revival;
+    cfg.keepalive_idle = opts.keepalive_idle;
+    cfg.stall_timeout = opts.stall_timeout;
+    cfg.stall_rescue = opts.stall_rescue;
+    cfg.receiver.recv_buf_bytes = plan.recv_buf_bytes;
+    cfg.receiver.app_read_bytes_per_sec = plan.app_read_bytes_per_sec;
+    cfg.receiver.enforce_recv_buf = true;
+    cfg.receiver.coalesce_window_updates = true;
+    cfg.window_update_subflow = plan.wnd_update_subflow;
+    cfg.zero_window_probe = true;
+    mptcp::MptcpConnection* conn = host.open_connection(cfg, "minrtt", &err);
+    // The plan draws the pool large enough for every admission minimum —
+    // this soak is about degradation under pressure, not refusal.
+    PROGMP_CHECK_MSG(conn != nullptr, err.c_str());
+    // Same engine as the single-connection soak: the native MinRTT carries
+    // the RQ fresh-path *fallback* (a packet every path already carried is
+    // still retransmittable), which the frozen builtin spec lacks — without
+    // it a double-lost reinjection wedges the meta gap forever and the
+    // delivery assertion would test the spec, not the memory machinery.
+    conn->set_scheduler(sched::make_native_minrtt());
+    conns.push_back(conn);
+    mptcp::install_connection_invariants(checker, *conn);
+  }
+  api::install_mem_invariants(checker, host);
+  sim.set_post_event_hook([&checker, &sim] { checker.run(sim.now()); });
+
+  sim::FaultInjector injector(sim);
+  install_plan_faults(sim, host.network(), injector, plan);
+
+  CbrSource::Options wl;
+  wl.schedule = {{TimeNs{0}, opts.cbr_bytes_per_sec}};
+  wl.duration = plan.horizon - seconds(1);
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (mptcp::MptcpConnection* conn : conns) {
+    sources.push_back(std::make_unique<CbrSource>(sim, *conn, wl));
+    sources.back()->start();
+  }
+
+  sim.run_until(plan.horizon + opts.grace);
+  checker.force_run(sim.now());
+
+  ChaosVerdict v;
+  v.invariants_ok = checker.ok();
+  v.violations = checker.total_violations();
+  if (!checker.violations().empty()) {
+    const InvariantChecker::Violation& first = checker.violations().front();
+    v.first_violation = first.check + "@" + first.at.str() + ": " +
+                        first.detail;
+  }
+  v.delivered_all = true;
+  for (mptcp::MptcpConnection* conn : conns) {
+    v.written += conn->written_bytes();
+    v.delivered += conn->delivered_bytes();
+    if (conn->written_bytes() == 0 ||
+        conn->delivered_bytes() != conn->written_bytes()) {
+      v.delivered_all = false;
+    }
+    for (int s = 0; s < conn->subflow_count(); ++s) {
+      v.deaths += conn->subflow(s).stats().deaths;
+      v.revivals += conn->subflow(s).stats().revivals;
+    }
+    v.stalls += conn->stalls();
+    v.zero_window_probes += conn->zero_window_probes();
+    v.recv_buf_drops += conn->receiver().recv_buf_drops();
+    v.dsack_dups += conn->receiver().dsack_dup_segments();
+  }
+  v.checker_runs = checker.runs();
+  const api::RecvMemPool::Stats& ps = host.mem_pool()->stats();
+  v.mem_pressure_episodes = ps.pressure_episodes;
+  v.mem_sheds = ps.sheds;
+  v.mem_restores = ps.restores;
+  return v;
+}
+
+}  // namespace
+
 ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
+  if (opts.memory_pressure) return run_chaos_plan_mem(plan, opts);
   sim::Simulator sim;
   // The network RNG is derived from the plan seed so link loss draws are
   // part of the reproducible run.
@@ -182,34 +342,7 @@ ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
   sim.set_post_event_hook([&checker, &sim] { checker.run(sim.now()); });
 
   sim::FaultInjector injector(sim);
-  for (const ChaosFault& f : plan.faults) {
-    switch (f.kind) {
-      case ChaosFault::Kind::kBlackout:
-        injector.blackout(net, path_id(f.path), f.from, f.until);
-        break;
-      case ChaosFault::Kind::kAckBlackout:
-        injector.ack_blackout(net, path_id(f.path), f.from, f.until);
-        break;
-      case ChaosFault::Kind::kFlap:
-        injector.flap(net, path_id(f.path), f.from, f.until, f.down_for,
-                      f.up_for);
-        break;
-      case ChaosFault::Kind::kBurstLoss:
-        injector.burst_loss(net, path_id(f.path), f.from, f.until, f.ge);
-        break;
-    }
-  }
-  // Overlapping fault windows can interleave their down/up (set/clear)
-  // events so the *last* event on a link is a down or a GE enable. The plan
-  // contract is "everything is over by the horizon", so enforce it with one
-  // final cleanup sweep there.
-  sim.schedule_at(plan.horizon, [&net] {
-    for (const char* id : {kFleetWifiPath, kFleetLtePath}) {
-      net.set_up(id);
-      net.path(id).forward.clear_gilbert_elliott();
-      net.path(id).reverse.clear_gilbert_elliott();
-    }
-  });
+  install_plan_faults(sim, net, injector, plan);
 
   CbrSource::Options wl;
   wl.schedule = {{TimeNs{0}, opts.cbr_bytes_per_sec}};

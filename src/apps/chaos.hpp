@@ -62,6 +62,12 @@ struct ChaosPlan {
   std::int64_t app_read_bytes_per_sec = 0;  ///< 0 = instant reader
   int wnd_update_subflow = -1;  ///< -1 = lossless side channel, else routed
 
+  // ---- Memory-pressure fleet (ChaosOptions::memory_pressure) --------------
+  // Drawn after the receiver shape, again for per-seed stability. Empty /
+  // zero unless the mode is on.
+  std::int64_t pool_bytes = 0;   ///< host receive-memory pool size
+  std::vector<int> priorities;   ///< one pool priority per fleet connection
+
   /// Human-readable plan (one line per fault) — the minimized-plan artifact.
   [[nodiscard]] std::string str() const;
 };
@@ -99,6 +105,16 @@ struct ChaosOptions {
   /// small-buffer (256 KB) chaos variant.
   std::int64_t recv_buf_override = 0;
 
+  // ---- Memory-pressure fleet ----------------------------------------------
+  /// Runs the plan against a mixed-priority fleet of `mem_conns` connections
+  /// on one api::Host whose receive-memory pool is sized well under the
+  /// aggregate demand (drawn per seed), with receive-buffer autotuning and
+  /// the shed policy armed — the multi-tenant overload soak. Adds the
+  /// host-level pool invariants (granted sum <= pool, rwnd <= grant) to the
+  /// checker. Off = the single-connection soak, plans unchanged per seed.
+  bool memory_pressure = false;
+  int mem_conns = 4;
+
   // ---- Checking -----------------------------------------------------------
   /// Stride for the heavy (full-scan) invariants; the cheap class still runs
   /// at every event boundary.
@@ -130,6 +146,12 @@ struct ChaosVerdict {
   std::int64_t zero_window_probes = 0;  ///< persist-timer probes sent
   std::int64_t recv_buf_drops = 0;   ///< OOO segments refused by the buffer
   std::uint64_t checker_runs = 0;    ///< liveness: the checker really ran
+
+  // ---- Memory-pressure fleet extras (ChaosOptions::memory_pressure) ------
+  std::int64_t mem_pressure_episodes = 0;  ///< pool pressure episodes
+  std::int64_t mem_sheds = 0;              ///< shed demotions
+  std::int64_t mem_restores = 0;           ///< shed members restored
+  std::int64_t dsack_dups = 0;             ///< redundant-copy duplicates seen
   std::string trace_csv;             ///< only with ChaosOptions::capture_trace
 
   [[nodiscard]] bool ok() const { return invariants_ok && delivered_all; }

@@ -55,6 +55,10 @@ const char* trace_event_name(TraceEventType type) {
       return "zero_window_probe";
     case TraceEventType::kRecvBufDrop:
       return "recv_buf_drop";
+    case TraceEventType::kMemPressure:
+      return "mem_pressure";
+    case TraceEventType::kMemShed:
+      return "mem_shed";
   }
   return "?";
 }

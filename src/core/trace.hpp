@@ -63,6 +63,11 @@ enum class TraceEventType : std::uint8_t {
   kRecvBufDrop,         ///< receiver dropped an out-of-order segment that
                         ///< did not fit recv_buf (a=buffered bytes, b=size,
                         ///< c=meta_seq)
+  kMemPressure,         ///< host receive-memory pool pressure broadcast
+                        ///< (a=pressure level / episode count, 0 = cleared)
+  kMemShed,             ///< shed policy changed this connection's pool grant
+                        ///< (a=1 demoted to floor, 0 restored; b=old grant,
+                        ///< c=new grant)
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;

@@ -121,9 +121,11 @@ class Analyzer {
         break;
       }
       case StmtKind::kSet: {
-        if (s.int_value < 0 || s.int_value >= kNumRegisters) {
+        if ((s.int_value < 0 || s.int_value >= kNumRegisters) &&
+            !is_env_register(s.int_value)) {
           diags_.error(s.loc, "register out of range (R1..R" +
-                                  std::to_string(kNumRegisters) + ")");
+                                  std::to_string(kNumRegisters) +
+                                  ", or environment registers R91/R92)");
         }
         check_expr(s.expr, EffectCtx::kPure);
         expect_type(s.expr, Type::kInt, "SET value");
@@ -168,9 +170,11 @@ class Analyzer {
         e.type = Type::kNull;
         break;
       case ExprKind::kRegister:
-        if (e.int_value < 0 || e.int_value >= kNumRegisters) {
+        if ((e.int_value < 0 || e.int_value >= kNumRegisters) &&
+            !is_env_register(e.int_value)) {
           diags_.error(e.loc, "register out of range (R1..R" +
-                                  std::to_string(kNumRegisters) + ")");
+                                  std::to_string(kNumRegisters) +
+                                  ", or environment registers R91/R92)");
         }
         e.type = Type::kInt;
         break;

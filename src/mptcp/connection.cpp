@@ -22,7 +22,7 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
 
   receiver_ = std::make_unique<Receiver>(sim_, cfg_.receiver);
   receiver_->set_tracer(&trace_);
-  rwnd_ = cfg_.receiver.recv_buf_bytes;
+  rwnd_ = receiver_->rwnd_bytes();
   receiver_->set_deliver_fn([this](std::uint64_t meta_seq, std::int32_t size) {
     delivered_bytes_ += size;
     if (on_deliver_) on_deliver_(meta_seq, size, sim_.now());
@@ -116,6 +116,19 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
     // A successful ACK proves the path works post-restore; a later death is
     // then a genuine black-path death, not the tail of a healed outage.
     restore_amnesty_[static_cast<std::size_t>(s)] = false;
+    if (cfg_.receiver.autotune) {
+      // Feed the DRS epoch clock the smallest smoothed RTT across the
+      // established subflows — the receive buffer must cover the *fastest*
+      // path's delivery rate, and the hint only changes on real samples.
+      TimeNs best{0};
+      for (const auto& sbf : subflows_) {
+        if (!sbf->established() || !sbf->rtt().has_sample()) continue;
+        if (best <= TimeNs{0} || sbf->rtt().srtt() < best) {
+          best = sbf->rtt().srtt();
+        }
+      }
+      if (best > TimeNs{0}) receiver_->set_rtt_hint(best);
+    }
     trigger({TriggerKind::kAck, s});
   };
   host.on_loss_suspected = [this](int s, const SkbPtr& skb) {
@@ -649,6 +662,7 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
                        cfg_.num_registers,
                        std::max<std::int64_t>(0, rwnd_ - claimed),
                        &sched_stats_, &trace_);
+  ctx.set_env_signals({mem_pressure_level_, receiver_->dsack_dup_segments()});
   ++sched_stats_.executions;
   const std::int64_t drops_before = sched_stats_.drops;
   trace_.emit(TraceEventType::kSchedExecStart, now, t.subflow_slot,
@@ -720,6 +734,26 @@ void MptcpConnection::handle_loss_suspected(int slot, const SkbPtr& skb) {
   trigger({TriggerKind::kReinject, slot});
 }
 
+void MptcpConnection::set_recv_buf_grant(std::int64_t bytes, bool shed) {
+  const std::int64_t old = receiver_->recv_buf_limit();
+  if (bytes == old) return;
+  receiver_->set_recv_buf_limit(bytes);
+  if (shed) {
+    trace_.emit(TraceEventType::kMemShed, sim_.now(), -1,
+                bytes < old ? 1 : 0, old, bytes);
+  }
+  // The sender's window view shrinks on the next advertisement; growth is
+  // worth announcing now, exactly like an app-read drain reopening space.
+  if (bytes > old) receiver_->announce_window();
+}
+
+void MptcpConnection::signal_mem_pressure(std::int64_t level) {
+  mem_pressure_level_ = level;
+  trace_.emit(TraceEventType::kMemPressure, sim_.now(), -1,
+              static_cast<std::int32_t>(level));
+  trigger({TriggerKind::kMemPressure, -1});
+}
+
 void MptcpConnection::refresh_metrics() {
   // Engine counters mirror SchedulerStats exactly — the registry is the
   // exported view, SchedulerStats stays the authoritative one.
@@ -758,6 +792,14 @@ void MptcpConnection::refresh_metrics() {
       receiver_->window_updates_coalesced();
   *metrics_.gauge("recv.unread_bytes") = receiver_->unread_bytes();
   *metrics_.gauge("recv.ooo_bytes") = receiver_->ooo_bytes();
+  *metrics_.counter("recv.dup_segs") = receiver_->duplicate_segments();
+  *metrics_.counter("recv.network_dups") = receiver_->network_dup_segments();
+  *metrics_.counter("recv.dsack_dups") = receiver_->dsack_dup_segments();
+  *metrics_.gauge("recv.buf_target") = receiver_->recv_buf_target();
+  *metrics_.gauge("recv.buf_limit") = receiver_->recv_buf_limit();
+  *metrics_.counter("recv.autotune_grows") = receiver_->autotune_grows();
+  *metrics_.counter("recv.autotune_shrinks") = receiver_->autotune_shrinks();
+  *metrics_.gauge("conn.mem_pressure") = mem_pressure_level_;
   if (health_ != nullptr) health_->refresh_metrics(metrics_);
 
   const TimeNs now = sim_.now();

@@ -64,6 +64,9 @@ class MptcpConnection {
     /// Identity of this connection inside a multi-connection host: stamped
     /// onto every trace event and exported metric series (-1 = untagged).
     int conn_id = -1;
+    /// Weight in the host receive-memory pool's fair-share and shed
+    /// decisions (higher = larger share, shed later). Ignored standalone.
+    int recv_priority = 1;
     /// Bound on scheduler executions per external trigger (defensive cap on
     /// the push-until-blocked loop). Generous: schedulers that compensate
     /// whole flights (§5.3) legitimately act many times per trigger.
@@ -237,6 +240,20 @@ class MptcpConnection {
   }
   [[nodiscard]] Receiver& receiver() { return *receiver_; }
   [[nodiscard]] const Receiver& receiver() const { return *receiver_; }
+
+  // ---- Host receive-memory pool interface ----------------------------------
+  /// Applies a pool grant (or reclaim/shed demotion) to the receiver's
+  /// buffer cap. `shed` marks the change as a shed-policy demotion (or, with
+  /// a growing grant, a restoration) and traces kMemShed accordingly.
+  void set_recv_buf_grant(std::int64_t bytes, bool shed = false);
+  /// Host pool pressure broadcast: records the level (0 = cleared), traces
+  /// kMemPressure and fires TriggerKind::kMemPressure so the scheduler can
+  /// react (e.g. a redundant spec backing off its duplicate copies).
+  void signal_mem_pressure(std::int64_t level);
+  /// Last broadcast pressure level — served to specs as register R91.
+  [[nodiscard]] std::int64_t mem_pressure_level() const {
+    return mem_pressure_level_;
+  }
   [[nodiscard]] sim::NetPath& path(int slot) {
     return *paths_[static_cast<std::size_t>(slot)];
   }
@@ -412,6 +429,10 @@ class MptcpConnection {
   std::int64_t zero_window_probes_ = 0;
   std::int64_t wnd_updates_routed_ = 0;
   std::int64_t wnd_updates_delivered_ = 0;
+
+  /// Last host pool pressure broadcast (0 = no pressure); see
+  /// signal_mem_pressure().
+  std::int64_t mem_pressure_level_ = 0;
 
   std::unique_ptr<Scheduler> scheduler_;
   SchedulerStats sched_stats_;

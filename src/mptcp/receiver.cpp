@@ -13,6 +13,7 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
   if (seg.sbf_seq < rx.expected || rx.ooo.contains(seg.sbf_seq)) {
     // Subflow-level duplicate (spurious retransmission); re-ACK.
     ++dup_segs_;
+    ++dup_segs_network_;
     return make_ack(seg.sbf_slot);
   }
 
@@ -23,7 +24,7 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
   // for unread bytes, and OOO data inside the advertised span never shrank
   // it — so only the slow-path-fills-the-buffer pathology is cut off here.
   if (cfg_.enforce_recv_buf && would_park(rx, seg) &&
-      buffered_bytes() + seg.size > cfg_.recv_buf_bytes) {
+      buffered_bytes() + seg.size > mem_liability_bytes()) {
     ++recv_buf_drops_;
     if (trace_ != nullptr) {
       trace_->emit(TraceEventType::kRecvBufDrop, sim_.now(), seg.sbf_slot,
@@ -65,13 +66,17 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
     meta_receive(seg);
   }
 
+  if (cfg_.autotune) maybe_autotune();
+
   return make_ack(seg.sbf_slot);
 }
 
-AckInfo Receiver::peek_ack(int slot) const {
+AckInfo Receiver::peek_ack(int slot) {
   PROGMP_CHECK(slot >= 0 && slot < kMaxSubflows);
-  return AckInfo{slot, subflows_[static_cast<std::size_t>(slot)].expected,
-                 meta_expected_, rwnd_bytes(), ack_stamp_};
+  const AckInfo ack{slot, subflows_[static_cast<std::size_t>(slot)].expected,
+                    meta_expected_, rwnd_bytes(), ack_stamp_};
+  note_advertised(ack.rwnd_bytes);
+  return ack;
 }
 
 bool Receiver::would_park(const SubflowRx& rx, const DataSegment& seg) const {
@@ -84,7 +89,17 @@ AckInfo Receiver::make_ack(int slot) {
   const AckInfo ack{slot, subflows_[static_cast<std::size_t>(slot)].expected,
                     meta_expected_, rwnd_bytes(), ++ack_stamp_};
   last_advertised_rwnd_ = ack.rwnd_bytes;
+  note_advertised(ack.rwnd_bytes);
   return ack;
+}
+
+void Receiver::note_advertised(std::int64_t rwnd) {
+  // The sender's license to transmit now extends to rcv_nxt + rwnd. In
+  // delivered-byte coordinates that right edge is delivered_bytes_ + rwnd;
+  // the monotone max over all advertisements is what the liability envelope
+  // must keep covering after a buffer shrink.
+  max_right_edge_bytes_ =
+      std::max(max_right_edge_bytes_, delivered_bytes_ + rwnd);
 }
 
 void Receiver::index_erase(std::uint64_t meta_seq) {
@@ -109,7 +124,10 @@ void Receiver::reset_subflow(int slot) {
 void Receiver::meta_receive(const DataSegment& seg) {
   if (seg.meta_seq < meta_expected_ || meta_ooo_.contains(seg.meta_seq)) {
     // Meta-level duplicate — a redundant copy arrived on another subflow.
+    // This is the D-SACK signal: a *different* transmission of data already
+    // held, i.e. a redundant scheduler's extra copy burning receive memory.
     ++dup_segs_;
+    ++dsack_dups_;
     return;
   }
   meta_ooo_.emplace(seg.meta_seq, seg.size);
@@ -144,7 +162,72 @@ std::int64_t Receiver::rwnd_bytes() const {
   // shrink it; otherwise the sender could never fit the gap-filling
   // retransmission and the connection would deadlock. Only data the
   // application has not read yet reduces the window.
-  return std::max<std::int64_t>(0, cfg_.recv_buf_bytes - unread_bytes_);
+  return std::max<std::int64_t>(0, recv_buf_target_ - unread_bytes_);
+}
+
+void Receiver::set_recv_buf_limit(std::int64_t cap) {
+  recv_buf_limit_ = std::max<std::int64_t>(0, cap);
+  if (!cfg_.autotune) {
+    // Static buffers track the grant exactly (the standalone value was
+    // recv_buf_bytes; under a pool the grant *is* the buffer size).
+    recv_buf_target_ = recv_buf_limit_;
+  } else if (recv_buf_target_ > recv_buf_limit_) {
+    // Autotuned targets clamp down immediately; growing back is the DRS
+    // loop's job, driven by demand.
+    recv_buf_target_ = recv_buf_limit_;
+  }
+}
+
+void Receiver::maybe_autotune() {
+  if (rtt_hint_ <= TimeNs{0}) return;  // no RTT sample yet: no epoch clock
+  const TimeNs now = sim_.now();
+  if (drs_epoch_start_ < TimeNs{0}) {
+    drs_epoch_start_ = now;
+    drs_epoch_delivered_ = delivered_bytes_;
+    return;
+  }
+  if (now - drs_epoch_start_ < rtt_hint_) return;
+
+  // One epoch elapsed: the classic DRS estimate is that a healthy flow
+  // needs twice what it delivered in the last RTT (data in flight plus the
+  // next RTT's worth arriving while the app reads).
+  const std::int64_t want = 2 * (delivered_bytes_ - drs_epoch_delivered_);
+  if (want > recv_buf_target_) {
+    if (want > recv_buf_limit_ && mem_grant_fn_) {
+      // Ask the pool for more. Its answer is authoritative in *both*
+      // directions — it may also be smaller than the current limit if the
+      // pool reclaimed or shed this connection since the last grant.
+      recv_buf_limit_ = std::max<std::int64_t>(0, mem_grant_fn_(want));
+      if (recv_buf_target_ > recv_buf_limit_) {
+        recv_buf_target_ = recv_buf_limit_;
+      }
+    }
+    const std::int64_t next = std::min(want, recv_buf_limit_);
+    if (next > recv_buf_target_) {
+      recv_buf_target_ = next;
+      ++autotune_grows_;
+    }
+    drs_low_epochs_ = 0;
+  } else if (want < recv_buf_target_ / 2) {
+    // Demand collapsed. Require two consecutive low epochs (one could be a
+    // scheduler hiccup or a loss burst), then halve at most per epoch so a
+    // transient lull never slams the window shut.
+    if (++drs_low_epochs_ >= 2) {
+      const std::int64_t floor =
+          std::min(cfg_.autotune_min_bytes, recv_buf_limit_);
+      const std::int64_t next =
+          std::max({want, floor, recv_buf_target_ / 2});
+      if (next < recv_buf_target_) {
+        recv_buf_target_ = next;
+        ++autotune_shrinks_;
+      }
+      drs_low_epochs_ = 0;
+    }
+  } else {
+    drs_low_epochs_ = 0;
+  }
+  drs_epoch_start_ = now;
+  drs_epoch_delivered_ = delivered_bytes_;
 }
 
 void Receiver::schedule_app_read() {
@@ -176,6 +259,7 @@ void Receiver::maybe_emit_window_update() {
   }
   ++window_updates_emitted_;
   last_advertised_rwnd_ = rwnd;
+  note_advertised(rwnd);
   if (trace_ != nullptr) {
     trace_->emit(TraceEventType::kWindowUpdate, sim_.now(), -1, 0, rwnd);
   }
@@ -207,10 +291,14 @@ std::optional<std::string> Receiver::audit() const {
   if (unread_bytes_ < 0) {
     return "unread_bytes negative: " + std::to_string(unread_bytes_);
   }
-  if (cfg_.enforce_recv_buf && buffered_bytes() > cfg_.recv_buf_bytes) {
+  if (recv_buf_target_ > recv_buf_limit_) {
+    return "recv_buf_target " + std::to_string(recv_buf_target_) +
+           " above limit " + std::to_string(recv_buf_limit_);
+  }
+  if (cfg_.enforce_recv_buf && buffered_bytes() > mem_liability_bytes()) {
     return "receive buffer overrun: unread+ooo " +
-           std::to_string(buffered_bytes()) + " > recv_buf " +
-           std::to_string(cfg_.recv_buf_bytes);
+           std::to_string(buffered_bytes()) + " > liability envelope " +
+           std::to_string(mem_liability_bytes());
   }
   return std::nullopt;
 }

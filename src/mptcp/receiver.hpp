@@ -14,6 +14,7 @@
 //                   data is contiguous in *meta* order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -78,6 +79,21 @@ class Receiver {
     /// behaviour).
     bool coalesce_window_updates = false;
     std::int32_t sws_mss_bytes = 1400;
+
+    // ---- Dynamic receive-buffer sizing (DRS) ------------------------------
+    /// Kernel-style receive-buffer autotuning: the *effective* buffer size
+    /// (recv_buf_target, which backs the advertised window) starts at
+    /// autotune_initial_bytes and is re-evaluated once per RTT (the
+    /// connection feeds set_rtt_hint) against 2x the bytes delivered that
+    /// RTT — the classic grow-toward-2xBDP rule. It shrinks (halving at
+    /// most, after two consecutive low epochs) when the reader drains and
+    /// the flow no longer needs the space, and is always clamped to
+    /// [autotune_min_bytes, recv_buf_limit] where the limit is the host
+    /// pool's grant (or recv_buf_bytes standalone). Default off = the
+    /// static buffer of the seed.
+    bool autotune = false;
+    std::int64_t autotune_min_bytes = 64 * 1024;
+    std::int64_t autotune_initial_bytes = 128 * 1024;
   };
 
   /// Called for every segment that becomes deliverable to the application,
@@ -94,8 +110,23 @@ class Receiver {
   using WindowUpdateFn = std::function<void(
       std::int64_t wnd_stamp, std::uint64_t meta_ack, std::int64_t rwnd_bytes)>;
 
-  Receiver(sim::Simulator& sim, Config cfg)
-      : sim_(sim), cfg_(cfg), last_advertised_rwnd_(cfg.recv_buf_bytes) {}
+  /// Asked by the autotuner for a bigger buffer cap: receives the desired
+  /// limit in bytes and returns the limit actually granted (the host pool's
+  /// answer, possibly smaller — or even smaller than the current limit when
+  /// the pool reclaimed or shed this connection in the meantime).
+  using MemGrantFn = std::function<std::int64_t(std::int64_t want_bytes)>;
+
+  Receiver(sim::Simulator& sim, Config cfg) : sim_(sim), cfg_(cfg) {
+    recv_buf_limit_ = cfg_.recv_buf_bytes;
+    recv_buf_target_ = cfg_.recv_buf_bytes;
+    if (cfg_.autotune) {
+      recv_buf_target_ =
+          std::clamp(cfg_.autotune_initial_bytes,
+                     std::min(cfg_.autotune_min_bytes, recv_buf_limit_),
+                     recv_buf_limit_);
+    }
+    last_advertised_rwnd_ = recv_buf_target_;
+  }
 
   void set_deliver_fn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
   void set_window_update_fn(WindowUpdateFn fn) {
@@ -110,8 +141,9 @@ class Receiver {
 
   /// Current cumulative state for `slot` without processing any data — the
   /// answer to a zero-window probe (RFC 9293 §3.8.6.1): a pure ACK carrying
-  /// the live receive window.
-  [[nodiscard]] AckInfo peek_ack(int slot) const;
+  /// the live receive window. Non-const: the advertised window extends the
+  /// liability envelope like any other advertisement.
+  [[nodiscard]] AckInfo peek_ack(int slot);
 
   /// Forgets all per-subflow sequence state for `slot` — the receiver half of
   /// reviving a failed subflow, which restarts with a fresh subflow sequence
@@ -128,6 +160,15 @@ class Receiver {
     return delivered_bytes_;
   }
   [[nodiscard]] std::int64_t duplicate_segments() const { return dup_segs_; }
+  /// Split of duplicate_segments() by provenance: subflow-level duplicates
+  /// are spurious network retransmissions (the same copy arrived twice);
+  /// meta-level duplicates are D-SACK-style redundant-scheduler copies (a
+  /// *different* transmission of already-received meta data, typically a
+  /// redundant scheduler's second copy racing the first across paths).
+  [[nodiscard]] std::int64_t network_dup_segments() const {
+    return dup_segs_network_;
+  }
+  [[nodiscard]] std::int64_t dsack_dup_segments() const { return dsack_dups_; }
   [[nodiscard]] std::int64_t unread_bytes() const { return unread_bytes_; }
   /// Bytes parked out of order: meta reassembly plus (multi-layer only)
   /// data held hostage in subflow OOO queues.
@@ -139,6 +180,44 @@ class Receiver {
     return unread_bytes_ + ooo_bytes();
   }
   [[nodiscard]] std::int64_t recv_buf_drops() const { return recv_buf_drops_; }
+
+  // ---- Dynamic buffer sizing ------------------------------------------------
+  /// Effective buffer size backing the advertised window (== recv_buf_bytes
+  /// unless autotuning or a pool grant resized it).
+  [[nodiscard]] std::int64_t recv_buf_target() const {
+    return recv_buf_target_;
+  }
+  /// Hard cap on the target: the host pool's grant (or recv_buf_bytes
+  /// standalone).
+  [[nodiscard]] std::int64_t recv_buf_limit() const { return recv_buf_limit_; }
+  /// Applies a new buffer cap — the pool's reclaim/shed/grant path. The
+  /// target clamps down immediately, so every *future* advertisement fits
+  /// the new grant; promises already on the wire are covered by the
+  /// liability envelope (mem_liability_bytes) until consumed.
+  void set_recv_buf_limit(std::int64_t cap);
+  /// RTT estimate for the DRS epoch clock — the connection feeds the
+  /// smallest smoothed RTT across its established subflows.
+  void set_rtt_hint(TimeNs rtt) { rtt_hint_ = rtt; }
+  /// Pool-grow callback (see MemGrantFn); unset = standalone clamping.
+  void set_mem_grant_fn(MemGrantFn fn) { mem_grant_fn_ = std::move(fn); }
+  /// Re-advertises the window if it grew enough to matter (SWS rules
+  /// apply). Ordinarily app reads drive this; a raised buffer cap is the
+  /// other event that reopens space without any data arriving.
+  void announce_window() { maybe_emit_window_update(); }
+  /// Bytes of receive memory this connection is liable for: the effective
+  /// buffer target, or — after a shrink — the outstanding window promise
+  /// max(target, advertised right edge - app read position). In-flight data
+  /// sent against a pre-shrink advertisement is never treated as an
+  /// overrun; the envelope converges back to the target as the promise is
+  /// consumed. This is the bound enforcement drops and audit() apply.
+  [[nodiscard]] std::int64_t mem_liability_bytes() const {
+    const std::int64_t read_pos = delivered_bytes_ - unread_bytes_;
+    return std::max(recv_buf_target_, max_right_edge_bytes_ - read_pos);
+  }
+  [[nodiscard]] std::int64_t autotune_grows() const { return autotune_grows_; }
+  [[nodiscard]] std::int64_t autotune_shrinks() const {
+    return autotune_shrinks_;
+  }
   [[nodiscard]] std::int64_t window_updates_emitted() const {
     return window_updates_emitted_;
   }
@@ -187,6 +266,12 @@ class Receiver {
   void deliver_contiguous();
   void schedule_app_read();
   void maybe_emit_window_update();
+  /// One DRS step: at most once per rtt_hint, re-evaluates the target
+  /// against 2x the delivered-bytes-per-RTT measurement. Called from
+  /// on_data (cheap-gated on Config::autotune).
+  void maybe_autotune();
+  /// Records an advertisement: extends the liability envelope's right edge.
+  void note_advertised(std::int64_t rwnd);
   [[nodiscard]] bool would_park(const SubflowRx& rx,
                                 const DataSegment& seg) const;
   AckInfo make_ack(int slot);
@@ -222,7 +307,24 @@ class Receiver {
 
   std::int64_t delivered_bytes_ = 0;
   std::int64_t dup_segs_ = 0;
+  std::int64_t dup_segs_network_ = 0;  ///< subflow-level (spurious retx) dups
+  std::int64_t dsack_dups_ = 0;        ///< meta-level (redundant-copy) dups
   std::int64_t recv_buf_drops_ = 0;
+
+  // ---- Dynamic buffer sizing state ----------------------------------------
+  std::int64_t recv_buf_target_ = 0;
+  std::int64_t recv_buf_limit_ = 0;
+  /// Monotone max of (cumulative delivery point + advertised window) over
+  /// every advertisement — the right edge of the sender's license to
+  /// transmit, in delivered-byte coordinates. See mem_liability_bytes().
+  std::int64_t max_right_edge_bytes_ = 0;
+  MemGrantFn mem_grant_fn_;
+  TimeNs rtt_hint_{0};
+  TimeNs drs_epoch_start_{-1};
+  std::int64_t drs_epoch_delivered_ = 0;
+  int drs_low_epochs_ = 0;  ///< consecutive epochs wanting < target/2
+  std::int64_t autotune_grows_ = 0;
+  std::int64_t autotune_shrinks_ = 0;
   std::int64_t window_updates_emitted_ = 0;
   std::int64_t window_updates_coalesced_ = 0;
   std::vector<Delivery> deliveries_;

@@ -37,6 +37,10 @@ enum class TriggerKind {
   kRwndLimited,     ///< the sender is blocked on a zero receive window with
                     ///< nothing in flight (§3.4's rwnd-limited signal); the
                     ///< persist timer starts probing
+  kMemPressure,     ///< the host's receive-memory pool is under pressure
+                    ///< (exhausted or shedding); redundant schedulers should
+                    ///< back off — every duplicate copy they send lands in a
+                    ///< buffer the pool can no longer grow
 };
 
 struct Trigger {
@@ -76,6 +80,29 @@ struct SubflowInfo {
 };
 
 enum class QueueId { kQ = 0, kQu = 1, kRq = 2 };
+
+// ---- Environment-maintained registers ---------------------------------------
+// The top of the R1..R99 register file is reserved for values the runtime
+// maintains on the connection's behalf — specs read them like any register
+// (e.g. `IF R92 > R1 THEN ...`), writes to them are silently ignored. The
+// per-connection register file itself stays <= 64 entries (enforced by
+// MptcpConnection), so the overlay can never collide with an
+// application-owned register.
+
+/// R91: receive-memory pressure level of the owning host's pool (0 = no
+/// pressure; otherwise the episode count of the current pressure period).
+inline constexpr int kEnvRegMemPressure = 90;
+/// R92: the receiver's D-SACK-style duplicate count — segments that arrived
+/// as redundant copies of already-received meta data. A redundant scheduler
+/// watching this register sees exactly how many of its copies were wasted.
+inline constexpr int kEnvRegDsackDups = 91;
+
+/// Snapshot of the environment-register values, refreshed by the engine
+/// before every scheduler execution.
+struct EnvSignals {
+  std::int64_t mem_pressure = 0;  ///< served as R91
+  std::int64_t dsack_dups = 0;    ///< served as R92
+};
 
 /// Statistics the runtime keeps per scheduler instance (exposed through the
 /// proc-style API, §4.1).
@@ -172,12 +199,19 @@ class SchedulerContext {
 
   // ---- Registers ----------------------------------------------------------
   [[nodiscard]] std::int64_t reg(int i) const {
+    if (i == kEnvRegMemPressure) return env_.mem_pressure;
+    if (i == kEnvRegDsackDups) return env_.dsack_dups;
     return (i >= 0 && i < num_registers_) ? registers_[i] : 0;
   }
   void set_reg(int i, std::int64_t v) {
+    if (i == kEnvRegMemPressure || i == kEnvRegDsackDups) return;
     if (i >= 0 && i < num_registers_) registers_[i] = v;
   }
   [[nodiscard]] int num_registers() const { return num_registers_; }
+
+  /// Installs the environment-register snapshot (R91/R92) for this
+  /// execution; the engine refreshes it before every scheduler run.
+  void set_env_signals(const EnvSignals& env) { env_ = env; }
 
   // ---- Misc ---------------------------------------------------------------
   /// Whether the receiver's advertised window can accommodate `skb`
@@ -230,6 +264,7 @@ class SchedulerContext {
   std::deque<SkbPtr>* rq_;
   std::int64_t* registers_;
   int num_registers_;
+  EnvSignals env_;
   std::int64_t rwnd_free_bytes_;
   SchedulerStats* stats_;
   Tracer* trace_;

@@ -56,6 +56,9 @@ void* SkbPoolCore::allocate(std::size_t bytes) {
   void* p = bin.free_chunks.back();
   bin.free_chunks.pop_back();
   ++stats_.live_chunks;
+  if (stats_.live_chunks > stats_.peak_live_chunks) {
+    stats_.peak_live_chunks = stats_.live_chunks;
+  }
   return p;
 }
 

@@ -32,6 +32,7 @@ struct SkbPoolStats {
   std::uint64_t chunks_carved = 0;   ///< fresh chunks cut from slabs
   std::uint64_t chunks_recycled = 0; ///< allocations served by the free list
   std::uint64_t live_chunks = 0;     ///< currently allocated (not yet freed)
+  std::uint64_t peak_live_chunks = 0;///< high-water mark of live_chunks
   std::uint64_t slabs = 0;           ///< OS allocations backing the pool
 };
 

@@ -21,6 +21,12 @@
 
 namespace progmp::rt {
 
+// The language's environment-register window must be exactly the indices
+// the scheduler context serves, or specs would read zeros where the
+// runtime promises live signals.
+static_assert(lang::kEnvRegisterFirst == mptcp::kEnvRegMemPressure);
+static_assert(lang::kEnvRegisterLast == mptcp::kEnvRegDsackDups);
+
 /// Handle for a pinned packet inside one execution (0 = NULL).
 using PktHandle = std::uint64_t;
 

@@ -243,6 +243,50 @@ TEST(RecvBufEnforcementTest, OverflowingOooIsDroppedAndRecovered) {
   EXPECT_EQ(conn.receiver().audit(), std::nullopt);
 }
 
+TEST(RecvBufEnforcementTest, SoleCopyDropIsRecoveredByRetransmission) {
+  // The nastier enforcement case: the copy refused by the buffer bound is
+  // the ONLY copy — its redundant twin was lost on the wire, so after the
+  // drop the receiver holds that meta segment nowhere. The drop must look
+  // exactly like wire loss to the sender: the segment is recovered by the
+  // normal retransmission machinery (RTO once the window drains), the
+  // transfer completes, and the receiver audit stays green throughout.
+  sim::Simulator sim;
+  auto cfg = apps::lossy_config(0.0);
+  cfg.receiver.model = ReceiverModel::kMultiLayer;
+  cfg.receiver.recv_buf_bytes = 12 * 1400;
+  cfg.receiver.app_read_bytes_per_sec = 100'000;
+  cfg.receiver.enforce_recv_buf = true;
+  cfg.trace_enabled = true;
+  MptcpConnection conn(sim, cfg, Rng(31));
+  conn.set_scheduler(sched::make_native_redundant());
+  int sole_copy_drops = 0;
+  int rto_fires = 0;
+  conn.tracer().set_sink([&](const TraceEvent& e) {
+    if (e.type == TraceEventType::kRecvBufDrop) {
+      // c carries the refused segment's meta_seq; if the receiver holds it
+      // nowhere at this instant, the twin never made it either.
+      if (!conn.receiver().has_received(static_cast<std::uint64_t>(e.c))) {
+        ++sole_copy_drops;
+      }
+    }
+    if (e.type == TraceEventType::kRto) ++rto_fires;
+  });
+  // Path 0 loses its segment 4: every later path-0 copy parks hostage
+  // behind the hole until the bound refuses them. Path 1 loses a swath of
+  // the same span, so for some meta seqs the refused hostage WAS the last
+  // copy standing.
+  conn.path(0).forward.set_loss_fn([](std::int64_t i) { return i == 4; });
+  conn.path(1).forward.set_loss_fn(
+      [](std::int64_t i) { return i >= 13 && i <= 15; });
+  conn.write(100 * 1400);
+  sim.run_until(seconds(30));
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_GT(conn.receiver().recv_buf_drops(), 0);
+  EXPECT_GT(sole_copy_drops, 0);
+  EXPECT_GT(rto_fires, 0);
+  EXPECT_EQ(conn.receiver().audit(), std::nullopt);
+}
+
 // ---- SWS window-update coalescing -------------------------------------------
 
 TEST(SwsCoalescingTest, FewerUpdatesSameOutcome) {
