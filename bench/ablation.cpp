@@ -23,11 +23,10 @@ namespace progmp::bench {
 namespace {
 
 double exec_ns(rt::ProgmpProgram& program, int subflows) {
-  std::deque<mptcp::SkbPtr> q, qu, rq;
+  mptcp::QueueBundle queues;
   auto skb = std::make_shared<mptcp::Skb>();
   skb->size = 1400;
-  skb->in_q = true;
-  q.push_back(skb);
+  queues.q.push_back(skb);  // tracked push sets in_q
   std::vector<mptcp::SubflowInfo> infos(
       static_cast<std::size_t>(subflows));
   for (int i = 0; i < subflows; ++i) {
@@ -41,7 +40,7 @@ double exec_ns(rt::ProgmpProgram& program, int subflows) {
   }
   std::int64_t registers[8] = {};
   mptcp::SchedulerStats stats;
-  mptcp::SchedulerContext ctx(TimeNs{0}, {}, infos, &q, &qu, &rq, registers,
+  mptcp::SchedulerContext ctx(TimeNs{0}, {}, infos, &queues, registers,
                               8, 1 << 20, &stats);
   for (int i = 0; i < 2000; ++i) program.schedule(ctx);
   constexpr int kIterations = 100'000;

@@ -45,17 +45,16 @@ struct BlockedEnv {
     auto skb = std::make_shared<mptcp::Skb>();
     skb->meta_seq = 0;
     skb->size = 1400;
-    skb->in_q = true;
-    q.push_back(skb);
+    queues.q.push_back(skb);  // tracked push sets in_q
   }
 
   mptcp::SchedulerContext ctx() {
-    return mptcp::SchedulerContext(TimeNs{0}, {}, infos, &q, &qu, &rq,
+    return mptcp::SchedulerContext(TimeNs{0}, {}, infos, &queues,
                                    registers, 8, 1 << 20, &stats);
   }
 
   std::vector<mptcp::SubflowInfo> infos;
-  std::deque<mptcp::SkbPtr> q, qu, rq;
+  mptcp::QueueBundle queues;
   std::int64_t registers[8] = {};
   mptcp::SchedulerStats stats;
 };

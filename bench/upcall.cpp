@@ -26,7 +26,7 @@ using Clock = std::chrono::steady_clock;
 double measure_in_process_call_us(int iterations) {
   // One full scheduler execution against a small environment.
   auto program = load_builtin("minrtt");
-  std::deque<mptcp::SkbPtr> q, qu, rq;
+  mptcp::QueueBundle queues;
   std::vector<mptcp::SubflowInfo> subflows(2);
   for (int i = 0; i < 2; ++i) {
     subflows[static_cast<std::size_t>(i)].slot = i;
@@ -38,7 +38,7 @@ double measure_in_process_call_us(int iterations) {
   }
   std::int64_t registers[8] = {};
   mptcp::SchedulerStats stats;
-  mptcp::SchedulerContext ctx(TimeNs{0}, {}, subflows, &q, &qu, &rq,
+  mptcp::SchedulerContext ctx(TimeNs{0}, {}, subflows, &queues,
                               registers, 8, 1 << 20, &stats);
 
   const auto start = Clock::now();

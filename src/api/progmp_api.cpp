@@ -86,6 +86,28 @@ std::string ProgmpApi::proc_stats(mptcp::MptcpConnection& conn) {
   std::snprintf(buf, sizeof buf, "Q: %zu  QU: %zu  RQ: %zu\n", conn.q_len(),
                 conn.qu_len(), conn.rq_len());
   out += buf;
+  // Constant-time queue aggregates maintained by the flat queue layer.
+  const mptcp::PacketQueue& q = conn.sending_queue();
+  const mptcp::PacketQueue& qu = conn.inflight_queue();
+  const mptcp::PacketQueue& rq = conn.reinjection_queue();
+  std::snprintf(buf, sizeof buf,
+                "queue bytes: Q=%lld QU=%lld RQ=%lld\n",
+                static_cast<long long>(q.bytes()),
+                static_cast<long long>(qu.bytes()),
+                static_cast<long long>(rq.bytes()));
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "queue seq: Q=[%llu..%llu] QU=[%llu..%llu] qu_sent=%lld "
+                "flow_end=%lld\n",
+                static_cast<unsigned long long>(q.min_meta_seq()),
+                static_cast<unsigned long long>(q.max_meta_seq()),
+                static_cast<unsigned long long>(qu.min_meta_seq()),
+                static_cast<unsigned long long>(qu.max_meta_seq()),
+                static_cast<long long>(qu.sent_count()),
+                static_cast<long long>(q.flow_end_count() +
+                                       qu.flow_end_count() +
+                                       rq.flow_end_count()));
+  out += buf;
   const TimeNs now = conn.simulator().now();
   for (int slot = 0; slot < conn.subflow_count(); ++slot) {
     mptcp::SubflowSender& sbf = conn.subflow(slot);

@@ -44,7 +44,9 @@ double Summary::percentile(double p) const {
 
 void RateMeter::add(TimeNs now, std::int64_t bytes) {
   expire(now);
-  events_.push_back({now, bytes});
+  if (count_ == ring_.size()) grow();
+  ring_[(head_ + count_) & (ring_.size() - 1)] = {now, bytes};
+  ++count_;
   in_window_ += bytes;
 }
 
@@ -56,10 +58,22 @@ double RateMeter::bytes_per_sec(TimeNs now) const {
 
 void RateMeter::expire(TimeNs now) const {
   const TimeNs cutoff = now - window_;
-  while (!events_.empty() && events_.front().at < cutoff) {
-    in_window_ -= events_.front().bytes;
-    events_.pop_front();
+  const std::size_t mask = ring_.size() - 1;  // ring_ is power-of-two sized
+  while (count_ > 0 && ring_[head_].at < cutoff) {
+    in_window_ -= ring_[head_].bytes;
+    head_ = (head_ + 1) & mask;
+    --count_;
   }
+}
+
+void RateMeter::grow() const {
+  const std::size_t cap = ring_.empty() ? 16 : ring_.size() * 2;
+  std::vector<Event> next(cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    next[i] = ring_[(head_ + i) & (ring_.size() - 1)];
+  }
+  ring_ = std::move(next);
+  head_ = 0;
 }
 
 double TimeSeries::mean_between(TimeNs from, TimeNs to) const {

@@ -5,7 +5,6 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -73,12 +72,21 @@ class RateMeter {
     std::int64_t bytes;
   };
   void expire(TimeNs now) const;
+  void grow() const;
 
   TimeNs window_;
   // Expiry is bookkeeping, not observable state: const readers (the metrics
   // dump, concurrent-feeling bench queries) may trigger it, so the window
   // cache is mutable instead of const_cast'ing in bytes_per_sec().
-  mutable std::deque<Event> events_;
+  //
+  // The unexpired events live in a power-of-two ring (head_ = oldest,
+  // count_ live entries): steady-state add/expire churn reuses the same
+  // storage instead of deque-chunk allocation traffic. The ring doubles
+  // only when a window genuinely holds more events than ever before; no
+  // unexpired event is ever evicted (delivery_rate feeds scheduling).
+  mutable std::vector<Event> ring_;
+  mutable std::size_t head_ = 0;
+  mutable std::size_t count_ = 0;
   mutable std::int64_t in_window_ = 0;
 };
 

@@ -2,7 +2,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_set>
 #include <vector>
 
 #include "mptcp/connection.hpp"
@@ -72,38 +71,36 @@ void install_connection_invariants(InvariantChecker& checker,
 
   checker.add_check(
       "queue_membership", [&conn]() -> std::optional<std::string> {
-        std::unordered_set<const Skb*> seen;
-        for (const SkbPtr& skb : conn.sending_queue()) {
-          if (!skb->in_q) return skb_id(*skb) + " in Q without in_q flag";
-          if (skb->acked || skb->dropped) {
-            return skb_id(*skb) + " in Q but acked/dropped";
-          }
-          if (!seen.insert(skb.get()).second) {
-            return skb_id(*skb) + " duplicated in Q";
+        // audit() proves each queue's internals: membership flag set, the
+        // intrusive slot index round-trips (which rules out duplicates), and
+        // every cached aggregate — including the QU byte total that replaced
+        // the hand-maintained qu_bytes counter — matches a recompute.
+        struct NamedQueue {
+          const char* name;
+          const PacketQueue* queue;
+        };
+        const NamedQueue queues[] = {{"Q", &conn.sending_queue()},
+                                     {"QU", &conn.inflight_queue()},
+                                     {"RQ", &conn.reinjection_queue()}};
+        for (const NamedQueue& nq : queues) {
+          if (auto bad = nq.queue->audit()) {
+            return std::string(nq.name) + ": " + *bad;
           }
         }
-        seen.clear();
-        std::int64_t qu_bytes = 0;
-        for (const SkbPtr& skb : conn.inflight_queue()) {
-          if (!skb->in_qu) return skb_id(*skb) + " in QU without in_qu flag";
-          if (skb->acked) return skb_id(*skb) + " in QU but already acked";
-          if (!seen.insert(skb.get()).second) {
-            return skb_id(*skb) + " duplicated in QU";
+        // Lifecycle exclusion stays a connection-level rule: acked/dropped
+        // packets must not linger in any queue (QU tolerates dropped-on-wire
+        // packets no more than Q/RQ do for acked ones).
+        for (const PacketQueue::Entry& e : conn.sending_queue()) {
+          if (e.skb->acked || e.skb->dropped) {
+            return skb_id(*e.skb) + " in Q but acked/dropped";
           }
-          qu_bytes += skb->size;
         }
-        if (qu_bytes != conn.qu_bytes()) {
-          return "qu_bytes counter " + std::to_string(conn.qu_bytes()) +
-                 " != actual QU byte sum " + std::to_string(qu_bytes);
+        for (const PacketQueue::Entry& e : conn.inflight_queue()) {
+          if (e.skb->acked) return skb_id(*e.skb) + " in QU but already acked";
         }
-        seen.clear();
-        for (const SkbPtr& skb : conn.reinjection_queue()) {
-          if (!skb->in_rq) return skb_id(*skb) + " in RQ without in_rq flag";
-          if (skb->acked || skb->dropped) {
-            return skb_id(*skb) + " in RQ but acked/dropped";
-          }
-          if (!seen.insert(skb.get()).second) {
-            return skb_id(*skb) + " duplicated in RQ";
+        for (const PacketQueue::Entry& e : conn.reinjection_queue()) {
+          if (e.skb->acked || e.skb->dropped) {
+            return skb_id(*e.skb) + " in RQ but acked/dropped";
           }
         }
         return std::nullopt;

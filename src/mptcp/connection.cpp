@@ -31,6 +31,12 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
       [this](std::int64_t wnd_stamp, std::uint64_t /*meta_ack*/,
              std::int64_t rwnd) { deliver_window_update(wnd_stamp, rwnd); });
 
+  // Long-lived scheduler context over the queue bundle; reset() re-arms it
+  // per execution so the hot trigger path reuses the log capacity.
+  sched_ctx_.emplace(sim_.now(), Trigger{}, std::span<const SubflowInfo>{},
+                     &queues_, registers_.data(), cfg_.num_registers,
+                     std::int64_t{0}, &sched_stats_, &trace_);
+
   if (cfg_.cc == CcKind::kLia) {
     lia_group_ = std::make_shared<tcp::LiaCoupling>();
   }
@@ -107,9 +113,7 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
         std::max(right_edge_bytes_,
                  skb->byte_offset + static_cast<std::uint64_t>(skb->size));
     if (!skb->in_qu && !skb->acked && !skb->dropped) {
-      skb->in_qu = true;
-      qu_.push_back(skb);
-      qu_bytes_ += skb->size;
+      queues_.qu.push_back(skb);  // sets in_qu; byte aggregate follows
     }
   };
   host.on_ack_done = [this](int s) {
@@ -149,8 +153,7 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
     for (auto it = blocked.rbegin(); it != blocked.rend(); ++it) {
       const SkbPtr& skb = *it;
       if (skb->acked || skb->dropped || skb->in_q || skb->in_rq) continue;
-      skb->in_q = true;
-      q_.push_front(skb);
+      queues_.q.push_front(skb);
     }
   };
   host.on_subflow_dead = [this](int s) {
@@ -208,8 +211,7 @@ void MptcpConnection::write(std::int64_t bytes, const SkbProps& props) {
     // end-of-flow signal.
     skb->props.flow_end = props.flow_end && remaining == 0;
     skb->queued_at = sim_.now();
-    skb->in_q = true;
-    q_.push_back(skb);
+    queues_.q.push_back(skb);
     unacked_.emplace(skb->meta_seq, skb);
   }
   written_bytes_ += bytes;
@@ -239,8 +241,7 @@ void MptcpConnection::reinject_orphans(const std::vector<SkbPtr>& orphans) {
     // Unsent/unacked packets of the dead subflow become reinjection
     // candidates unless they are still waiting in Q anyway.
     if (!skb->in_q && !skb->in_rq) {
-      skb->in_rq = true;
-      rq_.push_back(skb);
+      queues_.rq.push_back(skb);
     }
   }
 }
@@ -264,6 +265,8 @@ void MptcpConnection::fail_subflow(int slot) {
   // revived) instead of wedging.
   for (const SkbPtr& skb : orphans) {
     skb->sent_mask &= ~(1u << static_cast<unsigned>(slot));
+    // The meta queues cache the mask in their entries; re-sync them.
+    queues_.refresh_sent_mask(skb.get());
   }
   // The deliberately-broken build for the chaos-soak self-test: dropping the
   // harvest strands the orphans in QU with no owner, which the
@@ -435,7 +438,7 @@ void MptcpConnection::set_zero_window_probe(bool on) {
 bool MptcpConnection::rwnd_blocked() const {
   bool any_established = false;
   std::int64_t in_flight = 0;
-  bool pending = !q_.empty();
+  bool pending = !queues_.q.empty();
   for (const auto& sbf : subflows_) {
     if (sbf->established()) any_established = true;
     in_flight += sbf->in_flight();
@@ -449,7 +452,8 @@ bool MptcpConnection::rwnd_blocked() const {
   const std::int64_t claimed =
       static_cast<std::int64_t>(right_edge_bytes_ - meta_una_bytes_);
   const std::int64_t need =
-      q_.empty() ? subflows_.front()->config().mss : q_.front()->size;
+      queues_.q.empty() ? subflows_.front()->config().mss
+                        : queues_.q.front()->size;
   return rwnd_ - claimed < need;
 }
 
@@ -568,7 +572,8 @@ void MptcpConnection::watchdog_poll() {
         break;
       }
     }
-    const bool outstanding = !q_.empty() || !qu_.empty() || !rq_.empty();
+    const bool outstanding = !queues_.q.empty() || !queues_.qu.empty() ||
+                             !queues_.rq.empty();
     if (outstanding && any_established && rwnd_ > 0) {
       // A genuine meta-level stall: data is waiting, a subflow could carry
       // it and the peer's window is open — yet nothing was delivered for a
@@ -580,20 +585,21 @@ void MptcpConnection::watchdog_poll() {
         // packet most likely wedged on a path that silently ate it. The
         // reinjection-first rule of every scheduler retransmits it on the
         // next available subflow.
-        for (const SkbPtr& skb : qu_) {
+        for (const PacketQueue::Entry& e : queues_.qu) {
+          const SkbPtr& skb = e.skb;
           if (skb->acked || skb->dropped || skb->in_rq || skb->in_q) continue;
-          skb->in_rq = true;
-          rq_.push_back(skb);
+          queues_.rq.push_back(skb);
           ++stall_rescues_;
           rescued = true;
           break;
         }
       }
       ++stalls_;
-      trace_.emit(
-          TraceEventType::kConnStall, now, -1, rescued ? 1 : 0,
-          delivered_bytes_,
-          static_cast<std::int64_t>(q_.size() + qu_.size() + rq_.size()));
+      trace_.emit(TraceEventType::kConnStall, now, -1, rescued ? 1 : 0,
+                  delivered_bytes_,
+                  static_cast<std::int64_t>(queues_.q.size() +
+                                            queues_.qu.size() +
+                                            queues_.rq.size()));
       trigger({TriggerKind::kConnStall, -1});
     }
     // Rate limit to one declaration per stall_timeout by resetting the
@@ -649,22 +655,21 @@ void MptcpConnection::run_engine() {
 }
 
 bool MptcpConnection::run_scheduler_once(Trigger t) {
-  std::vector<SubflowInfo> infos;
-  infos.reserve(subflows_.size());
+  infos_.clear();
+  infos_.reserve(subflows_.size());
   const TimeNs now = sim_.now();
-  for (const auto& sbf : subflows_) infos.push_back(sbf->info(now));
+  for (const auto& sbf : subflows_) infos_.push_back(sbf->info(now));
 
   // Free window for *new* data: advertised window minus the span already
-  // claimed by the transmitted right edge.
+  // claimed by the transmitted right edge. The context is long-lived
+  // (capacity of the action/log vectors survives across executions);
+  // reset() re-arms it for this execution.
   const std::int64_t claimed =
       static_cast<std::int64_t>(right_edge_bytes_ - meta_una_bytes_);
-  SchedulerContext ctx(now, t, infos, &q_, &qu_, &rq_, registers_.data(),
-                       cfg_.num_registers,
-                       std::max<std::int64_t>(0, rwnd_ - claimed),
-                       &sched_stats_, &trace_);
+  SchedulerContext& ctx = *sched_ctx_;
+  ctx.reset(now, t, infos_, std::max<std::int64_t>(0, rwnd_ - claimed));
   ctx.set_env_signals({mem_pressure_level_, receiver_->dsack_dup_segments()});
   ++sched_stats_.executions;
-  const std::int64_t drops_before = sched_stats_.drops;
   trace_.emit(TraceEventType::kSchedExecStart, now, t.subflow_slot,
               static_cast<std::int32_t>(t.kind));
   scheduler_->schedule(ctx);
@@ -690,12 +695,6 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
               static_cast<std::int64_t>(ctx.actions().size()),
               ctx.exec_insns());
   apply_actions(ctx);
-  if (sched_stats_.drops != drops_before) {
-    // DROPped packets were detached from QU behind our back; refresh the
-    // meta-level in-flight byte counter.
-    qu_bytes_ = 0;
-    for (const SkbPtr& skb : qu_) qu_bytes_ += skb->size;
-  }
   return ctx.performed_action();
 }
 
@@ -706,6 +705,7 @@ void MptcpConnection::apply_actions(const SchedulerContext& ctx) {
     auto& sbf = *subflows_[static_cast<std::size_t>(action.subflow_slot)];
     if (!sbf.established()) continue;  // subflow vanished: graceful no-op
     skb->mark_sent_on(action.subflow_slot, sim_.now());
+    queues_.refresh_sent_mask(skb.get());
     sbf.enqueue(skb);
   }
 }
@@ -729,8 +729,7 @@ void MptcpConnection::handle_meta_ack(std::uint64_t meta_ack,
 
 void MptcpConnection::handle_loss_suspected(int slot, const SkbPtr& skb) {
   if (skb->acked || skb->dropped || skb->in_rq || skb->in_q) return;
-  skb->in_rq = true;
-  rq_.push_back(skb);
+  queues_.rq.push_back(skb);
   trigger({TriggerKind::kReinject, slot});
 }
 
@@ -769,10 +768,10 @@ void MptcpConnection::refresh_metrics() {
   *metrics_.counter("conn.written_bytes") = written_bytes_;
   *metrics_.counter("conn.delivered_bytes") = delivered_bytes_;
   *metrics_.counter("conn.wire_bytes_sent") = wire_bytes_sent();
-  *metrics_.gauge("conn.q_len") = static_cast<std::int64_t>(q_.size());
-  *metrics_.gauge("conn.qu_len") = static_cast<std::int64_t>(qu_.size());
-  *metrics_.gauge("conn.rq_len") = static_cast<std::int64_t>(rq_.size());
-  *metrics_.gauge("conn.qu_bytes") = qu_bytes_;
+  *metrics_.gauge("conn.q_len") = static_cast<std::int64_t>(queues_.q.size());
+  *metrics_.gauge("conn.qu_len") = static_cast<std::int64_t>(queues_.qu.size());
+  *metrics_.gauge("conn.rq_len") = static_cast<std::int64_t>(queues_.rq.size());
+  *metrics_.gauge("conn.qu_bytes") = queues_.qu.bytes();
   *metrics_.gauge("conn.rwnd_bytes") = rwnd_;
 
   *metrics_.counter("trace.emitted") =
@@ -828,16 +827,8 @@ void MptcpConnection::refresh_metrics() {
 }
 
 void MptcpConnection::detach_everywhere(const SkbPtr& skb) {
-  auto detach = [&](std::deque<SkbPtr>& queue, bool Skb::* flag) {
-    if (!(skb.get()->*flag)) return;
-    auto it = std::find(queue.begin(), queue.end(), skb);
-    if (it != queue.end()) queue.erase(it);
-    skb.get()->*flag = false;
-  };
-  detach(q_, &Skb::in_q);
-  if (skb->in_qu) qu_bytes_ -= skb->size;
-  detach(qu_, &Skb::in_qu);
-  detach(rq_, &Skb::in_rq);
+  // The intrusive membership index makes each meta-queue removal O(1).
+  queues_.detach(skb.get());
   for (auto& sbf : subflows_) sbf->purge_acked(skb);
 }
 

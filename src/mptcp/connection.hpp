@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -264,21 +265,25 @@ class MptcpConnection {
     return delivered_bytes_;
   }
   [[nodiscard]] std::int64_t written_bytes() const { return written_bytes_; }
-  [[nodiscard]] std::size_t q_len() const { return q_.size(); }
-  [[nodiscard]] std::size_t qu_len() const { return qu_.size(); }
-  [[nodiscard]] std::size_t rq_len() const { return rq_.size(); }
+  [[nodiscard]] std::size_t q_len() const { return queues_.q.size(); }
+  [[nodiscard]] std::size_t qu_len() const { return queues_.qu.size(); }
+  [[nodiscard]] std::size_t rq_len() const { return queues_.rq.size(); }
 
   // ---- Invariant-checker introspection (read-only queue views) ------------
-  [[nodiscard]] const std::deque<SkbPtr>& sending_queue() const { return q_; }
-  [[nodiscard]] const std::deque<SkbPtr>& inflight_queue() const { return qu_; }
-  [[nodiscard]] const std::deque<SkbPtr>& reinjection_queue() const {
-    return rq_;
+  [[nodiscard]] const PacketQueue& sending_queue() const { return queues_.q; }
+  [[nodiscard]] const PacketQueue& inflight_queue() const {
+    return queues_.qu;
+  }
+  [[nodiscard]] const PacketQueue& reinjection_queue() const {
+    return queues_.rq;
   }
   [[nodiscard]] const std::unordered_map<std::uint64_t, SkbPtr>& unacked()
       const {
     return unacked_;
   }
-  [[nodiscard]] std::int64_t qu_bytes() const { return qu_bytes_; }
+  /// Bytes in flight at the meta level — the QU byte aggregate, maintained
+  /// incrementally by the queue layer.
+  [[nodiscard]] std::int64_t qu_bytes() const { return queues_.qu.bytes(); }
   [[nodiscard]] std::int64_t rwnd_bytes() const { return rwnd_; }
   [[nodiscard]] std::uint64_t meta_una_bytes() const { return meta_una_bytes_; }
   [[nodiscard]] std::uint64_t right_edge_bytes() const {
@@ -445,19 +450,25 @@ class MptcpConnection {
   MetricHistogram* hist_pushes_per_exec_ = nullptr;
   const char* last_exec_backend_ = "none";
 
-  std::deque<SkbPtr> q_;   ///< sending queue (unscheduled packets)
-  std::deque<SkbPtr> qu_;  ///< transmitted, un-data-acked
-  std::deque<SkbPtr> rq_;  ///< reinjection queue (suspected losses)
+  /// The three meta-level queues (Q, QU, RQ) as flat tracked PacketQueues;
+  /// the bundle is the single QueueId -> queue mapping shared with the
+  /// scheduler context.
+  QueueBundle queues_;
   std::unordered_map<std::uint64_t, SkbPtr> unacked_;  ///< meta_seq -> skb
 
   std::vector<std::int64_t> registers_;
+
+  /// Per-execution scratch, reused across scheduler runs so the hot trigger
+  /// path performs no allocations: the subflow snapshot vector and the
+  /// long-lived scheduler context (reset() re-arms it per execution).
+  std::vector<SubflowInfo> infos_;
+  std::optional<SchedulerContext> sched_ctx_;
 
   std::uint64_t next_meta_seq_ = 0;
   std::uint64_t next_byte_offset_ = 0;
   std::uint64_t meta_una_ = 0;        ///< cumulative data-level ACK
   std::uint64_t meta_una_bytes_ = 0;  ///< byte offset of the data-level ACK
   std::uint64_t right_edge_bytes_ = 0;  ///< highest transmitted byte + 1
-  std::int64_t qu_bytes_ = 0;         ///< bytes in flight at the meta level
   std::int64_t rwnd_ = 0;             ///< last advertised receive window
   std::int64_t wnd_stamp_ = 0;        ///< emission stamp rwnd_ came from
   std::int64_t written_bytes_ = 0;

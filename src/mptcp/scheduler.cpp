@@ -4,39 +4,12 @@
 #include <limits>
 
 namespace progmp::mptcp {
-namespace {
-
-std::deque<SkbPtr>* mutable_queue(std::deque<SkbPtr>* q, std::deque<SkbPtr>* qu,
-                                  std::deque<SkbPtr>* rq, QueueId id) {
-  switch (id) {
-    case QueueId::kQ:
-      return q;
-    case QueueId::kQu:
-      return qu;
-    case QueueId::kRq:
-      return rq;
-  }
-  PROGMP_UNREACHABLE("bad queue id");
-}
-
-}  // namespace
 
 SkbPtr SchedulerContext::pop_at(QueueId id, std::size_t index) {
-  std::deque<SkbPtr>* queue = mutable_queue(q_, qu_, rq_, id);
-  if (index >= queue->size()) return nullptr;
-  SkbPtr skb = (*queue)[index];
-  queue->erase(queue->begin() + static_cast<std::ptrdiff_t>(index));
-  switch (id) {
-    case QueueId::kQ:
-      skb->in_q = false;
-      break;
-    case QueueId::kQu:
-      skb->in_qu = false;
-      break;
-    case QueueId::kRq:
-      skb->in_rq = false;
-      break;
-  }
+  // The bundle's get() is the single spelling of the QueueId -> queue
+  // mapping; the queue itself clears the membership flag on removal.
+  SkbPtr skb = queues_->get(id).pop_at(index);
+  if (skb == nullptr) return nullptr;
   popped_ = true;
   pop_log_.push_back({id, skb});
   ++stats_->pops;
@@ -76,7 +49,7 @@ void SchedulerContext::drop(const SkbPtr& skb) {
   }
   drop_log_.push_back({skb, skb->in_q, skb->in_qu, skb->in_rq});
   skb->dropped = true;
-  detach_from_all_queues(skb);
+  queues_->detach(skb.get());
   dropped_ = true;
   ++stats_->drops;
   if (trace_ != nullptr) {
@@ -90,52 +63,20 @@ void SchedulerContext::rollback() {
   // (a packet popped and then dropped regains both its membership sets).
   for (auto it = drop_log_.rbegin(); it != drop_log_.rend(); ++it) {
     it->skb->dropped = false;
-    if (it->was_in_q && !it->skb->in_q) {
-      it->skb->in_q = true;
-      q_->push_front(it->skb);
-    }
-    if (it->was_in_qu && !it->skb->in_qu) {
-      it->skb->in_qu = true;
-      qu_->push_front(it->skb);
-    }
-    if (it->was_in_rq && !it->skb->in_rq) {
-      it->skb->in_rq = true;
-      rq_->push_front(it->skb);
-    }
+    // push_front restores the membership flag (tracked queue semantics).
+    if (it->was_in_q && !it->skb->in_q) queues_->q.push_front(it->skb);
+    if (it->was_in_qu && !it->skb->in_qu) queues_->qu.push_front(it->skb);
+    if (it->was_in_rq && !it->skb->in_rq) queues_->rq.push_front(it->skb);
   }
   for (auto it = pop_log_.rbegin(); it != pop_log_.rend(); ++it) {
     if (it->skb->acked || it->skb->dropped) continue;
-    std::deque<SkbPtr>* queue = mutable_queue(q_, qu_, rq_, it->id);
-    switch (it->id) {
-      case QueueId::kQ:
-        it->skb->in_q = true;
-        break;
-      case QueueId::kQu:
-        it->skb->in_qu = true;
-        break;
-      case QueueId::kRq:
-        it->skb->in_rq = true;
-        break;
-    }
-    queue->push_front(it->skb);
+    queues_->get(it->id).push_front(it->skb);
   }
   drop_log_.clear();
   pop_log_.clear();
   actions_.clear();
   dropped_ = false;
   popped_ = false;
-}
-
-void SchedulerContext::detach_from_all_queues(const SkbPtr& skb) {
-  auto detach = [&](std::deque<SkbPtr>* queue, bool Skb::* flag) {
-    if (!(skb.get()->*flag)) return;
-    auto it = std::find(queue->begin(), queue->end(), skb);
-    if (it != queue->end()) queue->erase(it);
-    skb.get()->*flag = false;
-  };
-  detach(q_, &Skb::in_q);
-  detach(qu_, &Skb::in_qu);
-  detach(rq_, &Skb::in_rq);
 }
 
 namespace {

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <span>
 #include <string>
@@ -17,6 +16,7 @@
 #include "core/check.hpp"
 #include "core/time.hpp"
 #include "core/trace.hpp"
+#include "mptcp/packet_queue.hpp"
 #include "mptcp/skb.hpp"
 
 namespace progmp::mptcp {
@@ -79,7 +79,8 @@ struct SubflowInfo {
   }
 };
 
-enum class QueueId { kQ = 0, kQu = 1, kRq = 2 };
+// QueueId lives in mptcp/packet_queue.hpp (re-exported by the include
+// above): the queue layer owns the id -> queue mapping.
 
 // ---- Environment-maintained registers ---------------------------------------
 // The top of the R1..R99 register file is reserved for values the runtime
@@ -136,22 +137,41 @@ class SchedulerContext {
   };
 
   SchedulerContext(TimeNs now, Trigger trigger,
-                   std::span<const SubflowInfo> subflows,
-                   std::deque<SkbPtr>* q, std::deque<SkbPtr>* qu,
-                   std::deque<SkbPtr>* rq, std::int64_t* registers,
-                   int num_registers, std::int64_t rwnd_free_bytes,
-                   SchedulerStats* stats, Tracer* trace = nullptr)
+                   std::span<const SubflowInfo> subflows, QueueBundle* queues,
+                   std::int64_t* registers, int num_registers,
+                   std::int64_t rwnd_free_bytes, SchedulerStats* stats,
+                   Tracer* trace = nullptr)
       : now_(now),
         trigger_(trigger),
         subflows_(subflows),
-        q_(q),
-        qu_(qu),
-        rq_(rq),
+        queues_(queues),
         registers_(registers),
         num_registers_(num_registers),
         rwnd_free_bytes_(rwnd_free_bytes),
         stats_(stats),
         trace_(trace) {}
+
+  /// Re-arms a long-lived context for the next execution: fresh trigger
+  /// snapshot, cleared action/undo logs. The engine keeps one context per
+  /// connection so the per-execution log capacity is reused instead of
+  /// reallocated on every trigger.
+  void reset(TimeNs now, Trigger trigger,
+             std::span<const SubflowInfo> subflows,
+             std::int64_t rwnd_free_bytes) {
+    now_ = now;
+    trigger_ = trigger;
+    subflows_ = subflows;
+    rwnd_free_bytes_ = rwnd_free_bytes;
+    actions_.clear();
+    pop_log_.clear();
+    drop_log_.clear();
+    dropped_ = false;
+    popped_ = false;
+    faulted_ = false;
+    fault_reason_.clear();
+    exec_backend_ = "unknown";
+    exec_insns_ = 0;
+  }
 
   [[nodiscard]] TimeNs now() const { return now_; }
   [[nodiscard]] const Trigger& trigger() const { return trigger_; }
@@ -162,16 +182,8 @@ class SchedulerContext {
   }
 
   // ---- Queues -------------------------------------------------------------
-  [[nodiscard]] const std::deque<SkbPtr>& queue(QueueId id) const {
-    switch (id) {
-      case QueueId::kQ:
-        return *q_;
-      case QueueId::kQu:
-        return *qu_;
-      case QueueId::kRq:
-        return *rq_;
-    }
-    PROGMP_UNREACHABLE("bad queue id");
+  [[nodiscard]] const PacketQueue& queue(QueueId id) const {
+    return queues_->get(id);
   }
 
   /// Removes and returns the packet at `index` of the given queue (the
@@ -254,14 +266,10 @@ class SchedulerContext {
   void rollback();
 
  private:
-  void detach_from_all_queues(const SkbPtr& skb);
-
   TimeNs now_;
   Trigger trigger_;
   std::span<const SubflowInfo> subflows_;
-  std::deque<SkbPtr>* q_;
-  std::deque<SkbPtr>* qu_;
-  std::deque<SkbPtr>* rq_;
+  QueueBundle* queues_;
   std::int64_t* registers_;
   int num_registers_;
   EnvSignals env_;

@@ -50,6 +50,12 @@ struct Skb {
   bool acked = false;
   bool dropped = false;  ///< removed via the DROP primitive
 
+  /// Intrusive membership index, maintained by the tracked PacketQueue for
+  /// Q/QU/RQ (indexed by QueueId): the physical ring slot currently holding
+  /// this packet. Only meaningful while the matching membership flag above
+  /// is set; gives O(1) membership tests and mid-queue removal.
+  std::array<std::uint32_t, 3> queue_pos{};
+
   [[nodiscard]] bool sent_on(int sbf_slot) const {
     return (sent_mask & (1u << sbf_slot)) != 0;
   }

@@ -54,7 +54,9 @@ void SubflowSender::pump() {
         // Hand the whole remaining queue back to the connection rather than
         // letting window-blocked packets occupy this subflow's cwnd
         // headroom indefinitely (see Host::on_window_blocked).
-        std::vector<SkbPtr> blocked(queue_.begin(), queue_.end());
+        std::vector<SkbPtr> blocked;
+        blocked.reserve(queue_.size());
+        for (const PacketQueue::Entry& e : queue_) blocked.push_back(e.skb);
         queue_.clear();
         host_.on_window_blocked(slot_, std::move(blocked));
       }
@@ -247,13 +249,14 @@ void SubflowSender::disarm_rto() {
 }
 
 void SubflowSender::purge_acked(const SkbPtr& skb) {
-  std::erase(queue_, skb);
+  // Redundant pushes can place the same skb in this queue more than once;
+  // an ACK removes every copy.
+  while (queue_.erase(skb.get())) {
+  }
 }
 
 bool SubflowSender::tracks(const Skb* skb) const {
-  for (const SkbPtr& q : queue_) {
-    if (q.get() == skb) return true;
-  }
+  if (queue_.contains(skb)) return true;
   for (const TxSeg& seg : inflight_) {
     if (seg.skb.get() == skb) return true;
   }
@@ -304,7 +307,7 @@ std::vector<SkbPtr> SubflowSender::harvest_and_clear() {
     if (skb == nullptr || skb->acked || skb->dropped) return;
     if (seen.insert(skb.get()).second) orphans.push_back(skb);
   };
-  for (const SkbPtr& skb : queue_) collect(skb);
+  for (const PacketQueue::Entry& e : queue_) collect(e.skb);
   for (const TxSeg& seg : inflight_) collect(seg.skb);
   queue_.clear();
   inflight_.clear();

@@ -237,7 +237,10 @@ class SubflowSender {
   TimeNs established_at_{0};
   TimeNs last_tx_at_{0};
 
-  std::deque<SkbPtr> queue_;    ///< scheduled, not yet transmitted
+  /// Scheduled, not yet transmitted. Untracked mode: a subflow queue may
+  /// legally hold the same skb twice (redundant pushes), so it cannot own
+  /// the per-skb membership index the meta queues use.
+  PacketQueue queue_;
   std::deque<TxSeg> inflight_;  ///< transmitted, unacked (sorted by sbf_seq)
   std::uint64_t next_seq_ = 0;
   std::uint64_t snd_una_ = 0;

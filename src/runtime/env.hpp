@@ -11,6 +11,7 @@
 // execution.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -34,17 +35,23 @@ class SchedulerEnv {
  public:
   using PrintFn = std::function<void(std::int64_t)>;
 
-  explicit SchedulerEnv(mptcp::SchedulerContext& ctx) : ctx_(ctx) {
+  /// `pin_scratch`, when given, backs the handle table for this execution —
+  /// a long-lived caller (ProgmpProgram) passes its own vector so the pin
+  /// capacity is reused across executions instead of reallocated per run.
+  explicit SchedulerEnv(mptcp::SchedulerContext& ctx,
+                        std::vector<mptcp::SkbPtr>* pin_scratch = nullptr)
+      : ctx_(ctx), pins_(pin_scratch != nullptr ? *pin_scratch : own_pins_) {
+    pins_.clear();
     pins_.push_back(nullptr);  // handle 0 = NULL
     for (const auto& info : ctx.subflows()) {
-      if (info.established) slots_.push_back(info.slot);
+      if (info.established) {
+        slots_[static_cast<std::size_t>(slot_count_++)] = info.slot;
+      }
     }
   }
 
   // ---- Subflows (dense view) ----------------------------------------------
-  [[nodiscard]] std::int64_t sbf_count() const {
-    return static_cast<std::int64_t>(slots_.size());
-  }
+  [[nodiscard]] std::int64_t sbf_count() const { return slot_count_; }
 
   /// Property of the dense subflow `idx`; 0 for NULL / out-of-range.
   [[nodiscard]] std::int64_t sbf_prop(std::int64_t idx,
@@ -104,8 +111,12 @@ class SchedulerEnv {
 
  private:
   mptcp::SchedulerContext& ctx_;
-  std::vector<int> slots_;           ///< dense index -> subflow slot
-  std::vector<mptcp::SkbPtr> pins_;  ///< handle -> packet
+  /// Dense index -> subflow slot; bounded by kMaxSubflows, so a fixed array
+  /// avoids a heap allocation per execution.
+  std::array<int, mptcp::kMaxSubflows> slots_{};
+  std::int64_t slot_count_ = 0;
+  std::vector<mptcp::SkbPtr> own_pins_;  ///< backing when no scratch given
+  std::vector<mptcp::SkbPtr>& pins_;     ///< handle -> packet
   PrintFn print_fn_;
 };
 

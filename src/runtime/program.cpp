@@ -88,7 +88,7 @@ const ebpf::Code& ProgmpProgram::code_for_count(std::int64_t sbf_count) {
 }
 
 void ProgmpProgram::schedule(mptcp::SchedulerContext& ctx) {
-  SchedulerEnv env(ctx);
+  SchedulerEnv env(ctx, &pin_scratch_);
   if (print_fn_) env.set_print_fn(print_fn_);
   switch (options_.backend) {
     case Backend::kInterpreter:

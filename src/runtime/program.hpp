@@ -96,6 +96,8 @@ class ProgmpProgram final : public mptcp::Scheduler {
   std::map<std::int64_t, ebpf::Code> specialized_;
   ebpf::Vm vm_;
   SchedulerEnv::PrintFn print_fn_;
+  /// Handle-table backing reused across executions (see SchedulerEnv ctor).
+  std::vector<mptcp::SkbPtr> pin_scratch_;
 };
 
 }  // namespace progmp::rt

@@ -113,6 +113,8 @@ TEST(ApiTest, ProcStatsRendersState) {
   EXPECT_NE(stats.find("executions:"), std::string::npos);
   EXPECT_NE(stats.find("wifi"), std::string::npos);
   EXPECT_NE(stats.find("[backup]"), std::string::npos);
+  EXPECT_NE(stats.find("queue bytes: Q="), std::string::npos);
+  EXPECT_NE(stats.find("queue seq: Q=["), std::string::npos);
 }
 
 TEST(ApiTest, ProcDumpMirrorsSchedulerStatsAndMetrics) {

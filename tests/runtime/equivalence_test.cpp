@@ -20,9 +20,9 @@ using test::must_load;
 using mptcp::QueueId;
 using rt::Backend;
 
-/// Builds a randomized but deterministic environment from a seed.
-FakeEnv make_env(std::uint64_t seed) {
-  FakeEnv env;
+/// Fills a randomized but deterministic environment from a seed. (In-place:
+/// FakeEnv owns non-movable PacketQueues.)
+void make_env(FakeEnv& env, std::uint64_t seed) {
   Rng rng(seed);
   const int num_subflows = static_cast<int>(rng.next_range(0, 4));
   for (int i = 0; i < num_subflows; ++i) {
@@ -60,7 +60,6 @@ FakeEnv make_env(std::uint64_t seed) {
   fill(QueueId::kRq, 3);
   for (auto& reg : env.registers) reg = rng.next_range(0, 4'000'000);
   env.now = milliseconds(rng.next_range(100, 10'000));
-  return env;
 }
 
 /// Observable outcome of one scheduler execution.
@@ -77,7 +76,8 @@ struct Outcome {
 
 Outcome run_backend(std::string_view spec, Backend backend,
                     std::uint64_t seed) {
-  FakeEnv env = make_env(seed);
+  FakeEnv env;
+  make_env(env, seed);
   auto program = must_load(spec, backend);
   Outcome outcome;
   program->set_print_fn(
@@ -86,9 +86,9 @@ Outcome run_backend(std::string_view spec, Backend backend,
   program->schedule(ctx);
   outcome.actions = test::action_string(ctx);
   outcome.registers = env.registers;
-  for (const auto& skb : env.q) outcome.q.push_back(skb->meta_seq);
-  for (const auto& skb : env.qu) outcome.qu.push_back(skb->meta_seq);
-  for (const auto& skb : env.rq) outcome.rq.push_back(skb->meta_seq);
+  for (const auto& e : env.q) outcome.q.push_back(e.meta_seq);
+  for (const auto& e : env.qu) outcome.qu.push_back(e.meta_seq);
+  for (const auto& e : env.rq) outcome.rq.push_back(e.meta_seq);
   outcome.pops = env.stats.pops;
   outcome.drops = env.stats.drops;
   return outcome;

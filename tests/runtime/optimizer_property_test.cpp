@@ -192,8 +192,7 @@ lang::Program parse_analyzed(const std::string& spec) {
   return p;
 }
 
-FakeEnv make_env(std::uint64_t seed) {
-  FakeEnv env;
+void make_env(FakeEnv& env, std::uint64_t seed) {
   Rng rng(seed);
   const int subflows = static_cast<int>(rng.next_range(0, 4));
   for (int i = 0; i < subflows; ++i) {
@@ -220,13 +219,13 @@ FakeEnv make_env(std::uint64_t seed) {
   }
   for (auto& r : env.registers) r = rng.next_range(-5, 50);
   env.now = milliseconds(rng.next_range(0, 5000));
-  return env;
 }
 
 template <typename RunFn>
 Observed observe(const std::string& /*spec*/, std::uint64_t env_seed,
                  RunFn run) {
-  FakeEnv env = make_env(env_seed);
+  FakeEnv env;
+  make_env(env, env_seed);
   auto ctx = env.ctx();
   SchedulerEnv senv(ctx);
   Observed observed;
@@ -272,7 +271,8 @@ TEST_P(OptimizerProperty, OptimizationPreservesBehaviour) {
 
     // Subflow-count specialization must be behaviour-preserving when the
     // live count matches.
-    FakeEnv env = make_env(env_seed);
+    FakeEnv env;
+    make_env(env, env_seed);
     OptOptions opts;
     opts.const_sbf_count = static_cast<std::int64_t>(env.subflows.size());
     const IrProgram special = optimize(lower(p), opts);

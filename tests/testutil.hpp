@@ -2,7 +2,6 @@
 // exercises SchedulerContext in isolation, and spec-loading shortcuts.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,20 +28,8 @@ class FakeEnv {
     skb->size = size;
     skb->props = props;
     skb->queued_at = now;
-    switch (queue) {
-      case mptcp::QueueId::kQ:
-        skb->in_q = true;
-        q.push_back(skb);
-        break;
-      case mptcp::QueueId::kQu:
-        skb->in_qu = true;
-        qu.push_back(skb);
-        break;
-      case mptcp::QueueId::kRq:
-        skb->in_rq = true;
-        rq.push_back(skb);
-        break;
-    }
+    // Tracked push sets the membership flag itself.
+    queues.get(queue).push_back(skb);
     return skb;
   }
 
@@ -67,13 +54,17 @@ class FakeEnv {
   /// Builds a context over the current state. Keep the FakeEnv alive while
   /// using it.
   mptcp::SchedulerContext ctx(std::int64_t rwnd_free = 1 << 30) {
-    return mptcp::SchedulerContext(now, trigger, subflows, &q, &qu, &rq,
+    return mptcp::SchedulerContext(now, trigger, subflows, &queues,
                                    registers.data(),
                                    static_cast<int>(registers.size()),
                                    rwnd_free, &stats);
   }
 
-  std::deque<mptcp::SkbPtr> q, qu, rq;
+  mptcp::QueueBundle queues;
+  // Direct views for tests that inspect a single queue.
+  mptcp::PacketQueue& q = queues.q;
+  mptcp::PacketQueue& qu = queues.qu;
+  mptcp::PacketQueue& rq = queues.rq;
   std::vector<mptcp::SubflowInfo> subflows;
   std::vector<std::int64_t> registers;
   mptcp::SchedulerStats stats;
