@@ -191,6 +191,26 @@ std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
                 static_cast<long long>(rx.recv_buf_limit()),
                 rx.config().autotune ? "on" : "off");
   out += buf;
+  {
+    const char* state = "native";
+    if (conn.fallback_state() == mptcp::FallbackState::kFallbackPending) {
+      state = "pending";
+    } else if (conn.fallback_state() == mptcp::FallbackState::kSinglePath) {
+      state = "single_path";
+    }
+    std::snprintf(buf, sizeof buf,
+                  "fallback: state=%s detection=%s survivor=%d fallbacks=%lld "
+                  "mapping_lost=%lld csum_fails=%lld ack_tampered=%lld "
+                  "rejected_joins=%lld\n",
+                  state, rx.config().dss_checksum ? "on" : "off",
+                  conn.fallback_survivor(),
+                  static_cast<long long>(conn.fallbacks()),
+                  static_cast<long long>(rx.mapping_lost_segments()),
+                  static_cast<long long>(rx.csum_fail_segments()),
+                  static_cast<long long>(conn.ack_tampered_acks()),
+                  static_cast<long long>(conn.fallback_rejected_joins()));
+    out += buf;
+  }
   if (conn.stalls() > 0 || conn.stall_rescues() > 0) {
     std::snprintf(buf, sizeof buf, "watchdog: stalls=%lld rescues=%lld\n",
                   static_cast<long long>(conn.stalls()),

@@ -31,8 +31,24 @@ const char* kind_name(ChaosFault::Kind k) {
       return "flap";
     case ChaosFault::Kind::kBurstLoss:
       return "burst_loss";
+    case ChaosFault::Kind::kTamper:
+      return "tamper";
   }
   return "?";
+}
+
+const char* tamper_name(sim::Link::TamperKind k) {
+  switch (k) {
+    case sim::Link::TamperKind::kStripDss:
+      return "strip_dss";
+    case sim::Link::TamperKind::kRewritePayload:
+      return "rewrite_payload";
+    case sim::Link::TamperKind::kStripAckOpts:
+      return "strip_ack_opts";
+    case sim::Link::TamperKind::kNone:
+      break;
+  }
+  return "none";
 }
 
 const char* path_name(int path) { return path == 0 ? "wifi_ap" : "lte_cell"; }
@@ -66,6 +82,11 @@ std::string ChaosFault::str() const {
                     "loss_bad=%.2f",
                     path_name(path), from.str().c_str(), until.str().c_str(),
                     ge.p_enter_bad, ge.p_exit_bad, ge.loss_bad);
+      break;
+    case Kind::kTamper:
+      std::snprintf(buf, sizeof buf, "tamper %s %s from=%s until=%s rate=%.2f",
+                    tamper_name(tamper.kind), path_name(path),
+                    from.str().c_str(), until.str().c_str(), tamper.rate);
       break;
     default:
       std::snprintf(buf, sizeof buf, "%s %s from=%s until=%s", kind_name(kind),
@@ -164,6 +185,25 @@ ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& opts) {
       plan.priorities.push_back(static_cast<int>(rng.next_range(1, 4)));
     }
   }
+  if (opts.middlebox_tamper) {
+    // Tamper draws come last so every earlier draw class (faults, receiver
+    // shape, pool) is bit-identical per seed with the mode off.
+    const int nt = static_cast<int>(rng.next_range(1, 2));
+    for (int i = 0; i < nt; ++i) {
+      ChaosFault f;
+      f.kind = ChaosFault::Kind::kTamper;
+      f.path = static_cast<int>(rng.next_range(0, 1));
+      f.from = next_time(rng, milliseconds(500), latest_end - seconds(1));
+      f.until = std::min(
+          latest_end, f.from + next_time(rng, milliseconds(300), seconds(3)));
+      f.tamper.kind =
+          static_cast<sim::Link::TamperKind>(rng.next_range(1, 3));
+      // High enough that the episode reliably hits live traffic; below 1.0
+      // often enough that clean deliveries interleave with tampered ones.
+      f.tamper.rate = 0.5 + 0.5 * rng.next_double();
+      plan.faults.push_back(f);
+    }
+  }
   return plan;
 }
 
@@ -189,6 +229,24 @@ void install_plan_faults(sim::Simulator& sim, sim::Network& net,
       case ChaosFault::Kind::kBurstLoss:
         injector.burst_loss(net, path_id(f.path), f.from, f.until, f.ge);
         break;
+      case ChaosFault::Kind::kTamper:
+        switch (f.tamper.kind) {
+          case sim::Link::TamperKind::kStripDss:
+            injector.strip_dss(net, path_id(f.path), f.from, f.until,
+                               f.tamper.rate);
+            break;
+          case sim::Link::TamperKind::kRewritePayload:
+            injector.rewrite_payload(net, path_id(f.path), f.from, f.until,
+                                     f.tamper.rate);
+            break;
+          case sim::Link::TamperKind::kStripAckOpts:
+            injector.strip_ack_options(net, path_id(f.path), f.from, f.until,
+                                       f.tamper.rate);
+            break;
+          case sim::Link::TamperKind::kNone:
+            break;
+        }
+        break;
     }
   }
   sim.schedule_at(plan.horizon, [&net] {
@@ -196,6 +254,8 @@ void install_plan_faults(sim::Simulator& sim, sim::Network& net,
       net.set_up(id);
       net.path(id).forward.clear_gilbert_elliott();
       net.path(id).reverse.clear_gilbert_elliott();
+      net.path(id).forward.clear_tamper();
+      net.path(id).reverse.clear_tamper();
     }
   });
 }
@@ -237,6 +297,7 @@ ChaosVerdict run_chaos_plan_mem(const ChaosPlan& plan,
     cfg.receiver.coalesce_window_updates = true;
     cfg.window_update_subflow = plan.wnd_update_subflow;
     cfg.zero_window_probe = true;
+    cfg.middlebox_fallback = opts.middlebox_tamper;
     mptcp::MptcpConnection* conn = host.open_connection(cfg, "minrtt", &err);
     // The plan draws the pool large enough for every admission minimum —
     // this soak is about degradation under pressure, not refusal.
@@ -292,6 +353,9 @@ ChaosVerdict run_chaos_plan_mem(const ChaosPlan& plan,
     v.zero_window_probes += conn->zero_window_probes();
     v.recv_buf_drops += conn->receiver().recv_buf_drops();
     v.dsack_dups += conn->receiver().dsack_dup_segments();
+    v.fallbacks += conn->fallbacks();
+    v.mapping_lost += conn->receiver().mapping_lost_segments();
+    v.csum_fails += conn->receiver().csum_fail_segments();
   }
   v.checker_runs = checker.runs();
   const api::RecvMemPool::Stats& ps = host.mem_pool()->stats();
@@ -327,6 +391,7 @@ ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
     cfg.window_update_subflow = plan.wnd_update_subflow;
     cfg.zero_window_probe = true;
   }
+  cfg.middlebox_fallback = opts.middlebox_tamper;
   if (opts.capture_trace) {
     cfg.trace_enabled = true;
     cfg.trace_capacity = 1 << 20;
@@ -371,6 +436,9 @@ ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
   v.stalls = conn.stalls();
   v.zero_window_probes = conn.zero_window_probes();
   v.recv_buf_drops = conn.receiver().recv_buf_drops();
+  v.fallbacks = conn.fallbacks();
+  v.mapping_lost = conn.receiver().mapping_lost_segments();
+  v.csum_fails = conn.receiver().csum_fail_segments();
   v.checker_runs = checker.runs();
   if (opts.capture_trace) v.trace_csv = conn.tracer().to_csv();
   return v;

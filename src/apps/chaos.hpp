@@ -35,6 +35,8 @@ struct ChaosFault {
     kAckBlackout,  ///< reverse (ACK) link only — the asymmetric failure
     kFlap,         ///< down/up cycling until `until` (final state: up)
     kBurstLoss,    ///< Gilbert–Elliott episode on the forward link
+    kTamper,       ///< middlebox interference episode (ChaosOptions::
+                   ///< middlebox_tamper); direction follows the tamper kind
   };
 
   Kind kind = Kind::kBlackout;
@@ -46,6 +48,8 @@ struct ChaosFault {
   TimeNs up_for{0};
   // kBurstLoss only:
   sim::Link::GilbertElliott ge;
+  // kTamper only (kStripAckOpts rides the reverse link, the rest forward):
+  sim::Link::TamperPolicy tamper;
 
   [[nodiscard]] std::string str() const;
 };
@@ -115,6 +119,14 @@ struct ChaosOptions {
   bool memory_pressure = false;
   int mem_conns = 4;
 
+  // ---- Middlebox interference ---------------------------------------------
+  /// Adds one or two middlebox-tamper episodes (DSS-option stripping,
+  /// payload-rewriting proxies, ACK-option stripping) to the plan and arms
+  /// RFC 8684-style fallback detection on the connection(s). Drawn after
+  /// every pre-existing plan draw so fault lists, receiver shapes and pool
+  /// sizes per seed are unchanged from earlier soak generations.
+  bool middlebox_tamper = false;
+
   // ---- Checking -----------------------------------------------------------
   /// Stride for the heavy (full-scan) invariants; the cheap class still runs
   /// at every event boundary.
@@ -152,6 +164,11 @@ struct ChaosVerdict {
   std::int64_t mem_sheds = 0;              ///< shed demotions
   std::int64_t mem_restores = 0;           ///< shed members restored
   std::int64_t dsack_dups = 0;             ///< redundant-copy duplicates seen
+
+  // ---- Middlebox interference extras (ChaosOptions::middlebox_tamper) ----
+  std::int64_t fallbacks = 0;     ///< RFC 8684-style fallback transitions
+  std::int64_t mapping_lost = 0;  ///< DSS-stripped segments refused
+  std::int64_t csum_fails = 0;    ///< rewritten payloads caught by checksum
   std::string trace_csv;             ///< only with ChaosOptions::capture_trace
 
   [[nodiscard]] bool ok() const { return invariants_ok && delivered_all; }

@@ -59,6 +59,10 @@ const char* trace_event_name(TraceEventType type) {
       return "mem_pressure";
     case TraceEventType::kMemShed:
       return "mem_shed";
+    case TraceEventType::kMiddleboxTamper:
+      return "middlebox_tamper";
+    case TraceEventType::kFallback:
+      return "fallback";
   }
   return "?";
 }

@@ -68,6 +68,12 @@ enum class TraceEventType : std::uint8_t {
   kMemShed,             ///< shed policy changed this connection's pool grant
                         ///< (a=1 demoted to floor, 0 restored; b=old grant,
                         ///< c=new grant)
+  kMiddleboxTamper,     ///< a middlebox tampered with a delivered packet
+                        ///< (a=Link::TamperKind, b=wire bytes, c=direction:
+                        ///< 0 fwd, 1 rev)
+  kFallback,            ///< RFC 8684-style fallback state change (a=new
+                        ///< FallbackState, b=surviving subflow slot,
+                        ///< c=detection cause)
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;

@@ -172,12 +172,13 @@ inline constexpr int kNumRegisters = 8;
 
 /// Environment-maintained registers, far above the writable file on
 /// purpose: R91 is the host's receive-memory pressure level, R92 the
-/// receiver's D-SACK duplicate count (mptcp::kEnvRegMemPressure /
-/// kEnvRegDsackDups). Specs may read them like any register; writes are
+/// receiver's D-SACK duplicate count, R93 the connection's RFC 8684
+/// fallback state (mptcp::kEnvRegMemPressure / kEnvRegDsackDups /
+/// kEnvRegFallback). Specs may read them like any register; writes are
 /// accepted by the analyzer and silently ignored by the runtime — the
 /// environment owns their values.
 inline constexpr int kEnvRegisterFirst = 90;  // R91
-inline constexpr int kEnvRegisterLast = 91;   // R92
+inline constexpr int kEnvRegisterLast = 92;   // R93
 [[nodiscard]] inline constexpr bool is_env_register(int index) {
   return index >= kEnvRegisterFirst && index <= kEnvRegisterLast;
 }

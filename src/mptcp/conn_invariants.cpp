@@ -175,6 +175,43 @@ void install_connection_invariants(InvariantChecker& checker,
                     });
 
   checker.add_check(
+      "fallback_mode", [&conn]() -> std::optional<std::string> {
+        // The transition is synchronous, so audits never observe the
+        // intermediate kFallbackPending state at an event boundary.
+        if (conn.fallback_state() == FallbackState::kFallbackPending) {
+          return "fallback stuck in kFallbackPending across an event "
+                 "boundary";
+        }
+        if (conn.fallback_state() != FallbackState::kSinglePath) {
+          return std::nullopt;
+        }
+        const int survivor = conn.fallback_survivor();
+        if (survivor < 0 || survivor >= conn.subflow_count()) {
+          return "single-path mode with invalid survivor slot " +
+                 std::to_string(survivor);
+        }
+        for (int s = 0; s < conn.subflow_count(); ++s) {
+          if (s == survivor) continue;
+          const SubflowSender& sbf = conn.subflow(s);
+          // Abandoned subflows must be closed (not merely failed — failed
+          // ones can be revived, which would silently undo the fallback)
+          // and drained: the harvest moved their packets to RQ, and the
+          // engine must never schedule new data onto them.
+          if (sbf.state() != SubflowSender::State::kClosed) {
+            return "single-path mode but sbf" + std::to_string(s) +
+                   " is not closed";
+          }
+          if (sbf.queued() != 0 || sbf.in_flight() != 0) {
+            return "abandoned sbf" + std::to_string(s) + " still owns data: " +
+                   std::to_string(sbf.queued()) + " queued, " +
+                   std::to_string(sbf.in_flight()) + " in flight";
+          }
+        }
+        return std::nullopt;
+      },
+      /*every_event=*/true);
+
+  checker.add_check(
       "no_stranded_packets", [&conn]() -> std::optional<std::string> {
         for (const auto& [seq, skb] : conn.unacked()) {
           if (skb->acked || skb->dropped) continue;

@@ -13,6 +13,10 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
   PROGMP_CHECK(cfg_.num_registers > 0 && cfg_.num_registers <= 64);
   registers_.assign(static_cast<std::size_t>(cfg_.num_registers), 0);
 
+  // The fallback machine needs the receiver's detection path: arming the
+  // connection knob implies DSS-checksum validation + mapping-loss reports.
+  if (cfg_.middlebox_fallback) cfg_.receiver.dss_checksum = true;
+
   trace_.set_enabled(cfg_.trace_enabled);
   trace_.set_conn_id(cfg_.conn_id);
   metrics_.set_conn_id(cfg_.conn_id);
@@ -30,6 +34,10 @@ MptcpConnection::MptcpConnection(sim::Simulator& sim, Config cfg, Rng rng)
   receiver_->set_window_update_fn(
       [this](std::int64_t wnd_stamp, std::uint64_t /*meta_ack*/,
              std::int64_t rwnd) { deliver_window_update(wnd_stamp, rwnd); });
+  receiver_->set_mapping_failure_fn(
+      [this](int slot, std::uint64_t meta_seq, MappingFailure cause) {
+        on_mapping_failure(slot, meta_seq, cause);
+      });
 
   // Long-lived scheduler context over the queue bundle; reset() re-arms it
   // per execution so the hot trigger path reuses the log capacity.
@@ -156,6 +164,10 @@ int MptcpConnection::create_subflow(const SubflowSpec& spec) {
       queues_.q.push_front(skb);
     }
   };
+  host.on_ack_tampered = [this](int s) {
+    ++ack_tampered_acks_;
+    enter_fallback(s, MappingFailure::kAckStripped);
+  };
   host.on_subflow_dead = [this](int s) {
     fail_subflow(s);
     // RTO backoff can place the fatal consecutive RTO *after* the link
@@ -206,6 +218,7 @@ void MptcpConnection::write(std::int64_t bytes, const SkbProps& props) {
     skb->byte_offset = next_byte_offset_;
     next_byte_offset_ += static_cast<std::uint64_t>(size);
     skb->size = size;
+    skb->dss_csum = dss_checksum(skb->meta_seq, size);
     skb->props = props;
     // Only the last packet of the burst carries the application's
     // end-of-flow signal.
@@ -230,6 +243,13 @@ std::int64_t MptcpConnection::get_register(int idx) const {
 }
 
 int MptcpConnection::add_subflow(const SubflowSpec& spec) {
+  if (fallback_state_ == FallbackState::kSinglePath) {
+    // Pinned to single-path operation: the path manager must not grow the
+    // subflow set back — the middlebox that forced the fallback is still out
+    // there. Counted no-op; the caller sees the refusal as slot -1.
+    ++fallback_rejected_joins_;
+    return -1;
+  }
   const int slot = create_subflow(spec);
   if (health_ != nullptr) health_->on_subflow_attached(slot);
   trigger({TriggerKind::kSubflowAdded, slot});
@@ -249,6 +269,10 @@ void MptcpConnection::reinject_orphans(const std::vector<SkbPtr>& orphans) {
 void MptcpConnection::close_subflow(int slot) {
   PROGMP_CHECK(slot >= 0 && slot < subflow_count());
   reinject_orphans(subflows_[static_cast<std::size_t>(slot)]->close());
+  // A probe chain armed while this subflow was the carrier must not keep
+  // ticking against the dead slot; the next engine drain re-arms it on the
+  // survivors if the connection is still window-blocked.
+  cancel_persist_chain();
   if (health_ != nullptr) health_->on_subflow_closed(slot);
   trigger({TriggerKind::kSubflowClosed, slot});
 }
@@ -272,6 +296,7 @@ void MptcpConnection::fail_subflow(int slot) {
   // harvest strands the orphans in QU with no owner, which the
   // no-stranded-packets invariant must flag.
   if (!test_drop_failed_subflow_orphans_) reinject_orphans(orphans);
+  cancel_persist_chain();
   if (health_ != nullptr) health_->on_subflow_failed(slot);
   // The scheduler sees the shrunken subflow set (established == false drops
   // the slot from SUBFLOWS) and reschedules the stranded packets on the
@@ -667,8 +692,10 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
   const std::int64_t claimed =
       static_cast<std::int64_t>(right_edge_bytes_ - meta_una_bytes_);
   SchedulerContext& ctx = *sched_ctx_;
-  ctx.reset(now, t, infos_, std::max<std::int64_t>(0, rwnd_ - claimed));
-  ctx.set_env_signals({mem_pressure_level_, receiver_->dsack_dup_segments()});
+  ctx.reset(now, t, infos_, std::max<std::int64_t>(0, rwnd_ - claimed),
+            cfg_.middlebox_fallback ? right_edge_bytes_ : 0);
+  ctx.set_env_signals({mem_pressure_level_, receiver_->dsack_dup_segments(),
+                       static_cast<std::int64_t>(fallback_state_)});
   ++sched_stats_.executions;
   trace_.emit(TraceEventType::kSchedExecStart, now, t.subflow_slot,
               static_cast<std::int32_t>(t.kind));
@@ -731,6 +758,106 @@ void MptcpConnection::handle_loss_suspected(int slot, const SkbPtr& skb) {
   if (skb->acked || skb->dropped || skb->in_rq || skb->in_q) return;
   queues_.rq.push_back(skb);
   trigger({TriggerKind::kReinject, slot});
+}
+
+void MptcpConnection::on_mapping_failure(int slot, std::uint64_t meta_seq,
+                                         MappingFailure cause) {
+  // The segment never reached the meta layer: the receiver refused it, so no
+  // meta ACK will ever cover it from this transmission. Requeue it at the
+  // front of the meta sending queue — NOT the reinjection queue: specs
+  // without a reinjection clause (opportunistic_redundant only ever pops Q)
+  // must still carry the packet after the fallback below pins the survivor.
+  auto it = unacked_.find(meta_seq);
+  if (it != unacked_.end()) {
+    const SkbPtr& skb = it->second;
+    if (!skb->acked && !skb->dropped && !skb->in_rq && !skb->in_q) {
+      queues_.q.push_front(skb);
+      trigger({TriggerKind::kDataPushed, slot});
+    }
+  }
+  enter_fallback(slot, cause);
+}
+
+void MptcpConnection::enter_fallback(int bad_slot, MappingFailure cause) {
+  if (!cfg_.middlebox_fallback) return;
+  // One-shot: a connection falls back at most once, and the pending guard
+  // also stops re-entry while the abandon loop below runs (closing a subflow
+  // can surface further mapping failures synchronously).
+  if (fallback_state_ != FallbackState::kNative) return;
+
+  // Elect the survivor among the *other* established subflows: prefer
+  // non-backup, then lowest smoothed RTT, then lowest slot (deterministic).
+  int survivor = -1;
+  for (int s = 0; s < subflow_count(); ++s) {
+    if (s == bad_slot) continue;
+    const SubflowSender& sbf = *subflows_[static_cast<std::size_t>(s)];
+    if (!sbf.established()) continue;
+    if (survivor < 0) {
+      survivor = s;
+      continue;
+    }
+    const SubflowSender& best = *subflows_[static_cast<std::size_t>(survivor)];
+    if (sbf.config().backup != best.config().backup) {
+      if (!sbf.config().backup) survivor = s;
+      continue;
+    }
+    if (sbf.rtt().srtt() < best.rtt().srtt()) survivor = s;
+  }
+  // RFC 8684 §3.7: with no clean subflow left, fall back to regular TCP on
+  // the tampered path itself — mapping-less delivery beats no delivery.
+  if (survivor < 0) survivor = bad_slot;
+
+  fallback_state_ = FallbackState::kFallbackPending;
+  fallback_survivor_ = survivor;
+  trace_.emit(TraceEventType::kFallback, sim_.now(), bad_slot,
+              static_cast<std::int32_t>(FallbackState::kFallbackPending),
+              survivor, static_cast<std::int64_t>(cause));
+  for (int s = 0; s < subflow_count(); ++s) {
+    if (s != survivor) abandon_subflow(s);
+  }
+  fallback_state_ = FallbackState::kSinglePath;
+  ++fallbacks_;
+  trace_.emit(TraceEventType::kFallback, sim_.now(), survivor,
+              static_cast<std::int32_t>(FallbackState::kSinglePath), survivor,
+              static_cast<std::int64_t>(cause));
+  trigger({TriggerKind::kFallback, survivor});
+}
+
+void MptcpConnection::abandon_subflow(int slot) {
+  SubflowSender& sbf = *subflows_[static_cast<std::size_t>(slot)];
+  if (sbf.state() == SubflowSender::State::kClosed) return;
+  // close() harvests from every non-closed state (established or failed) and
+  // lands in kClosed, which can_revive() refuses — abandoned subflows never
+  // come back, unlike failed ones.
+  std::vector<SkbPtr> orphans = sbf.close();
+  for (const SkbPtr& skb : orphans) {
+    // Same stale-mark scrub as fail_subflow: whatever was on the abandoned
+    // wire is gone, and !SENT_ON reinjection filters must see the packets as
+    // placeable on the survivor.
+    skb->sent_mask &= ~(1u << static_cast<unsigned>(slot));
+    queues_.refresh_sent_mask(skb.get());
+  }
+  // Unlike a path death — where the stranded data is a *suspected loss* and
+  // goes through RQ's reinjection-first rule — fallback re-owns the data at
+  // the meta level: return it to the front of the sending queue in order,
+  // exactly like the window-blocked requeue. Schedulers with no reinjection
+  // clause (opportunistic_redundant only ever pops Q) would strand an RQ
+  // harvest forever and wedge the post-fallback stream.
+  for (auto it = orphans.rbegin(); it != orphans.rend(); ++it) {
+    const SkbPtr& skb = *it;
+    if (skb->acked || skb->dropped || skb->in_q || skb->in_rq) continue;
+    queues_.q.push_front(skb);
+  }
+  cancel_persist_chain();
+  if (health_ != nullptr) health_->on_subflow_closed(slot);
+  trigger({TriggerKind::kSubflowClosed, slot});
+}
+
+void MptcpConnection::cancel_persist_chain() {
+  if (!persist_armed_) return;
+  persist_armed_ = false;
+  persist_backoff_ = 1;
+  ++persist_epoch_;  // orphans the scheduled probe callback
 }
 
 void MptcpConnection::set_recv_buf_grant(std::int64_t bytes, bool shed) {
@@ -799,6 +926,27 @@ void MptcpConnection::refresh_metrics() {
   *metrics_.counter("recv.autotune_grows") = receiver_->autotune_grows();
   *metrics_.counter("recv.autotune_shrinks") = receiver_->autotune_shrinks();
   *metrics_.gauge("conn.mem_pressure") = mem_pressure_level_;
+
+  *metrics_.counter("conn.fallbacks") = fallbacks_;
+  *metrics_.gauge("conn.fallback_state") =
+      static_cast<std::int64_t>(fallback_state_);
+  *metrics_.counter("conn.ack_tampered_acks") = ack_tampered_acks_;
+  *metrics_.counter("conn.fallback_rejected_joins") = fallback_rejected_joins_;
+  *metrics_.counter("recv.mapping_lost") = receiver_->mapping_lost_segments();
+  *metrics_.counter("recv.csum_fails") = receiver_->csum_fail_segments();
+  *metrics_.counter("recv.corrupt_delivered_bytes") =
+      receiver_->corrupt_delivered_bytes();
+  std::int64_t tamper_stripped = 0;
+  std::int64_t tamper_corrupted = 0;
+  for (const sim::NetPath* path : paths_) {
+    tamper_stripped += path->forward.stats().tampered_stripped +
+                       path->reverse.stats().tampered_stripped;
+    tamper_corrupted += path->forward.stats().tampered_corrupted +
+                        path->reverse.stats().tampered_corrupted;
+  }
+  *metrics_.counter("link.tamper.stripped") = tamper_stripped;
+  *metrics_.counter("link.tamper.corrupted") = tamper_corrupted;
+
   if (health_ != nullptr) health_->refresh_metrics(metrics_);
 
   const TimeNs now = sim_.now();
@@ -818,6 +966,12 @@ void MptcpConnection::refresh_metrics() {
     *metrics_.counter(p + "link_drops_down") = fwd.drops_down;
     *metrics_.counter(p + "link_drops_burst") = fwd.drops_burst;
     *metrics_.counter(p + "link_down_transitions") = fwd.down_transitions;
+    const sim::Link::Stats& rev =
+        paths_[static_cast<std::size_t>(sbf->slot())]->reverse.stats();
+    *metrics_.counter(p + "link_tamper_stripped") =
+        fwd.tampered_stripped + rev.tampered_stripped;
+    *metrics_.counter(p + "link_tamper_corrupted") =
+        fwd.tampered_corrupted + rev.tampered_corrupted;
     const SubflowInfo info = sbf->info(now);
     *metrics_.gauge(p + "cwnd") = info.cwnd;
     *metrics_.gauge(p + "in_flight") = info.skbs_in_flight;

@@ -36,6 +36,18 @@ class PathHealthMonitor;
 
 enum class CcKind { kReno, kLia, kCubic };
 
+/// RFC 8684 §3.7-shaped fallback lifecycle (served to specs as R93).
+/// Native: full multipath operation. FallbackPending: interference was
+/// detected and the connection is mid-transition (abandoning subflows,
+/// harvesting their in-flight data). SinglePath: pinned to the elected
+/// survivor — abandoned subflows are closed for good, new subflow joins are
+/// refused, and the installed spec keeps running against a one-subflow set.
+enum class FallbackState : int {
+  kNative = 0,
+  kFallbackPending = 1,
+  kSinglePath = 2,
+};
+
 class MptcpConnection {
  public:
   /// Everything needed to bring up one subflow and its network path. Two
@@ -148,6 +160,16 @@ class MptcpConnection {
     bool zero_window_probe = false;
     TimeNs persist_interval = milliseconds(200);
     TimeNs persist_interval_max = seconds(2);
+
+    // ---- Middlebox-interference fallback (RFC 8684 §3.7) --------------------
+    /// Arms the fallback state machine: receiver-side detection (DSS
+    /// checksum validation + mapping-loss reporting; implies
+    /// receiver.dss_checksum) and sender-side ACK-option-strip detection
+    /// feed enter_fallback(), which elects a surviving subflow, abandons
+    /// the rest (harvesting their in-flight data into RQ) and pins the
+    /// connection to single-path operation. Off = seed behaviour: a naive
+    /// stack that wedges or delivers corrupt data under interference.
+    bool middlebox_fallback = false;
   };
 
   /// Called for every segment delivered in order to the receiving
@@ -305,6 +327,22 @@ class MptcpConnection {
   /// Whether the persist timer is currently armed (sender rwnd-blocked).
   [[nodiscard]] bool persist_armed() const { return persist_armed_; }
 
+  // ---- Fallback introspection ---------------------------------------------
+  [[nodiscard]] FallbackState fallback_state() const { return fallback_state_; }
+  /// Slot of the elected surviving subflow (-1 before any fallback).
+  [[nodiscard]] int fallback_survivor() const { return fallback_survivor_; }
+  /// Completed Native -> SinglePath transitions (0 or 1 per connection).
+  [[nodiscard]] std::int64_t fallbacks() const { return fallbacks_; }
+  /// Stripped-option pure ACKs the sender side detected.
+  [[nodiscard]] std::int64_t ack_tampered_acks() const {
+    return ack_tampered_acks_;
+  }
+  /// add_subflow() calls refused because the connection is pinned to
+  /// single-path operation.
+  [[nodiscard]] std::int64_t fallback_rejected_joins() const {
+    return fallback_rejected_joins_;
+  }
+
   // ---- Path health / watchdog introspection -------------------------------
   /// Null unless probing or keepalives are (or were) enabled.
   [[nodiscard]] PathHealthMonitor* path_health() { return health_.get(); }
@@ -381,6 +419,27 @@ class MptcpConnection {
   /// but an older window snapshot than the side-channel updates it raced,
   /// and letting it win wedges the sender on a long-reopened window.
   void apply_window(std::int64_t wnd_stamp, std::int64_t rwnd);
+  /// Receiver reported an unusable data-level mapping (stripped DSS option
+  /// or checksum failure): requeue the skb — the subflow level ACKed the
+  /// bytes, so nothing else will retransmit them — then fall back.
+  void on_mapping_failure(int slot, std::uint64_t meta_seq,
+                          MappingFailure cause);
+  /// The RFC 8684 §3.7 transition: elect a survivor (prefer a non-tampered,
+  /// non-backup, lowest-srtt established subflow), abandon everything else
+  /// and pin the connection to single-path operation. No-op unless
+  /// Config::middlebox_fallback is on and the state is still Native.
+  void enter_fallback(int bad_slot, MappingFailure cause);
+  /// close()-style teardown used by the fallback transition: harvest +
+  /// sent-mask clearing (like fail_subflow — whatever was on the abandoned
+  /// wire is as good as gone) + RQ reinjection, persist-chain cancellation
+  /// and a kSubflowClosed trigger. The subflow ends up kClosed: not
+  /// revivable, per the single-path pin.
+  void abandon_subflow(int slot);
+  /// Cancels an armed zero-window persist-probe chain (epoch bump). Called
+  /// whenever a subflow ceases to exist (close/fail/abandon) so no probe
+  /// rides a dead subflow; maybe_arm_persist() re-arms a fresh chain on a
+  /// surviving subflow at the next engine-drain boundary if still blocked.
+  void cancel_persist_chain();
   /// True when data is waiting, nothing is in flight anywhere, and the
   /// advertised window cannot fit the next packet — the persist condition.
   [[nodiscard]] bool rwnd_blocked() const;
@@ -438,6 +497,13 @@ class MptcpConnection {
   /// Last host pool pressure broadcast (0 = no pressure); see
   /// signal_mem_pressure().
   std::int64_t mem_pressure_level_ = 0;
+
+  // ---- Fallback state -----------------------------------------------------
+  FallbackState fallback_state_ = FallbackState::kNative;
+  int fallback_survivor_ = -1;
+  std::int64_t fallbacks_ = 0;
+  std::int64_t ack_tampered_acks_ = 0;
+  std::int64_t fallback_rejected_joins_ = 0;
 
   std::unique_ptr<Scheduler> scheduler_;
   SchedulerStats sched_stats_;

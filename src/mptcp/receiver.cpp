@@ -38,14 +38,14 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
     // In subflow order: advance and drain any now-contiguous held segments.
     ++rx.expected;
     if (cfg_.model == ReceiverModel::kMultiLayer) {
-      meta_receive(seg);
+      meta_receive_checked(seg);
     }
     auto it = rx.ooo.begin();
     while (it != rx.ooo.end() && it->first == rx.expected) {
       ++rx.expected;
       if (cfg_.model == ReceiverModel::kMultiLayer) {
         sbf_ooo_bytes_ -= it->second.size;
-        meta_receive(it->second);
+        meta_receive_checked(it->second);
       }
       index_erase(it->second.meta_seq);
       it = rx.ooo.erase(it);
@@ -63,7 +63,7 @@ AckInfo Receiver::on_data(const DataSegment& seg) {
   if (cfg_.model == ReceiverModel::kOptimized) {
     // The optimized receiver hands every first-seen segment to the meta
     // layer immediately, regardless of subflow ordering.
-    meta_receive(seg);
+    meta_receive_checked(seg);
   }
 
   if (cfg_.autotune) maybe_autotune();
@@ -119,6 +119,48 @@ void Receiver::reset_subflow(int slot) {
   }
   rx.ooo.clear();
   rx.expected = 0;
+}
+
+void Receiver::meta_receive_checked(const DataSegment& seg) {
+  const bool csum_bad =
+      cfg_.dss_checksum && !seg.dss_stripped &&
+      seg.dss_csum != dss_checksum(seg.meta_seq, seg.size);
+  if (seg.dss_stripped) {
+    // The bytes arrived as plain TCP data with no DSS mapping: the subflow
+    // level already processed (and will ACK) them, but the meta layer has
+    // nothing to place. A detecting receiver reports the mapping failure so
+    // the sender can requeue the data and fall back (RFC 8684 section 3.7);
+    // a naive one silently loses the data at the meta level and the
+    // transfer wedges on the never-advancing DATA_ACK.
+    if (cfg_.dss_checksum) {
+      ++mapping_lost_segments_;
+      if (mapping_failure_fn_) {
+        mapping_failure_fn_(seg.sbf_slot, seg.meta_seq,
+                            MappingFailure::kStripped);
+      }
+    }
+    return;
+  }
+  if (csum_bad) {
+    // DSS checksum mismatch: a proxy rewrote the payload in flight. The
+    // mapping itself is intact but the data under it is not trustworthy —
+    // discard it and report, exactly what the checksum exists for.
+    ++csum_fail_segments_;
+    if (mapping_failure_fn_) {
+      mapping_failure_fn_(seg.sbf_slot, seg.meta_seq,
+                          MappingFailure::kChecksum);
+    }
+    return;
+  }
+  if (seg.payload_rewritten) {
+    // Detection is off (or the checksum happened to be unvalidated): the
+    // rewritten payload is delivered as if genuine. Count it so benches can
+    // show what the naive receiver silently accepts.
+    const bool first_seen =
+        seg.meta_seq >= meta_expected_ && !meta_ooo_.contains(seg.meta_seq);
+    if (first_seen) corrupt_delivered_bytes_ += seg.size;
+  }
+  meta_receive(seg);
 }
 
 void Receiver::meta_receive(const DataSegment& seg) {

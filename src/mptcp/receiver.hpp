@@ -36,6 +36,27 @@ struct DataSegment {
   std::uint64_t sbf_seq = 0;   ///< subflow-level sequence (segments)
   std::uint64_t meta_seq = 0;  ///< data-level sequence (segments)
   std::int32_t size = 0;
+  /// DSS checksum as it arrived (the sender stamps skb.dss_csum onto the
+  /// wire; a payload-rewriting middlebox mangles it in flight).
+  std::uint32_t dss_csum = 0;
+  /// A middlebox removed the DSS option: the bytes arrived as plain TCP
+  /// data with no data-level mapping (meta_seq/dss_csum are the values the
+  /// sender *would have* sent — ground truth the receiver must not use for
+  /// placement).
+  bool dss_stripped = false;
+  /// Ground truth that a proxy rewrote the payload. The receiver never
+  /// reads this for detection (that is the checksum's job); it only feeds
+  /// the corrupt-delivery oracle when detection is off.
+  bool payload_rewritten = false;
+};
+
+/// Why a segment's data-level mapping was unusable (MappingFailureFn cause,
+/// kFallback trace field c). Values align with sim::Link::TamperKind.
+enum class MappingFailure : int {
+  kStripped = 1,  ///< DSS option removed: data arrived mapping-less
+  kChecksum = 2,  ///< DSS checksum mismatch: payload rewritten in flight
+  kAckStripped = 3,  ///< MPTCP options removed from a pure ACK (sender-side
+                     ///< detection; never raised by the receiver itself)
 };
 
 /// Acknowledgement flowing back to the sender: cumulative on both levels
@@ -94,6 +115,16 @@ class Receiver {
     bool autotune = false;
     std::int64_t autotune_min_bytes = 64 * 1024;
     std::int64_t autotune_initial_bytes = 128 * 1024;
+
+    /// RFC 8684-style middlebox-interference detection: validate the DSS
+    /// checksum on every first-seen segment and treat mapping-less
+    /// (option-stripped) data as a mapping failure, reporting both through
+    /// MappingFailureFn so the connection can fall back to single-path
+    /// operation. Off (seed behaviour) the receiver is naive: stripped data
+    /// is silently unplaceable (the transfer wedges) and rewritten payloads
+    /// are delivered corrupt (counted by the corrupt_delivered_bytes
+    /// oracle). Default off = seed bit-identity.
+    bool dss_checksum = false;
   };
 
   /// Called for every segment that becomes deliverable to the application,
@@ -109,6 +140,14 @@ class Receiver {
   /// when updates race data-path ACKs across subflows.
   using WindowUpdateFn = std::function<void(
       std::int64_t wnd_stamp, std::uint64_t meta_ack, std::int64_t rwnd_bytes)>;
+
+  /// Fired (only with Config::dss_checksum on) when a segment's data-level
+  /// mapping is unusable — stripped DSS option or checksum mismatch. The
+  /// subflow-level exchange already completed normally (TCP saw ordinary
+  /// data and will ACK it), so the connection must recover the meta-level
+  /// payload itself: requeue the skb and fall back per RFC 8684 §3.7.
+  using MappingFailureFn = std::function<void(
+      int sbf_slot, std::uint64_t meta_seq, MappingFailure cause)>;
 
   /// Asked by the autotuner for a bigger buffer cap: receives the desired
   /// limit in bytes and returns the limit actually granted (the host pool's
@@ -129,6 +168,9 @@ class Receiver {
   }
 
   void set_deliver_fn(DeliverFn fn) { deliver_fn_ = std::move(fn); }
+  void set_mapping_failure_fn(MappingFailureFn fn) {
+    mapping_failure_fn_ = std::move(fn);
+  }
   void set_window_update_fn(WindowUpdateFn fn) {
     window_update_fn_ = std::move(fn);
   }
@@ -180,6 +222,23 @@ class Receiver {
     return unread_bytes_ + ooo_bytes();
   }
   [[nodiscard]] std::int64_t recv_buf_drops() const { return recv_buf_drops_; }
+
+  // ---- Middlebox-interference accounting ------------------------------------
+  /// Segments that arrived with their DSS mapping stripped and were caught
+  /// by detection (Config::dss_checksum on).
+  [[nodiscard]] std::int64_t mapping_lost_segments() const {
+    return mapping_lost_segments_;
+  }
+  /// Segments whose DSS checksum failed validation (payload rewritten).
+  [[nodiscard]] std::int64_t csum_fail_segments() const {
+    return csum_fail_segments_;
+  }
+  /// Oracle: bytes delivered to the application whose payload a middlebox
+  /// had rewritten (only possible with detection off — the naive receiver
+  /// cannot tell). bench_fig_fallback's corruption axis.
+  [[nodiscard]] std::int64_t corrupt_delivered_bytes() const {
+    return corrupt_delivered_bytes_;
+  }
 
   // ---- Dynamic buffer sizing ------------------------------------------------
   /// Effective buffer size backing the advertised window (== recv_buf_bytes
@@ -263,6 +322,12 @@ class Receiver {
   };
 
   void meta_receive(const DataSegment& seg);
+  /// meta_receive with the middlebox gate in front: validates the mapping
+  /// (stripped option / DSS checksum) before the segment may touch the meta
+  /// layer. Detection on -> count + report, segment never placed; detection
+  /// off -> stripped data vanishes (no mapping to place it with) and
+  /// rewritten data is placed corrupt.
+  void meta_receive_checked(const DataSegment& seg);
   void deliver_contiguous();
   void schedule_app_read();
   void maybe_emit_window_update();
@@ -281,6 +346,7 @@ class Receiver {
   Config cfg_;
   DeliverFn deliver_fn_;
   WindowUpdateFn window_update_fn_;
+  MappingFailureFn mapping_failure_fn_;
   Tracer* trace_ = nullptr;
 
   std::array<SubflowRx, kMaxSubflows> subflows_{};
@@ -310,6 +376,9 @@ class Receiver {
   std::int64_t dup_segs_network_ = 0;  ///< subflow-level (spurious retx) dups
   std::int64_t dsack_dups_ = 0;        ///< meta-level (redundant-copy) dups
   std::int64_t recv_buf_drops_ = 0;
+  std::int64_t mapping_lost_segments_ = 0;
+  std::int64_t csum_fail_segments_ = 0;
+  std::int64_t corrupt_delivered_bytes_ = 0;
 
   // ---- Dynamic buffer sizing state ----------------------------------------
   std::int64_t recv_buf_target_ = 0;

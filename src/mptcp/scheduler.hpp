@@ -41,6 +41,11 @@ enum class TriggerKind {
                     ///< (exhausted or shedding); redundant schedulers should
                     ///< back off — every duplicate copy they send lands in a
                     ///< buffer the pool can no longer grow
+  kFallback,        ///< middlebox interference forced an RFC 8684-style
+                    ///< fallback to single-path operation; the subflow slot
+                    ///< is the elected survivor. The installed spec keeps
+                    ///< running but sees exactly one established subflow
+                    ///< from here on (R93 reads the fallback state).
 };
 
 struct Trigger {
@@ -97,12 +102,18 @@ inline constexpr int kEnvRegMemPressure = 90;
 /// as redundant copies of already-received meta data. A redundant scheduler
 /// watching this register sees exactly how many of its copies were wasted.
 inline constexpr int kEnvRegDsackDups = 91;
+/// R93: the connection's RFC 8684 fallback state (0 = native multipath,
+/// 1 = fallback transition in progress, 2 = pinned to single-path
+/// operation after middlebox interference). A spec can stop scheduling
+/// redundancy, flip strategies or surface the degradation to the app.
+inline constexpr int kEnvRegFallback = 92;
 
 /// Snapshot of the environment-register values, refreshed by the engine
 /// before every scheduler execution.
 struct EnvSignals {
   std::int64_t mem_pressure = 0;  ///< served as R91
   std::int64_t dsack_dups = 0;    ///< served as R92
+  std::int64_t fallback = 0;      ///< served as R93
 };
 
 /// Statistics the runtime keeps per scheduler instance (exposed through the
@@ -140,7 +151,8 @@ class SchedulerContext {
                    std::span<const SubflowInfo> subflows, QueueBundle* queues,
                    std::int64_t* registers, int num_registers,
                    std::int64_t rwnd_free_bytes, SchedulerStats* stats,
-                   Tracer* trace = nullptr)
+                   Tracer* trace = nullptr,
+                   std::uint64_t below_edge_bytes = 0)
       : now_(now),
         trigger_(trigger),
         subflows_(subflows),
@@ -148,6 +160,7 @@ class SchedulerContext {
         registers_(registers),
         num_registers_(num_registers),
         rwnd_free_bytes_(rwnd_free_bytes),
+        below_edge_bytes_(below_edge_bytes),
         stats_(stats),
         trace_(trace) {}
 
@@ -157,11 +170,12 @@ class SchedulerContext {
   /// reallocated on every trigger.
   void reset(TimeNs now, Trigger trigger,
              std::span<const SubflowInfo> subflows,
-             std::int64_t rwnd_free_bytes) {
+             std::int64_t rwnd_free_bytes, std::uint64_t below_edge_bytes = 0) {
     now_ = now;
     trigger_ = trigger;
     subflows_ = subflows;
     rwnd_free_bytes_ = rwnd_free_bytes;
+    below_edge_bytes_ = below_edge_bytes;
     actions_.clear();
     pop_log_.clear();
     drop_log_.clear();
@@ -213,15 +227,19 @@ class SchedulerContext {
   [[nodiscard]] std::int64_t reg(int i) const {
     if (i == kEnvRegMemPressure) return env_.mem_pressure;
     if (i == kEnvRegDsackDups) return env_.dsack_dups;
+    if (i == kEnvRegFallback) return env_.fallback;
     return (i >= 0 && i < num_registers_) ? registers_[i] : 0;
   }
   void set_reg(int i, std::int64_t v) {
-    if (i == kEnvRegMemPressure || i == kEnvRegDsackDups) return;
+    if (i == kEnvRegMemPressure || i == kEnvRegDsackDups ||
+        i == kEnvRegFallback) {
+      return;
+    }
     if (i >= 0 && i < num_registers_) registers_[i] = v;
   }
   [[nodiscard]] int num_registers() const { return num_registers_; }
 
-  /// Installs the environment-register snapshot (R91/R92) for this
+  /// Installs the environment-register snapshot (R91–R93) for this
   /// execution; the engine refreshes it before every scheduler run.
   void set_env_signals(const EnvSignals& env) { env_ = env; }
 
@@ -229,8 +247,18 @@ class SchedulerContext {
   /// Whether the receiver's advertised window can accommodate `skb`
   /// (HAS_WINDOW_FOR, §3.3). Window accounting is at the meta level, so the
   /// subflow argument of the DSL call does not change the outcome here.
+  /// A packet entirely below the transmitted right edge is a retransmission
+  /// and always fits, exactly like plain TCP (and like the engine's own
+  /// transmit gate) — a fallback harvest returns such packets to Q, and the
+  /// fresh-data budget must not wedge them. The engine only arms the
+  /// exemption (below_edge_bytes > 0) with the fallback machinery enabled.
   [[nodiscard]] bool has_window_for(const SkbPtr& skb) const {
-    return skb != nullptr && skb->size <= rwnd_free_bytes_;
+    if (skb == nullptr) return false;
+    if (skb->byte_offset + static_cast<std::uint64_t>(skb->size) <=
+        below_edge_bytes_) {
+      return true;
+    }
+    return skb->size <= rwnd_free_bytes_;
   }
 
   [[nodiscard]] SchedulerStats& stats() { return *stats_; }
@@ -274,6 +302,7 @@ class SchedulerContext {
   int num_registers_;
   EnvSignals env_;
   std::int64_t rwnd_free_bytes_;
+  std::uint64_t below_edge_bytes_ = 0;
   SchedulerStats* stats_;
   Tracer* trace_;
 

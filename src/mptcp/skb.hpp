@@ -28,10 +28,21 @@ struct SkbProps {
   bool flow_end = false;  ///< application signals the last packet of a flow
 };
 
+/// Deterministic stand-in for the RFC 8684 §3.3 DSS checksum: a hash over
+/// the mapping (meta_seq) and payload length, computed by the sender when a
+/// packet enters Q and validated by the receiver when Config::dss_checksum is
+/// on. A payload-rewriting middlebox changes the bytes but cannot fix the
+/// checksum, which is exactly what the real DSS checksum exists to catch.
+inline std::uint32_t dss_checksum(std::uint64_t meta_seq, std::int32_t size) {
+  return static_cast<std::uint32_t>((meta_seq * 2654435761ULL) ^
+                                    static_cast<std::uint32_t>(size));
+}
+
 struct Skb {
   std::uint64_t meta_seq = 0;  ///< data-level sequence number (in segments)
   std::uint64_t byte_offset = 0;  ///< first payload byte's stream offset
   std::int32_t size = 0;       ///< payload bytes
+  std::uint32_t dss_csum = 0;  ///< DSS checksum over the mapping (see above)
   SkbProps props;
 
   TimeNs queued_at{0};      ///< when the application pushed it into Q

@@ -89,7 +89,11 @@ void SubflowSender::transmit_fresh(const SkbPtr& skb) {
 
 void SubflowSender::put_on_wire(const TxSeg& seg, bool is_retransmit) {
   last_tx_at_ = sim_.now();
-  const DataSegment ds{slot_, seg.sbf_seq, seg.meta_seq, seg.size};
+  // The wire carries the DSS checksum the sender computed for this mapping
+  // (TxSeg keeps its own copy of the mapping, so recompute from it — equal
+  // to the skb's dss_csum stamp).
+  DataSegment ds{slot_, seg.sbf_seq, seg.meta_seq, seg.size,
+                 dss_checksum(seg.meta_seq, seg.size)};
   std::weak_ptr<int> guard{alive_};
   const bool sent = path_.forward.send(
       seg.size + cfg_.header_bytes,
@@ -101,12 +105,43 @@ void SubflowSender::put_on_wire(const TxSeg& seg, bool is_retransmit) {
         if (host_.on_tsq_freed) host_.on_tsq_freed(slot_);
       },
       /*on_delivered=*/
-      [this, guard, ds] {
+      [this, guard, ds]() mutable {
         if (guard.expired()) return;
+        // Sample the link's middlebox verdict for this delivery and stamp
+        // it onto the arriving segment: a stripped DSS option removes the
+        // mapping, a rewriting proxy leaves the mapping but mangles the
+        // checksum it can no longer recompute.
+        switch (path_.forward.delivered_tamper()) {
+          case sim::Link::TamperKind::kStripDss:
+            ds.dss_stripped = true;
+            break;
+          case sim::Link::TamperKind::kRewritePayload:
+            ds.payload_rewritten = true;
+            ds.dss_csum ^= 0xBADF00Du;
+            break;
+          default:
+            break;
+        }
         const AckInfo ack = receiver_.on_data(ds);
         path_.reverse.send(kAckBytes, nullptr, [this, guard, ack] {
           if (guard.expired()) return;
-          if (established()) on_ack(ack);
+          // An option-stripping middlebox on the ACK path removes the
+          // DATA_ACK option but cannot touch the TCP header: subflow-level
+          // ack and window survive, data-level progress is lost.
+          const bool ack_stripped = path_.reverse.delivered_tamper() ==
+                                    sim::Link::TamperKind::kStripAckOpts;
+          if (established()) {
+            if (ack_stripped) {
+              AckInfo plain = ack;
+              plain.meta_ack = 0;  // cumulative: 0 can never advance meta_una
+              on_ack(plain);
+            } else {
+              on_ack(ack);
+            }
+          }
+          if (ack_stripped && host_.on_ack_tampered) {
+            host_.on_ack_tampered(slot_);
+          }
         });
       });
   if (sent) {

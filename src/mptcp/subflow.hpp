@@ -93,6 +93,11 @@ class SubflowSender {
     /// and meta_una can only advance via the reinjections being starved).
     std::function<void(int slot, std::vector<SkbPtr> blocked)>
         on_window_blocked;
+    /// A pure ACK arrived with its MPTCP options stripped by a middlebox:
+    /// the TCP-header ack/window were processed normally but the DATA_ACK
+    /// was lost in flight. Sender-side interference detection — the
+    /// connection may fall back to single-path operation (RFC 8684 §3.7).
+    std::function<void(int slot)> on_ack_tampered;
   };
 
   struct Stats {

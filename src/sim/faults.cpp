@@ -48,6 +48,16 @@ void FaultInjector::burst_loss(Link& link, TimeNs from, TimeNs until,
   }
 }
 
+void FaultInjector::tamper(Link& link, TimeNs from, TimeNs until,
+                           Link::TamperPolicy policy) {
+  ++scheduled_;
+  sim_.schedule_at(from, [&link, policy] { link.set_tamper(policy); });
+  if (until > from) {
+    ++scheduled_;
+    sim_.schedule_at(until, [&link] { link.clear_tamper(); });
+  }
+}
+
 void FaultInjector::blackout(Network& net, const std::string& path_id,
                              TimeNs from, TimeNs until) {
   blackout(net.path(path_id), from, until);
@@ -67,6 +77,24 @@ void FaultInjector::burst_loss(Network& net, const std::string& path_id,
                                TimeNs from, TimeNs until,
                                Link::GilbertElliott ge) {
   burst_loss(net.path(path_id).forward, from, until, ge);
+}
+
+void FaultInjector::strip_dss(Network& net, const std::string& path_id,
+                              TimeNs from, TimeNs until, double rate) {
+  tamper(net.path(path_id).forward, from, until,
+         {Link::TamperKind::kStripDss, rate});
+}
+
+void FaultInjector::rewrite_payload(Network& net, const std::string& path_id,
+                                    TimeNs from, TimeNs until, double rate) {
+  tamper(net.path(path_id).forward, from, until,
+         {Link::TamperKind::kRewritePayload, rate});
+}
+
+void FaultInjector::strip_ack_options(Network& net, const std::string& path_id,
+                                      TimeNs from, TimeNs until, double rate) {
+  tamper(net.path(path_id).reverse, from, until,
+         {Link::TamperKind::kStripAckOpts, rate});
 }
 
 }  // namespace progmp::sim

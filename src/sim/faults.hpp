@@ -55,6 +55,12 @@ class FaultInjector {
   void burst_loss(Link& link, TimeNs from, TimeNs until,
                   Link::GilbertElliott ge);
 
+  /// Middlebox-interference episode: installs `policy` on `link` during
+  /// [from, until), then removes it. `until` <= `from` means the middlebox
+  /// stays in the path forever.
+  void tamper(Link& link, TimeNs from, TimeNs until,
+              Link::TamperPolicy policy);
+
   // ---- By path id on a shared network --------------------------------------
   // Fault plans against a sim::Network address paths by their registered id,
   // so scenario scripts don't need the NetPath objects — and a fault on a
@@ -68,6 +74,18 @@ class FaultInjector {
   /// Burst loss on the forward (data) link of the path.
   void burst_loss(Network& net, const std::string& path_id, TimeNs from,
                   TimeNs until, Link::GilbertElliott ge);
+  /// Option-stripping middlebox on the forward (data) link: data arrives
+  /// with its DSS mapping removed.
+  void strip_dss(Network& net, const std::string& path_id, TimeNs from,
+                 TimeNs until, double rate = 1.0);
+  /// Payload-rewriting proxy on the forward (data) link: data arrives but
+  /// the DSS checksum no longer covers what was sent.
+  void rewrite_payload(Network& net, const std::string& path_id, TimeNs from,
+                       TimeNs until, double rate = 1.0);
+  /// Option-stripping middlebox on the reverse (ACK) link: the TCP-header
+  /// ack/window survive, the MPTCP DATA_ACK option does not.
+  void strip_ack_options(Network& net, const std::string& path_id, TimeNs from,
+                         TimeNs until, double rate = 1.0);
 
   /// Number of fault events scheduled so far (for plan introspection).
   [[nodiscard]] std::int64_t scheduled_events() const { return scheduled_; }

@@ -25,6 +25,24 @@ void Link::note_drop(DropCause cause, std::int64_t bytes) {
   }
 }
 
+void Link::note_tamper(TamperKind kind, std::int64_t bytes) {
+  switch (kind) {
+    case TamperKind::kNone:
+      return;
+    case TamperKind::kStripDss:
+    case TamperKind::kStripAckOpts:
+      ++stats_.tampered_stripped;
+      break;
+    case TamperKind::kRewritePayload:
+      ++stats_.tampered_corrupted;
+      break;
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(TraceEventType::kMiddleboxTamper, sim_.now(), trace_slot_,
+                 static_cast<std::int32_t>(kind), bytes, trace_direction_);
+  }
+}
+
 void Link::set_down() {
   if (!up_) return;
   up_ = false;

@@ -42,6 +42,29 @@ class Link {
     kDown = 3,    ///< link is administratively/physically down
   };
 
+  /// How an in-path middlebox tampered with a packet that still arrives
+  /// (kMiddleboxTamper trace field a). The link stays payload-agnostic: it
+  /// records a verdict per delivery, and the transport reads the verdict via
+  /// delivered_tamper() inside its on_delivered callback.
+  enum class TamperKind : std::int32_t {
+    kNone = 0,
+    kStripDss = 1,        ///< MPTCP DSS option removed: data arrives with no
+                          ///< data-level mapping (RFC 8684 §3.7 trigger)
+    kRewritePayload = 2,  ///< payload-rewriting proxy: bytes arrive but the
+                          ///< DSS checksum no longer matches
+    kStripAckOpts = 3,    ///< MPTCP options removed from a pure ACK: the
+                          ///< TCP-header window/ack survive, DATA_ACK is lost
+  };
+
+  /// Per-link middlebox policy: each surviving (non-lost) packet is tampered
+  /// with probability `rate` while the policy is installed. One extra RNG
+  /// draw per packet, only while installed — policy-free runs consume exactly
+  /// the pre-policy RNG sequence (same guard discipline as Gilbert–Elliott).
+  struct TamperPolicy {
+    TamperKind kind = TamperKind::kNone;
+    double rate = 1.0;
+  };
+
   struct Config {
     std::int64_t rate_bps = 100'000'000;   ///< serialization rate
     TimeNs delay = milliseconds(5);        ///< one-way propagation delay
@@ -61,6 +84,9 @@ class Link {
     std::int64_t drops_burst = 0;  ///< Gilbert–Elliott burst loss
     std::int64_t drops_down = 0;   ///< packets sent into a downed link
     std::int64_t down_transitions = 0;  ///< up -> down events
+    std::int64_t tampered_stripped = 0;   ///< delivered with options stripped
+                                          ///< (kStripDss / kStripAckOpts)
+    std::int64_t tampered_corrupted = 0;  ///< delivered with payload rewritten
     std::int64_t bytes_delivered = 0;
     /// High-water mark of the drop-tail queue — the contention signal for
     /// shared links (many flows arbitrating for one serializer).
@@ -119,6 +145,14 @@ class Link {
       lost = rng_.chance(cfg_.loss_rate);
     }
 
+    // Middlebox verdict for the surviving packet. Drawn after the loss draw
+    // and only while a policy is installed, so tamper-free runs stay on the
+    // pre-policy RNG sequence (bit-identical replays).
+    TamperKind tampered = TamperKind::kNone;
+    if (!lost && tamper_.has_value() && rng_.chance(tamper_->rate)) {
+      tampered = tamper_->kind;
+    }
+
     sim_.schedule_at(serialized_at, [this, bytes,
                                      cb = std::move(on_serialized)]() mutable {
       queued_bytes_ -= bytes;
@@ -135,12 +169,15 @@ class Link {
         arrival = std::max(arrival, last_arrival_);  // FIFO preserved
       }
       last_arrival_ = arrival;
-      sim_.schedule_at(arrival,
-                       [this, bytes, cb = std::move(on_delivered)]() mutable {
-                         ++stats_.packets_delivered;
-                         stats_.bytes_delivered += bytes;
-                         run_cb(cb);
-                       });
+      sim_.schedule_at(arrival, [this, bytes, tampered,
+                                 cb = std::move(on_delivered)]() mutable {
+        ++stats_.packets_delivered;
+        stats_.bytes_delivered += bytes;
+        if (tampered != TamperKind::kNone) note_tamper(tampered, bytes);
+        delivered_tamper_ = tampered;
+        run_cb(cb);
+        delivered_tamper_ = TamperKind::kNone;
+      });
     }
     return true;
   }
@@ -192,6 +229,18 @@ class Link {
   void clear_gilbert_elliott() { ge_.reset(); }
   [[nodiscard]] bool burst_loss_enabled() const { return ge_.has_value(); }
 
+  /// Installs/removes a middlebox tamper policy on this link. While
+  /// installed, each surviving packet draws once against `rate` and, on a
+  /// hit, arrives carrying the policy's TamperKind.
+  void set_tamper(const TamperPolicy& policy) { tamper_ = policy; }
+  void clear_tamper() { tamper_.reset(); }
+  [[nodiscard]] bool tamper_enabled() const { return tamper_.has_value(); }
+
+  /// Verdict for the packet currently being delivered: valid only inside an
+  /// on_delivered callback (kNone at any other time). The transport samples
+  /// this to model what a real stack would read off the arriving header.
+  [[nodiscard]] TamperKind delivered_tamper() const { return delivered_tamper_; }
+
   /// Connects the link to the connection-wide tracer: down/up transitions
   /// and per-cause drops are emitted with the owning subflow's slot;
   /// `direction` is 0 for the data (forward) link, 1 for the ACK (reverse)
@@ -213,6 +262,7 @@ class Link {
 
  private:
   void note_drop(DropCause cause, std::int64_t bytes);
+  void note_tamper(TamperKind kind, std::int64_t bytes);
 
   /// Invokes a send() callback: nullptr is "no callback", emptiable
   /// callables (std::function) are checked, plain lambdas just run.
@@ -237,6 +287,8 @@ class Link {
   bool up_ = true;
   std::optional<GilbertElliott> ge_;
   bool ge_bad_ = false;  ///< current Gilbert–Elliott chain state
+  std::optional<TamperPolicy> tamper_;
+  TamperKind delivered_tamper_ = TamperKind::kNone;
 
   Tracer* trace_ = nullptr;
   int trace_slot_ = -1;

@@ -89,6 +89,17 @@ std::string Network::proc_dump() const {
                     static_cast<long long>(s.drops_burst),
                     static_cast<long long>(s.drops_down));
       out += buf;
+      // Middlebox interference is rare enough that an unconditional column
+      // would be noise; surface it only on paths that saw (or can see) it.
+      if (link.tamper_enabled() || s.tampered_stripped > 0 ||
+          s.tampered_corrupted > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "    tamper: %s stripped=%lld corrupted=%lld\n",
+                      link.tamper_enabled() ? "armed" : "idle",
+                      static_cast<long long>(s.tampered_stripped),
+                      static_cast<long long>(s.tampered_corrupted));
+        out += buf;
+      }
     };
     out += "path " + e.id + ":\n";
     dir("fwd", e.path->forward);

@@ -40,9 +40,14 @@ void write_failure_artifact(const ChaosPlan& plan, const ChaosOptions& opts) {
   out << minimized.str();
 }
 
-/// One soak shard: seeds [first, first + count).
-void run_shard(std::uint64_t first, std::uint64_t count) {
-  const ChaosOptions opts;
+/// One soak shard: seeds [first, first + count). Middlebox tampering (and the
+/// RFC 8684-style fallback detection it exercises) is folded into the regular
+/// soak: tamper draws come after every legacy draw, so each seed's fault list
+/// is a strict superset of the pre-tamper plan for that seed.
+void run_shard(std::uint64_t first, std::uint64_t count,
+               std::int64_t* fallbacks_seen = nullptr) {
+  ChaosOptions opts;
+  opts.middlebox_tamper = true;
   for (std::uint64_t seed = first; seed < first + count; ++seed) {
     const ChaosPlan plan = apps::make_chaos_plan(seed, opts);
     const ChaosVerdict v = apps::run_chaos_plan(plan, opts);
@@ -56,6 +61,7 @@ void run_shard(std::uint64_t first, std::uint64_t count) {
         << v.written << " bytes (deaths=" << v.deaths
         << " revivals=" << v.revivals << " stalls=" << v.stalls << ")\n"
         << plan.str();
+    if (fallbacks_seen != nullptr) *fallbacks_seen += v.fallbacks;
     if (::testing::Test::HasFailure()) {
       write_failure_artifact(plan, opts);
       return;  // first failing seed is enough
@@ -67,6 +73,20 @@ TEST(ChaosSoakTest, Seeds0To49) { run_shard(0, 50); }
 TEST(ChaosSoakTest, Seeds50To99) { run_shard(50, 50); }
 TEST(ChaosSoakTest, Seeds100To149) { run_shard(100, 50); }
 TEST(ChaosSoakTest, Seeds150To199) { run_shard(150, 50); }
+
+TEST(ChaosSoakTest, FallbackShardSeeds200To249) {
+  // Dedicated middlebox-interference shard: same soak machinery over a fresh
+  // seed range, but with a liveness assertion on the fallback path itself —
+  // across 50 tampered plans at least one connection must actually take the
+  // RFC 8684-style fallback (otherwise the tamper episodes all punched air
+  // and the fallback state machine went untested).
+  std::int64_t fallbacks = 0;
+  run_shard(200, 50, &fallbacks);
+  if (!::testing::Test::HasFailure()) {
+    EXPECT_GT(fallbacks, 0)
+        << "no seed in [200,250) ever fell back — tamper episodes too gentle";
+  }
+}
 
 TEST(ChaosSoakTest, SameSeedSamePlanAndVerdict) {
   // The soak is only debuggable if a failing seed replays bit-identically.

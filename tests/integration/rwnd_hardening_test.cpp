@@ -13,6 +13,7 @@
 #include "mptcp/connection.hpp"
 #include "mptcp/receiver.hpp"
 #include "sched/native.hpp"
+#include "sim/faults.hpp"
 #include "sim/simulator.hpp"
 
 namespace progmp::mptcp {
@@ -135,6 +136,82 @@ TEST(PersistTimerTest, ProbeBackoffDoublesUpToCap) {
   EXPECT_EQ(rig.conn.delivered_bytes(), rig.conn.written_bytes());
   EXPECT_GT(rig.conn.zero_window_probes(), 0);
   EXPECT_FALSE(rig.conn.persist_armed());
+}
+
+TEST(PersistTimerTest, SubflowCloseCancelsArmedProbeChain) {
+  // A subflow closing while the zero-window persist chain is armed must
+  // cancel the probe epoch: no probe may ride the dead subflow, and with no
+  // established subflow left the chain must not re-arm either.
+  PersistRig rig(persist_config(/*wnd_update_subflow=*/0,
+                                /*zero_window_probe=*/true));
+  rig.conn.write(20 * 1400);
+  rig.sim.schedule_at(milliseconds(50),
+                      [&] { rig.conn.path(0).reverse.set_down(); });
+  rig.sim.schedule_at(milliseconds(150), [&] { rig.conn.write(20 * 1400); });
+  rig.sim.run_until(seconds(2));
+  ASSERT_TRUE(rig.conn.persist_armed());
+  const std::size_t probes_before =
+      event_times(rig.conn, TraceEventType::kZeroWindowProbe).size();
+  rig.conn.close_subflow(0);
+  EXPECT_FALSE(rig.conn.persist_armed());
+  rig.sim.run_until(seconds(12));
+  EXPECT_FALSE(rig.conn.persist_armed());
+  EXPECT_EQ(event_times(rig.conn, TraceEventType::kZeroWindowProbe).size(),
+            probes_before)
+      << "a persist probe rode the closed subflow";
+}
+
+TEST(PersistTimerTest, FallbackAbandonCancelsProbeChain) {
+  // Same regression through the fallback route: the probe chain is armed
+  // while the fast subflow carries the probes, then a DSS-stripping
+  // middlebox appears on that path the moment the reverse links heal. The
+  // fallback abandons the fast subflow — the armed epoch must die with it,
+  // and every later probe must ride the surviving subflow.
+  sim::Simulator sim;
+  auto cfg = apps::heterogeneous_config(/*rtt_ratio=*/4.0);
+  cfg.receiver.recv_buf_bytes = 20 * 1400;
+  cfg.receiver.app_read_bytes_per_sec = 20'000;
+  cfg.window_update_subflow = 0;
+  cfg.zero_window_probe = true;
+  cfg.middlebox_fallback = true;
+  cfg.trace_enabled = true;
+  cfg.trace_capacity = 1 << 16;
+  MptcpConnection conn(sim, cfg, Rng(21));
+  conn.set_scheduler(sched::make_native_minrtt());
+
+  conn.write(20 * 1400);
+  sim.schedule_at(milliseconds(50), [&] {
+    conn.path(0).reverse.set_down();
+    conn.path(1).reverse.set_down();
+  });
+  sim.schedule_at(milliseconds(150), [&] { conn.write(20 * 1400); });
+  sim.schedule_at(seconds(3), [&] {
+    conn.path(0).reverse.set_up();
+    conn.path(1).reverse.set_up();
+  });
+  sim::FaultInjector faults(sim);
+  faults.tamper(conn.path(0).forward, seconds(3), TimeNs{0},
+                {sim::Link::TamperKind::kStripDss, /*rate=*/1.0});
+  sim.run_until(seconds(30));
+
+  EXPECT_EQ(conn.fallbacks(), 1);
+  EXPECT_EQ(conn.fallback_survivor(), 1);
+  EXPECT_EQ(conn.delivered_bytes(), conn.written_bytes());
+  EXPECT_FALSE(conn.persist_armed());
+  TimeNs fallback_at{-1};
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type == TraceEventType::kFallback) {
+      fallback_at = e.at;
+      break;
+    }
+  }
+  ASSERT_GE(fallback_at, TimeNs{0}) << "fallback never happened";
+  for (const TraceEvent& e : conn.tracer().events()) {
+    if (e.type == TraceEventType::kZeroWindowProbe && e.at > fallback_at) {
+      EXPECT_EQ(e.subflow, 1) << "a probe rode the abandoned subflow at "
+                              << e.at.str();
+    }
+  }
 }
 
 // ---- The deadlock-masking regression matrix ---------------------------------

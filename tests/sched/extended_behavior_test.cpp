@@ -208,43 +208,50 @@ TEST(Http2AwareUnitTest, ClassThreeNeverTouchesNonPreferred) {
   EXPECT_TRUE(ctx.actions().empty());
 }
 
-// ---- Environment registers (R91/R92) ----------------------------------------
+// ---- Environment registers (R91-R93) ----------------------------------------
 
 TEST(EnvRegisterTest, OverlayServesSignalsAndIgnoresWrites) {
   FakeEnv env;
   auto ctx = env.ctx();
-  ctx.set_env_signals({/*mem_pressure=*/3, /*dsack_dups=*/7});
+  ctx.set_env_signals({/*mem_pressure=*/3, /*dsack_dups=*/7, /*fallback=*/2});
   EXPECT_EQ(ctx.reg(mptcp::kEnvRegMemPressure), 3);
   EXPECT_EQ(ctx.reg(mptcp::kEnvRegDsackDups), 7);
+  EXPECT_EQ(ctx.reg(mptcp::kEnvRegFallback), 2);
   // The overlay is read-only: writes fall on the floor, they never shadow
   // the environment's value or spill into the register file.
   ctx.set_reg(mptcp::kEnvRegMemPressure, 99);
   ctx.set_reg(mptcp::kEnvRegDsackDups, 99);
+  ctx.set_reg(mptcp::kEnvRegFallback, 99);
   EXPECT_EQ(ctx.reg(mptcp::kEnvRegMemPressure), 3);
   EXPECT_EQ(ctx.reg(mptcp::kEnvRegDsackDups), 7);
+  EXPECT_EQ(ctx.reg(mptcp::kEnvRegFallback), 2);
   for (const std::int64_t r : env.registers) EXPECT_EQ(r, 0);
   // Ordinary registers are untouched by the overlay.
   ctx.set_reg(0, 11);
   EXPECT_EQ(ctx.reg(0), 11);
 }
 
-TEST(EnvRegisterTest, SpecsReadMemPressureAndDsackOnEveryBackend) {
-  // A spec watching the host's memory-pressure level and its own wasted
-  // redundant copies — the register plumbing every backend must serve.
+TEST(EnvRegisterTest, SpecsReadMemPressureDsackAndFallbackOnEveryBackend) {
+  // A spec watching the host's memory-pressure level, its own wasted
+  // redundant copies and the RFC 8684 fallback state — the register
+  // plumbing every backend must serve.
   constexpr std::string_view kSpec =
-      "SET(R91, 1234);"  // ignored: the environment owns R91/R92
+      "SET(R91, 1234);"  // ignored: the environment owns R91-R93
       "SET(R92, 1234);"
+      "SET(R93, 1234);"
       "SET(R1, R91);"
-      "SET(R2, R92);";
+      "SET(R2, R92);"
+      "SET(R3, R93);";
   for (rt::Backend backend : test::kAllBackends) {
     FakeEnv env;
     auto program = test::must_load(kSpec, backend, "env_reg_probe");
     ASSERT_NE(program, nullptr);
     auto ctx = env.ctx();
-    ctx.set_env_signals({/*mem_pressure=*/5, /*dsack_dups=*/9});
+    ctx.set_env_signals({/*mem_pressure=*/5, /*dsack_dups=*/9, /*fallback=*/2});
     program->schedule(ctx);
     EXPECT_EQ(env.registers[0], 5) << "backend " << static_cast<int>(backend);
     EXPECT_EQ(env.registers[1], 9) << "backend " << static_cast<int>(backend);
+    EXPECT_EQ(env.registers[2], 2) << "backend " << static_cast<int>(backend);
   }
 }
 
