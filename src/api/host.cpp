@@ -41,6 +41,40 @@ Host::Host(sim::Simulator& sim, ProgmpApi& api, Rng rng, Options opts)
       return connection(conn_id).delivered_bytes();
     });
   }
+  if (opts_.quarantine.enabled) {
+    quarantine_ = std::make_unique<SpecQuarantine>(sim_, opts_.quarantine);
+    quarantine_->set_demote_fn([this](const std::string& program,
+                                      std::int64_t faults, TimeNs cooldown,
+                                      std::int64_t ordinal) {
+      for (std::size_t i = 0; i < connections_.size(); ++i) {
+        if (scheduler_names_[i] != program) continue;
+        mptcp::MptcpConnection& conn = *connections_[i];
+        conn.quarantine_scheduler();
+        conn.set_quarantine_signal(1);
+        conn.tracer().emit(TraceEventType::kSpecQuarantine, sim_.now(), -1,
+                           static_cast<std::int32_t>(faults), cooldown.ns(),
+                           ordinal);
+      }
+    });
+    quarantine_->set_reinstate_fn(
+        [this](const std::string& program, TimeNs served) {
+          for (std::size_t i = 0; i < connections_.size(); ++i) {
+            if (scheduler_names_[i] != program) continue;
+            mptcp::MptcpConnection& conn = *connections_[i];
+            conn.reinstate_scheduler();
+            conn.set_quarantine_signal(2);
+            conn.tracer().emit(TraceEventType::kSpecReinstate, sim_.now(), -1,
+                               1, served.ns());
+          }
+        });
+    quarantine_->set_probation_clear_fn([this](const std::string& program) {
+      for (std::size_t i = 0; i < connections_.size(); ++i) {
+        if (scheduler_names_[i] == program) {
+          connections_[i]->set_quarantine_signal(0);
+        }
+      }
+    });
+  }
 }
 
 mptcp::MptcpConnection* Host::open_connection(
@@ -98,7 +132,20 @@ mptcp::MptcpConnection* Host::open_connection(
   }
   connections_.push_back(std::move(conn));
   scheduler_names_.push_back(scheduler_name);
-  return connections_.back().get();
+  mptcp::MptcpConnection* opened = connections_.back().get();
+  if (quarantine_ != nullptr) {
+    opened->set_fault_observer(
+        [this, scheduler_name](mptcp::FaultKind, mptcp::TriggerKind) {
+          quarantine_->on_fault(scheduler_name);
+        });
+    // A program already in quarantine stays demoted for new tenants too —
+    // otherwise opening a connection would reset the containment.
+    if (quarantine_->quarantined(scheduler_name)) {
+      opened->quarantine_scheduler();
+      opened->set_quarantine_signal(1);
+    }
+  }
+  return opened;
 }
 
 std::int64_t Host::total_written_bytes() const {
@@ -120,20 +167,28 @@ std::int64_t Host::total_wire_bytes_sent() const {
 }
 
 void Host::refresh_metrics() {
-  if (mem_pool_ == nullptr) return;
-  const RecvMemPool::Stats& ps = mem_pool_->stats();
-  *metrics_.gauge("host.mem.pool_bytes") = mem_pool_->config().pool_bytes;
-  *metrics_.gauge("host.mem.granted_bytes") = mem_pool_->granted_bytes();
-  *metrics_.gauge("host.mem.free_bytes") = mem_pool_->free_bytes();
-  *metrics_.gauge("host.mem.members") = mem_pool_->member_count();
-  *metrics_.gauge("host.mem.pressure_level") = mem_pool_->pressure_level();
-  *metrics_.gauge("host.mem.peak_granted_bytes") = ps.peak_granted_bytes;
-  *metrics_.counter("host.mem.admissions") = ps.admissions;
-  *metrics_.counter("host.mem.refusals") = ps.refusals;
-  *metrics_.counter("host.mem.reclaimed_bytes") = ps.reclaimed_bytes;
-  *metrics_.counter("host.mem.pressure_episodes") = ps.pressure_episodes;
-  *metrics_.counter("host.mem.sheds") = ps.sheds;
-  *metrics_.counter("host.mem.restores") = ps.restores;
+  if (mem_pool_ != nullptr) {
+    const RecvMemPool::Stats& ps = mem_pool_->stats();
+    *metrics_.gauge("host.mem.pool_bytes") = mem_pool_->config().pool_bytes;
+    *metrics_.gauge("host.mem.granted_bytes") = mem_pool_->granted_bytes();
+    *metrics_.gauge("host.mem.free_bytes") = mem_pool_->free_bytes();
+    *metrics_.gauge("host.mem.members") = mem_pool_->member_count();
+    *metrics_.gauge("host.mem.pressure_level") = mem_pool_->pressure_level();
+    *metrics_.gauge("host.mem.peak_granted_bytes") = ps.peak_granted_bytes;
+    *metrics_.counter("host.mem.admissions") = ps.admissions;
+    *metrics_.counter("host.mem.refusals") = ps.refusals;
+    *metrics_.counter("host.mem.reclaimed_bytes") = ps.reclaimed_bytes;
+    *metrics_.counter("host.mem.pressure_episodes") = ps.pressure_episodes;
+    *metrics_.counter("host.mem.sheds") = ps.sheds;
+    *metrics_.counter("host.mem.restores") = ps.restores;
+  }
+  if (quarantine_ != nullptr) {
+    *metrics_.counter("host.quarantines") = quarantine_->total_quarantines();
+    *metrics_.counter("host.reinstates") = quarantine_->total_reinstates();
+    for (const auto& [name, st] : quarantine_->stats()) {
+      *metrics_.gauge("prog.fault_score." + name) = st.faults_total;
+    }
+  }
 }
 
 std::string Host::proc_dump() {
@@ -166,6 +221,11 @@ std::string Host::proc_dump() {
         << " admissions=" << ps.admissions << " refusals=" << ps.refusals
         << " reclaimed=" << ps.reclaimed_bytes << " sheds=" << ps.sheds
         << " restores=" << ps.restores << "\n";
+  }
+  if (quarantine_ != nullptr) {
+    out << quarantine_->proc_line() << "\n";
+  }
+  if (mem_pool_ != nullptr || quarantine_ != nullptr) {
     refresh_metrics();
     out << metrics_.proc_dump();
   }

@@ -23,6 +23,7 @@
 
 #include "api/progmp_api.hpp"
 #include "api/recv_mem_pool.hpp"
+#include "api/spec_quarantine.hpp"
 #include "core/metrics.hpp"
 #include "core/rng.hpp"
 #include "core/trace.hpp"
@@ -62,6 +63,13 @@ class Host {
     /// Enables the shed policy after `mem_shed_after` pressure episodes.
     bool mem_shed = false;
     int mem_shed_after = 3;
+
+    // ---- Hostile-spec quarantine (SpecQuarantine) --------------------------
+    /// Per-program runtime-fault containment: a scheduler that keeps
+    /// faulting is demoted host-wide to the default scheduler for a
+    /// doubling cooldown, then reinstated on probation. Disabled by
+    /// default (quarantine.enabled = false — the seed behaviour).
+    SpecQuarantine::Config quarantine;
   };
 
   /// `api` holds the loaded scheduler programs and must outlive the host.
@@ -123,6 +131,13 @@ class Host {
   [[nodiscard]] RecvMemPool* mem_pool() { return mem_pool_.get(); }
   [[nodiscard]] const RecvMemPool* mem_pool() const { return mem_pool_.get(); }
 
+  /// The per-program quarantine manager — null while
+  /// Options::quarantine.enabled is false.
+  [[nodiscard]] SpecQuarantine* quarantine() { return quarantine_.get(); }
+  [[nodiscard]] const SpecQuarantine* quarantine() const {
+    return quarantine_.get();
+  }
+
   /// Host-level metrics (host.mem.* pool gauges); refreshed by
   /// refresh_metrics()/proc_dump().
   [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
@@ -139,6 +154,7 @@ class Host {
   std::vector<std::unique_ptr<mptcp::MptcpConnection>> connections_;
   std::vector<std::string> scheduler_names_;  ///< per conn id, for the dump
   std::unique_ptr<RecvMemPool> mem_pool_;
+  std::unique_ptr<SpecQuarantine> quarantine_;
 };
 
 /// Registers the host memory-pool invariant pack on `checker`: granted

@@ -28,9 +28,15 @@ class SchedulerInstance final : public mptcp::Scheduler {
 
 bool ProgmpApi::load_scheduler(std::string_view spec, const std::string& name,
                                std::string* error) {
-  DiagSink diags;
   rt::ProgmpProgram::LoadOptions options;
   options.backend = default_backend_;
+  return load_scheduler(spec, name, options, error);
+}
+
+bool ProgmpApi::load_scheduler(std::string_view spec, const std::string& name,
+                               const rt::ProgmpProgram::LoadOptions& options,
+                               std::string* error) {
+  DiagSink diags;
   auto program = rt::ProgmpProgram::load(spec, name, options, diags);
   if (program == nullptr) {
     if (error != nullptr) *error = diags.str();
@@ -160,6 +166,14 @@ std::string ProgmpApi::proc_dump(mptcp::MptcpConnection& conn) {
                 cc.rto_death_threshold, cc.revive_on_restore ? "on" : "off",
                 cc.sched_fault_fallback ? "on" : "off");
   out += buf;
+  // Only rendered once the host's quarantine manager has touched this
+  // connection — quarantine-off dumps stay byte-identical to the seed.
+  if (conn.scheduler_quarantined() || conn.quarantine_signal() != 0) {
+    std::snprintf(buf, sizeof buf, "quarantine: parked=%s signal=%lld\n",
+                  conn.scheduler_quarantined() ? "yes" : "no",
+                  static_cast<long long>(conn.quarantine_signal()));
+    out += buf;
+  }
   std::snprintf(buf, sizeof buf,
                 "path_health: probe_revival=%s probe_interval=%s "
                 "probe_required_acks=%d keepalive_idle=%s stall_timeout=%s "

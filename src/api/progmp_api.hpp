@@ -39,6 +39,13 @@ class ProgmpApi {
   bool load_scheduler(std::string_view spec, const std::string& name,
                       std::string* error = nullptr);
 
+  /// Like load_scheduler but with caller-supplied load options (backend,
+  /// exec budget, verifier configuration). The plain overload is equivalent
+  /// to passing default options with the api's default backend.
+  bool load_scheduler(std::string_view spec, const std::string& name,
+                      const rt::ProgmpProgram::LoadOptions& options,
+                      std::string* error = nullptr);
+
   /// Loads one of the built-in specifications (sched/specs.hpp) by name.
   bool load_builtin(const std::string& name, std::string* error = nullptr);
 

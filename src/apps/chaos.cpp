@@ -14,6 +14,7 @@
 #include "mptcp/conn_invariants.hpp"
 #include "mptcp/connection.hpp"
 #include "sched/native.hpp"
+#include "sched/specs.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -110,6 +111,11 @@ std::string ChaosPlan::str() const {
     }
     out += "\n";
   }
+  if (hostile_kind >= 0) {
+    static constexpr const char* kHostile[] = {"malformed", "budget_bomb",
+                                               "fault_flapper"};
+    out += std::string("  hostile kind=") + kHostile[hostile_kind % 3] + "\n";
+  }
   for (const ChaosFault& f : faults) out += "  " + f.str() + "\n";
   return out;
 }
@@ -203,6 +209,11 @@ ChaosPlan make_chaos_plan(std::uint64_t seed, const ChaosOptions& opts) {
       f.tamper.rate = 0.5 + 0.5 * rng.next_double();
       plan.faults.push_back(f);
     }
+  }
+  if (opts.hostile_spec) {
+    // The last draw class of all: plans for a given seed are unchanged with
+    // the mode off, and unchanged for every older mode with it on.
+    plan.hostile_kind = static_cast<int>(rng.next_range(0, 2));
   }
   return plan;
 }
@@ -365,9 +376,151 @@ ChaosVerdict run_chaos_plan_mem(const ChaosPlan& plan,
   return v;
 }
 
+/// The hostile-tenant variant (ChaosOptions::hostile_spec): the plan's fault
+/// schedule against a fleet where one tenant brings a hostile scheduler.
+/// Malformed sources and budget bombs must be refused at load (the tenant
+/// then joins on the default spec — a refused load must not cost it its
+/// connection); the fault flapper must end up quarantined while everybody,
+/// the flapper's own connection included (the default scheduler stands in),
+/// keeps full delivery.
+ChaosVerdict run_chaos_plan_hostile(const ChaosPlan& plan,
+                                    const ChaosOptions& opts) {
+  sim::Simulator sim;
+  api::ProgmpApi papi;
+  std::string err;
+  PROGMP_CHECK_MSG(papi.load_builtin("minrtt", &err), err.c_str());
+
+  ChaosVerdict v;
+  std::string hostile_sched = "minrtt";
+  switch (plan.hostile_kind) {
+    case 0: {
+      // Malformed source: the front end must refuse it.
+      v.hostile_load_rejected = !papi.load_scheduler(
+          "SCHEDULER hostile; GARBAGE(((", "hostile", &v.hostile_load_error);
+      break;
+    }
+    case 1: {
+      // Budget bomb: structurally fine, but its worst-case instruction
+      // count dwarfs the execution budget — the load-time WCET proof must
+      // refuse it before it ever runs.
+      const auto spec = sched::specs::find_spec("minrtt");
+      PROGMP_CHECK(spec.has_value());
+      rt::ProgmpProgram::LoadOptions lo;
+      lo.exec_budget = 64;
+      v.hostile_load_rejected = !papi.load_scheduler(
+          spec->source, "hostile", lo, &v.hostile_load_error);
+      break;
+    }
+    case 2: {
+      // Fault flapper: same spec, same starved budget, but with the WCET
+      // proof switched off — the adversary who opts out of verification.
+      // It loads, faults on every trigger, and containment moves to the
+      // runtime layer: fault scoring must quarantine it.
+      const auto spec = sched::specs::find_spec("minrtt");
+      PROGMP_CHECK(spec.has_value());
+      rt::ProgmpProgram::LoadOptions lo;
+      lo.exec_budget = 64;
+      lo.verify.absint = false;
+      PROGMP_CHECK_MSG(
+          papi.load_scheduler(spec->source, "hostile", lo, &err), err.c_str());
+      hostile_sched = "hostile";
+      break;
+    }
+    default:
+      break;
+  }
+
+  api::Host::Options hopts;
+  hopts.quarantine.enabled = true;
+  hopts.quarantine.fault_threshold = 4;
+  hopts.quarantine.window = milliseconds(500);
+  hopts.quarantine.cooldown_initial = milliseconds(500);
+  hopts.quarantine.cooldown_max = seconds(8);
+  hopts.quarantine.probation = milliseconds(250);
+  api::Host host(sim, papi, Rng(plan.seed ^ 0xc4a05f00dULL), hopts);
+  install_fleet_network(host.network(), /*wifi_ap_mbps=*/16,
+                        /*lte_cell_mbps=*/48);
+
+  InvariantChecker checker;
+  checker.set_stride(opts.invariant_stride);
+
+  std::vector<mptcp::MptcpConnection*> conns;
+  for (int i = 0; i < std::max(2, opts.hostile_conns); ++i) {
+    mptcp::MptcpConnection::Config cfg =
+        fleet_handover_config(opts.rto_death_threshold);
+    cfg.probe_revival = opts.probe_revival;
+    cfg.keepalive_idle = opts.keepalive_idle;
+    cfg.stall_timeout = opts.stall_timeout;
+    cfg.stall_rescue = opts.stall_rescue;
+    cfg.receiver.recv_buf_bytes = plan.recv_buf_bytes;
+    cfg.receiver.app_read_bytes_per_sec = plan.app_read_bytes_per_sec;
+    cfg.receiver.enforce_recv_buf = true;
+    cfg.receiver.coalesce_window_updates = true;
+    cfg.window_update_subflow = plan.wnd_update_subflow;
+    cfg.zero_window_probe = true;
+    const bool hostile_tenant = i == 0;
+    mptcp::MptcpConnection* conn = host.open_connection(
+        cfg, hostile_tenant ? hostile_sched : "minrtt", &err);
+    PROGMP_CHECK_MSG(conn != nullptr, err.c_str());
+    // Co-tenants run the native MinRTT for the same reason as the memory
+    // soak (RQ fresh-path fallback); the hostile tenant keeps its loaded
+    // program so its faults feed the quarantine scoring.
+    if (!hostile_tenant || hostile_sched == "minrtt") {
+      conn->set_scheduler(sched::make_native_minrtt());
+    }
+    conns.push_back(conn);
+    mptcp::install_connection_invariants(checker, *conn);
+  }
+  sim.set_post_event_hook([&checker, &sim] { checker.run(sim.now()); });
+
+  sim::FaultInjector injector(sim);
+  install_plan_faults(sim, host.network(), injector, plan);
+
+  CbrSource::Options wl;
+  wl.schedule = {{TimeNs{0}, opts.cbr_bytes_per_sec}};
+  wl.duration = plan.horizon - seconds(1);
+  std::vector<std::unique_ptr<CbrSource>> sources;
+  for (mptcp::MptcpConnection* conn : conns) {
+    sources.push_back(std::make_unique<CbrSource>(sim, *conn, wl));
+    sources.back()->start();
+  }
+
+  sim.run_until(plan.horizon + opts.grace);
+  checker.force_run(sim.now());
+
+  v.invariants_ok = checker.ok();
+  v.violations = checker.total_violations();
+  if (!checker.violations().empty()) {
+    const InvariantChecker::Violation& first = checker.violations().front();
+    v.first_violation = first.check + "@" + first.at.str() + ": " +
+                        first.detail;
+  }
+  v.delivered_all = true;
+  for (mptcp::MptcpConnection* conn : conns) {
+    v.written += conn->written_bytes();
+    v.delivered += conn->delivered_bytes();
+    if (conn->written_bytes() == 0 ||
+        conn->delivered_bytes() != conn->written_bytes()) {
+      v.delivered_all = false;
+    }
+    for (int s = 0; s < conn->subflow_count(); ++s) {
+      v.deaths += conn->subflow(s).stats().deaths;
+      v.revivals += conn->subflow(s).stats().revivals;
+    }
+    v.stalls += conn->stalls();
+    v.zero_window_probes += conn->zero_window_probes();
+    v.recv_buf_drops += conn->receiver().recv_buf_drops();
+  }
+  v.checker_runs = checker.runs();
+  v.quarantines = host.quarantine()->total_quarantines();
+  v.reinstates = host.quarantine()->total_reinstates();
+  return v;
+}
+
 }  // namespace
 
 ChaosVerdict run_chaos_plan(const ChaosPlan& plan, const ChaosOptions& opts) {
+  if (opts.hostile_spec) return run_chaos_plan_hostile(plan, opts);
   if (opts.memory_pressure) return run_chaos_plan_mem(plan, opts);
   sim::Simulator sim;
   // The network RNG is derived from the plan seed so link loss draws are

@@ -72,6 +72,14 @@ struct ChaosPlan {
   std::int64_t pool_bytes = 0;   ///< host receive-memory pool size
   std::vector<int> priorities;   ///< one pool priority per fleet connection
 
+  // ---- Hostile-spec tenant (ChaosOptions::hostile_spec) -------------------
+  // Drawn last of all plan draws (per-seed stability). Which hostile
+  // scheduler the rogue tenant brings: 0 = malformed source (refused by the
+  // front end), 1 = budget bomb (refused by the load-time WCET proof),
+  // 2 = fault flapper (loads with the proof off, faults at runtime until
+  // quarantined). -1 while the mode is off.
+  int hostile_kind = -1;
+
   /// Human-readable plan (one line per fault) — the minimized-plan artifact.
   [[nodiscard]] std::string str() const;
 };
@@ -127,6 +135,17 @@ struct ChaosOptions {
   /// sizes per seed are unchanged from earlier soak generations.
   bool middlebox_tamper = false;
 
+  // ---- Hostile-spec tenant ------------------------------------------------
+  /// Runs the plan against a small fleet on one api::Host where one tenant
+  /// tries to bring a hostile scheduler drawn per seed (ChaosPlan::
+  /// hostile_kind): malformed source and budget bombs must be refused at
+  /// load; the fault flapper loads (WCET proof off, tiny budget), faults on
+  /// every trigger and must end up quarantined with doubling cooldowns while
+  /// the co-tenants on the same paths keep full delivery. Drawn after every
+  /// pre-existing draw class so fault lists per seed are unchanged.
+  bool hostile_spec = false;
+  int hostile_conns = 3;  ///< fleet size including the hostile tenant
+
   // ---- Checking -----------------------------------------------------------
   /// Stride for the heavy (full-scan) invariants; the cheap class still runs
   /// at every event boundary.
@@ -169,6 +188,12 @@ struct ChaosVerdict {
   std::int64_t fallbacks = 0;     ///< RFC 8684-style fallback transitions
   std::int64_t mapping_lost = 0;  ///< DSS-stripped segments refused
   std::int64_t csum_fails = 0;    ///< rewritten payloads caught by checksum
+
+  // ---- Hostile-spec extras (ChaosOptions::hostile_spec) ------------------
+  std::int64_t quarantines = 0;   ///< host quarantine entries (with repeats)
+  std::int64_t reinstates = 0;    ///< probation reinstatements
+  bool hostile_load_rejected = false;  ///< kinds 0/1: load refused as it must
+  std::string hostile_load_error;      ///< the load diagnostic (artifact)
   std::string trace_csv;             ///< only with ChaosOptions::capture_trace
 
   [[nodiscard]] bool ok() const { return invariants_ok && delivered_all; }

@@ -63,6 +63,10 @@ const char* trace_event_name(TraceEventType type) {
       return "middlebox_tamper";
     case TraceEventType::kFallback:
       return "fallback";
+    case TraceEventType::kSpecQuarantine:
+      return "spec_quarantine";
+    case TraceEventType::kSpecReinstate:
+      return "spec_reinstate";
   }
   return "?";
 }

@@ -49,7 +49,8 @@ enum class TraceEventType : std::uint8_t {
   kSubflowDead,         ///< subflow declared dead (a=consecutive RTOs)
   kSubflowRevived,      ///< failed subflow revived after a link restore
   kSchedFault,          ///< scheduler runtime fault; effects rolled back and
-                        ///< the default scheduler ran instead (a=trigger kind)
+                        ///< the default scheduler ran instead (a=trigger
+                        ///< kind, b=mptcp::FaultKind)
   kProbeSent,           ///< path-health probe on the wire (a=1 for an idle
                         ///< keepalive on an established subflow, 0 for a
                         ///< revival probe on a failed one)
@@ -74,6 +75,13 @@ enum class TraceEventType : std::uint8_t {
   kFallback,            ///< RFC 8684-style fallback state change (a=new
                         ///< FallbackState, b=surviving subflow slot,
                         ///< c=detection cause)
+  kSpecQuarantine,      ///< installed program demoted to the default
+                        ///< scheduler after repeated runtime faults
+                        ///< (a=fault count in the scoring window,
+                        ///< b=cooldown ns, c=quarantine ordinal)
+  kSpecReinstate,       ///< quarantined program reinstated on probation
+                        ///< (a=1 while on probation, b=cooldown ns that
+                        ///< just elapsed)
 };
 
 /// Fixed-size POD trace record. `subflow` is -1 for connection-level events;

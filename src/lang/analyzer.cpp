@@ -125,7 +125,7 @@ class Analyzer {
             !is_env_register(s.int_value)) {
           diags_.error(s.loc, "register out of range (R1..R" +
                                   std::to_string(kNumRegisters) +
-                                  ", or environment registers R91-R93)");
+                                  ", or environment registers R91-R94)");
         }
         check_expr(s.expr, EffectCtx::kPure);
         expect_type(s.expr, Type::kInt, "SET value");
@@ -174,7 +174,7 @@ class Analyzer {
             !is_env_register(e.int_value)) {
           diags_.error(e.loc, "register out of range (R1..R" +
                                   std::to_string(kNumRegisters) +
-                                  ", or environment registers R91-R93)");
+                                  ", or environment registers R91-R94)");
         }
         e.type = Type::kInt;
         break;

@@ -60,6 +60,10 @@ enum class SbfProp : std::uint8_t {
   kCwndFree,       // bool: cwnd > in_flight + queued
 };
 
+/// Number of SbfProp values — the verifier proves helper prop arguments
+/// stay inside [0, kNumSbfProps).
+inline constexpr int kNumSbfProps = static_cast<int>(SbfProp::kCwndFree) + 1;
+
 /// Packet properties.
 enum class PktProp : std::uint8_t {
   kSize,       // payload bytes
@@ -71,6 +75,9 @@ enum class PktProp : std::uint8_t {
   kSentCount,  // number of subflows it was scheduled on
   kSentOn,     // bool: scheduled on the given subflow (takes an argument)
 };
+
+/// Number of PktProp values (see kNumSbfProps).
+inline constexpr int kNumPktProps = static_cast<int>(PktProp::kSentOn) + 1;
 
 enum class UnOp : std::uint8_t { kNeg, kNot };
 enum class BinOp : std::uint8_t {
@@ -173,12 +180,13 @@ inline constexpr int kNumRegisters = 8;
 /// Environment-maintained registers, far above the writable file on
 /// purpose: R91 is the host's receive-memory pressure level, R92 the
 /// receiver's D-SACK duplicate count, R93 the connection's RFC 8684
-/// fallback state (mptcp::kEnvRegMemPressure / kEnvRegDsackDups /
-/// kEnvRegFallback). Specs may read them like any register; writes are
+/// fallback state, R94 the installed program's quarantine state
+/// (mptcp::kEnvRegMemPressure / kEnvRegDsackDups / kEnvRegFallback /
+/// kEnvRegQuarantine). Specs may read them like any register; writes are
 /// accepted by the analyzer and silently ignored by the runtime — the
 /// environment owns their values.
 inline constexpr int kEnvRegisterFirst = 90;  // R91
-inline constexpr int kEnvRegisterLast = 92;   // R93
+inline constexpr int kEnvRegisterLast = 93;   // R94
 [[nodiscard]] inline constexpr bool is_env_register(int index) {
   return index >= kEnvRegisterFirst && index <= kEnvRegisterLast;
 }

@@ -204,6 +204,29 @@ void MptcpConnection::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
   scheduler_ = std::move(scheduler);
 }
 
+namespace {
+
+/// Stand-in installed while the real program is quarantined: the built-in
+/// default scheduler behind the regular Scheduler interface.
+class QuarantineStandIn final : public Scheduler {
+ public:
+  void schedule(SchedulerContext& ctx) override { run_default_minrtt(ctx); }
+  [[nodiscard]] std::string name() const override { return "default"; }
+};
+
+}  // namespace
+
+void MptcpConnection::quarantine_scheduler() {
+  if (scheduler_ == nullptr || quarantined_original_ != nullptr) return;
+  quarantined_original_ = std::move(scheduler_);
+  scheduler_ = std::make_unique<QuarantineStandIn>();
+}
+
+void MptcpConnection::reinstate_scheduler() {
+  if (quarantined_original_ == nullptr) return;
+  scheduler_ = std::move(quarantined_original_);
+}
+
 void MptcpConnection::write(std::int64_t bytes, const SkbProps& props) {
   PROGMP_CHECK_MSG(scheduler_ != nullptr, "no scheduler installed");
   PROGMP_CHECK(bytes > 0);
@@ -695,7 +718,8 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
   ctx.reset(now, t, infos_, std::max<std::int64_t>(0, rwnd_ - claimed),
             cfg_.middlebox_fallback ? right_edge_bytes_ : 0);
   ctx.set_env_signals({mem_pressure_level_, receiver_->dsack_dup_segments(),
-                       static_cast<std::int64_t>(fallback_state_)});
+                       static_cast<std::int64_t>(fallback_state_),
+                       quarantine_signal_});
   ++sched_stats_.executions;
   trace_.emit(TraceEventType::kSchedExecStart, now, t.subflow_slot,
               static_cast<std::int32_t>(t.kind));
@@ -706,14 +730,20 @@ bool MptcpConnection::run_scheduler_once(Trigger t) {
     // effects are rolled back and — unless disabled — the built-in default
     // scheduler handles this trigger, so a buggy program degrades service
     // instead of stalling the connection.
+    const FaultKind kind = ctx.fault_kind();
     ++sched_stats_.sched_faults;
+    ++fault_counts_[static_cast<std::size_t>(kind)];
     trace_.emit(TraceEventType::kSchedFault, now, t.subflow_slot,
-                static_cast<std::int32_t>(t.kind));
+                static_cast<std::int32_t>(t.kind),
+                static_cast<std::int64_t>(kind));
     ctx.rollback();
     if (cfg_.sched_fault_fallback) {
       run_default_minrtt(ctx);
       last_exec_backend_ = "fallback";
     }
+    // The observer runs last: it may quarantine (swap out) the scheduler,
+    // which must not happen while this execution still references it.
+    if (fault_observer_) fault_observer_(kind, t.kind);
   }
   hist_insns_per_exec_->add(ctx.exec_insns());
   hist_pushes_per_exec_->add(static_cast<std::int64_t>(ctx.actions().size()));
@@ -891,6 +921,12 @@ void MptcpConnection::refresh_metrics() {
   *metrics_.counter("engine.drops") = sched_stats_.drops;
   *metrics_.counter("engine.trigger_drops") = sched_stats_.trigger_drops;
   *metrics_.counter("engine.sched_faults") = sched_stats_.sched_faults;
+  for (std::size_t k = 1; k < fault_counts_.size(); ++k) {
+    if (fault_counts_[k] == 0) continue;  // keep fault-free dumps unchanged
+    *metrics_.counter(std::string("engine.sched_faults.") +
+                      fault_kind_name(static_cast<FaultKind>(k))) =
+        fault_counts_[k];
+  }
 
   *metrics_.counter("conn.written_bytes") = written_bytes_;
   *metrics_.counter("conn.delivered_bytes") = delivered_bytes_;

@@ -9,6 +9,7 @@
 // push-until-blocked behaviour.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -185,6 +186,37 @@ class MptcpConnection {
   /// §3.2). Must be set before the first write.
   void set_scheduler(std::unique_ptr<Scheduler> scheduler);
   [[nodiscard]] Scheduler* scheduler() { return scheduler_.get(); }
+
+  // ---- Quarantine (host-driven spec containment) --------------------------
+  /// Observer for scheduler runtime faults, called after the engine rolled
+  /// the faulting execution back (and ran the fallback). A Host uses it to
+  /// feed per-program fault scoring; the quarantine decision comes back via
+  /// quarantine_scheduler().
+  using FaultObserver = std::function<void(FaultKind, TriggerKind)>;
+  void set_fault_observer(FaultObserver fn) {
+    fault_observer_ = std::move(fn);
+  }
+
+  /// Demotes the installed scheduler to the built-in default: the original
+  /// instance is parked (not destroyed — a shared program cache entry and
+  /// its registers survive) and every trigger runs run_default_minrtt until
+  /// reinstate_scheduler(). The caller (Host) owns the policy and emits the
+  /// kSpecQuarantine/kSpecReinstate trace events with the scoring payload.
+  /// No-op if already quarantined or no scheduler installed.
+  void quarantine_scheduler();
+  /// Restores the parked scheduler. No-op unless quarantined.
+  void reinstate_scheduler();
+  [[nodiscard]] bool scheduler_quarantined() const {
+    return quarantined_original_ != nullptr;
+  }
+  /// Quarantine state served to specs as R94 (0 active, 1 quarantined,
+  /// 2 probation); owned by the host's SpecQuarantine manager.
+  void set_quarantine_signal(std::int64_t state) {
+    quarantine_signal_ = state;
+  }
+  [[nodiscard]] std::int64_t quarantine_signal() const {
+    return quarantine_signal_;
+  }
 
   /// Pushes `bytes` of application data into the sending queue Q, split
   /// into MSS-sized packets carrying `props`. Triggers the scheduler.
@@ -507,6 +539,12 @@ class MptcpConnection {
 
   std::unique_ptr<Scheduler> scheduler_;
   SchedulerStats sched_stats_;
+  /// Per-FaultKind runtime-fault counts (index = FaultKind value).
+  std::array<std::int64_t, 6> fault_counts_{};
+  FaultObserver fault_observer_;
+  /// Parked original while the default scheduler stands in (quarantine).
+  std::unique_ptr<Scheduler> quarantined_original_;
+  std::int64_t quarantine_signal_ = 0;  ///< served to specs as R94
 
   Tracer trace_;
   MetricsRegistry metrics_;

@@ -5,6 +5,24 @@
 
 namespace progmp::mptcp {
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kBudgetExhausted:
+      return "budget";
+    case FaultKind::kPcViolation:
+      return "pc";
+    case FaultKind::kStackViolation:
+      return "stack";
+    case FaultKind::kHelperViolation:
+      return "helper";
+    case FaultKind::kOther:
+      return "other";
+  }
+  return "?";
+}
+
 SkbPtr SchedulerContext::pop_at(QueueId id, std::size_t index) {
   // The bundle's get() is the single spelling of the QueueId -> queue
   // mapping; the queue itself clears the membership flag on removal.

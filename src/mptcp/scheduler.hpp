@@ -107,6 +107,12 @@ inline constexpr int kEnvRegDsackDups = 91;
 /// operation after middlebox interference). A spec can stop scheduling
 /// redundancy, flip strategies or surface the degradation to the app.
 inline constexpr int kEnvRegFallback = 92;
+/// R94: the quarantine state of this connection's installed program
+/// (0 = active, 1 = quarantined — the default scheduler is standing in,
+/// 2 = probation — reinstated, but the next fault re-quarantines). A spec
+/// that reads 2 knows it is on its last chance and can throttle whatever
+/// made it fault; co-hosted specs read 0 throughout.
+inline constexpr int kEnvRegQuarantine = 93;
 
 /// Snapshot of the environment-register values, refreshed by the engine
 /// before every scheduler execution.
@@ -114,7 +120,27 @@ struct EnvSignals {
   std::int64_t mem_pressure = 0;  ///< served as R91
   std::int64_t dsack_dups = 0;    ///< served as R92
   std::int64_t fallback = 0;      ///< served as R93
+  std::int64_t quarantine = 0;    ///< served as R94
 };
+
+// ---- Runtime faults ---------------------------------------------------------
+
+/// Structured classification of scheduler-program runtime faults. The kinds
+/// are stable identifiers: fault scoring (api::SpecQuarantine), metrics
+/// labels, and the kSchedFault trace payload key on the enum value, never on
+/// a rendered string — and the fault hot path allocates nothing.
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kBudgetExhausted,  ///< per-execution instruction budget exhausted
+  kPcViolation,      ///< program counter left the program
+  kStackViolation,   ///< stack load/store outside the frame
+  kHelperViolation,  ///< helper called with an argument the verifier should
+                     ///< have ruled out (defense-in-depth VM check)
+  kOther,            ///< execution environment reported an unclassified fault
+};
+
+/// Stable short name for metrics labels and proc lines ("budget", "pc", ...).
+const char* fault_kind_name(FaultKind kind);
 
 /// Statistics the runtime keeps per scheduler instance (exposed through the
 /// proc-style API, §4.1).
@@ -182,7 +208,7 @@ class SchedulerContext {
     dropped_ = false;
     popped_ = false;
     faulted_ = false;
-    fault_reason_.clear();
+    fault_kind_ = FaultKind::kNone;
     exec_backend_ = "unknown";
     exec_insns_ = 0;
   }
@@ -228,18 +254,19 @@ class SchedulerContext {
     if (i == kEnvRegMemPressure) return env_.mem_pressure;
     if (i == kEnvRegDsackDups) return env_.dsack_dups;
     if (i == kEnvRegFallback) return env_.fallback;
+    if (i == kEnvRegQuarantine) return env_.quarantine;
     return (i >= 0 && i < num_registers_) ? registers_[i] : 0;
   }
   void set_reg(int i, std::int64_t v) {
     if (i == kEnvRegMemPressure || i == kEnvRegDsackDups ||
-        i == kEnvRegFallback) {
+        i == kEnvRegFallback || i == kEnvRegQuarantine) {
       return;
     }
     if (i >= 0 && i < num_registers_) registers_[i] = v;
   }
   [[nodiscard]] int num_registers() const { return num_registers_; }
 
-  /// Installs the environment-register snapshot (R91–R93) for this
+  /// Installs the environment-register snapshot (R91–R94) for this
   /// execution; the engine refreshes it before every scheduler run.
   void set_env_signals(const EnvSignals& env) { env_ = env; }
 
@@ -278,14 +305,12 @@ class SchedulerContext {
   /// Reported by a ProgMP execution environment when the program died at
   /// runtime (budget exhaustion, PC/stack violation). The engine rolls the
   /// execution's effects back and substitutes the default scheduler.
-  void note_fault(std::string reason) {
+  void note_fault(FaultKind kind) {
     faulted_ = true;
-    fault_reason_ = std::move(reason);
+    fault_kind_ = kind;
   }
   [[nodiscard]] bool faulted() const { return faulted_; }
-  [[nodiscard]] const std::string& fault_reason() const {
-    return fault_reason_;
-  }
+  [[nodiscard]] FaultKind fault_kind() const { return fault_kind_; }
 
   /// Undoes every visible side effect of this execution: popped packets
   /// return to the front of their queues (flags restored), dropped packets
@@ -313,7 +338,7 @@ class SchedulerContext {
   std::int64_t exec_insns_ = 0;
 
   bool faulted_ = false;
-  std::string fault_reason_;
+  FaultKind fault_kind_ = FaultKind::kNone;
 
   /// Undo logs for rollback(), in action order.
   struct PopRecord {

@@ -1,0 +1,78 @@
+// Abstract interpretation over the eBPF CFG (verifier pass 2).
+//
+// The shape follows the PREVAIL/ebpf-verifier line of work: a small abstract
+// domain per register and per 8-byte stack slot, a fixpoint over basic
+// blocks with widening at loop heads, and checks expressed as domain
+// queries. The domain tracks
+//
+//   * a value kind (uninitialized / scalar / frame pointer / packet handle)
+//     — the "typed context": helpers that take a packet handle must receive
+//     one (or a provable NULL), the frame pointer must never reach a helper
+//     or arithmetic, and EXIT must return a scalar;
+//   * a signed 64-bit interval, refined by conditional branches, used to
+//     prove helper arguments in bounds: queue ids in [0, 2] (QueueBundle has
+//     no mapping outside it), property selectors inside their enums,
+//     register indices inside the R1..R99 file;
+//   * definite-initialization per stack slot — the VM zeroes its stack once
+//     per VM, not per run, so a slot read before a write in the same
+//     execution observes stale bytes from an earlier run (potentially of
+//     another connection sharing the program): rejected at load.
+//
+// On top of the converged fixpoint, every *reachable back edge* must belong
+// to a loop whose trip count the pass can bound: the loop-head guard is
+// matched against a monotone counter (stack slot or callee-saved register,
+// single increment site in the back-edge block) and a loop-invariant limit
+// with a finite upper bound under the environment model (SBF_COUNT <= 8,
+// queue lengths <= model_queue_len). The per-loop bounds multiply into a
+// derived worst-case instruction count for one execution, checked against
+// the load-time exec budget. A back edge that cannot be bounded is a
+// rejection, reported with an entry-to-back-edge counterexample path — the
+// runtime instruction budget stays as defense in depth, not as the primary
+// loop defense.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/ebpf_isa.hpp"
+
+namespace progmp::rt::ebpf {
+
+struct AbsintOptions {
+  /// Environment model for trip-count derivation: the largest queue length
+  /// the WCET bound assumes. Verified programs whose loops scan queues get
+  /// a bound proportional to this; the runtime budget still catches the
+  /// (model-exceeding) tail at execution time.
+  std::int64_t model_queue_len = 1024;
+  /// Modeled maximum subflow count (mptcp::kMaxSubflows).
+  std::int64_t model_sbf_count = 8;
+  /// Load-time budget the derived worst-case instruction count is checked
+  /// against; <= 0 disables the budget check (bounds are still derived and
+  /// unbounded loops still rejected).
+  std::int64_t exec_budget = 1'000'000;
+  /// Joins at a block head before intervals are widened to convergence.
+  int widen_after = 8;
+};
+
+/// One finding, anchored at an instruction; `path` (when non-empty) is an
+/// entry-to-violation instruction trail proving reachability.
+struct AbsintDiag {
+  std::size_t pc = 0;
+  std::string message;
+  std::vector<std::size_t> path;
+};
+
+struct AbsintResult {
+  bool ok = false;
+  std::vector<AbsintDiag> diags;
+  /// Derived worst-case instructions for one execution under the
+  /// environment model (saturating; 0 if the program was rejected).
+  std::int64_t derived_insn_bound = 0;
+};
+
+/// Runs the pass. `code` must already have passed the structural verifier
+/// checks (valid opcodes/registers/targets, r10-based aligned stack access).
+AbsintResult absint_check(const Code& code, const AbsintOptions& options = {});
+
+}  // namespace progmp::rt::ebpf

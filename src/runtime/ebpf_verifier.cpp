@@ -1,15 +1,12 @@
 #include "runtime/ebpf_verifier.hpp"
 
-#include <cstdio>
+#include <algorithm>
 #include <deque>
+#include <utility>
 #include <vector>
 
 namespace progmp::rt::ebpf {
 namespace {
-
-std::string at(std::size_t pc, const std::string& msg) {
-  return "insn " + std::to_string(pc) + ": " + msg;
-}
 
 /// Which registers an instruction reads / writes.
 struct Access {
@@ -67,10 +64,8 @@ Access access_of(const Insn& insn) {
       read(insn.dst);
       break;
     case Op::kCall:
-      // Helpers read r1..r3 (we do not model per-helper arity — passing an
-      // uninitialized argument register is legal in the kernel for unused
-      // args too, since MOVs precede the call; we require only the ones our
-      // compiler always sets, which is enforced dynamically by tests).
+      // Helpers read r1..r3 (we do not model per-helper arity here — the
+      // absint pass checks the arguments each helper actually consumes).
       write(0);  // result
       // r1-r5 become scrambled (treated as written below in transfer()).
       break;
@@ -89,109 +84,222 @@ Access access_of(const Insn& insn) {
   return a;
 }
 
+std::string render_path(const std::vector<std::size_t>& path) {
+  std::string s = " (path:";
+  constexpr std::size_t kMaxShown = 24;
+  const std::size_t shown = std::min(path.size(), kMaxShown);
+  for (std::size_t i = 0; i < shown; ++i) {
+    s += (i == 0 ? " " : " -> ") + std::to_string(path[i]);
+  }
+  if (path.size() > kMaxShown) {
+    s += " -> ... -> " + std::to_string(path.back());
+  }
+  s += ")";
+  return s;
+}
+
 }  // namespace
 
-VerifyResult verify(const Code& code) {
-  if (code.empty()) return {false, "empty program"};
-  if (code.size() > 65536) return {false, "program too large"};
+std::string VerifyDiag::str() const {
+  std::string s = "insn " + std::to_string(pc) + ": " + message;
+  if (!path.empty()) s += render_path(path);
+  return s;
+}
+
+VerifyResult verify(const Code& code, const VerifyOptions& options) {
+  VerifyResult result;
+  auto add = [&](std::size_t pc, std::string msg,
+                 std::vector<std::size_t> path = {}) {
+    result.diags.push_back({pc, std::move(msg), std::move(path)});
+  };
+
+  if (code.empty()) {
+    add(0, "empty program");
+  } else if (code.size() > 65536) {
+    add(0, "program too large");
+  }
 
   // ---- Structural checks -----------------------------------------------------
+  // Hostile bytecode arrives as raw bytes: the opcode byte must name an
+  // instruction before anything (including the VM dispatch table, which is
+  // indexed by it) may interpret the rest of the slot.
+  bool structurally_sound = result.diags.empty();
   for (std::size_t pc = 0; pc < code.size(); ++pc) {
     const Insn& insn = code[pc];
-    if (insn.dst >= kNumRegs || insn.src >= kNumRegs) {
-      return {false, at(pc, "invalid register")};
+    if (static_cast<std::uint8_t>(insn.op) >
+        static_cast<std::uint8_t>(Op::kStxDw)) {
+      add(pc, "invalid opcode");
+      structurally_sound = false;
+      continue;
     }
-    const Access acc = access_of(insn);
-    if (acc.writes & (1u << kFp)) {
-      return {false, at(pc, "write to frame pointer r10")};
+    bool sound = true;
+    auto flag = [&](std::string msg) {
+      add(pc, std::move(msg));
+      sound = false;
+    };
+    if (insn.dst >= kNumRegs || insn.src >= kNumRegs) {
+      flag("invalid register");
+    }
+    if (sound && (access_of(insn).writes & (1u << kFp))) {
+      flag("write to frame pointer r10");
     }
     if (is_jump(insn.op)) {
       const std::int64_t target =
           static_cast<std::int64_t>(pc) + 1 + insn.off;
       if (target < 0 || target >= static_cast<std::int64_t>(code.size())) {
-        return {false, at(pc, "jump out of bounds")};
+        flag("jump out of bounds");
       }
     }
     if (insn.op == Op::kCall) {
       if (insn.imm < 1 || insn.imm > kMaxHelperId) {
-        return {false, at(pc, "unknown helper id")};
+        flag("unknown helper id");
       }
     }
     if (insn.op == Op::kLdxDw || insn.op == Op::kStxDw) {
       const int base = insn.op == Op::kLdxDw ? insn.src : insn.dst;
       if (base != kFp) {
-        return {false, at(pc, "memory access must be r10-based")};
+        flag("memory access must be r10-based");
       }
       if (insn.off > -8 || insn.off < -kStackBytes || (insn.off % 8) != 0) {
-        return {false, at(pc, "stack access out of bounds or unaligned")};
+        flag("stack access out of bounds or unaligned");
       }
     }
+    structurally_sound = structurally_sound && sound;
   }
   // Fall-through off the end is a verifier error: the last reachable
   // instruction of every path must be EXIT or a backward jump; the cheap
   // sufficient check is that the final instruction is EXIT or JA.
-  if (code.back().op != Op::kExit && code.back().op != Op::kJa) {
-    return {false, "program may fall through past the last instruction"};
+  if (!code.empty() && code.back().op != Op::kExit &&
+      code.back().op != Op::kJa) {
+    add(code.size() - 1, "program may fall through past the last instruction");
+    structurally_sound = false;
   }
 
-  // ---- Init-before-read dataflow ------------------------------------------------
-  // in[pc] = set of definitely-initialized registers; meet = intersection.
-  constexpr std::uint32_t kTop = 0xffffffffu;
-  std::vector<std::uint32_t> in(code.size(), kTop);
-  in[0] = (1u << kFp);  // only the frame pointer is live at entry
-  std::deque<std::size_t> work{0};
-  std::vector<bool> reachable(code.size(), false);
+  // The remaining passes interpret operands (register shifts, jump targets,
+  // dispatch on opcodes) and require a structurally sound program.
+  if (structurally_sound) {
+    // ---- Init-before-read dataflow ---------------------------------------------
+    // in[pc] = set of definitely-initialized registers; meet = intersection.
+    constexpr std::uint32_t kTop = 0xffffffffu;
+    std::vector<std::uint32_t> in(code.size(), kTop);
+    in[0] = (1u << kFp);  // only the frame pointer is live at entry
+    std::deque<std::size_t> work{0};
+    std::vector<bool> reachable(code.size(), false);
 
-  auto transfer = [&](std::size_t pc, std::uint32_t state) -> std::uint32_t {
-    const Insn& insn = code[pc];
-    const Access acc = access_of(insn);
-    std::uint32_t out = state | acc.writes;
-    if (insn.op == Op::kCall) {
-      // r1-r5 are clobbered with unspecified values: treat as uninitialized
-      // afterwards so the compiler cannot rely on them surviving.
-      out &= ~0b111110u;
-      out |= 1u;  // r0 = result
+    auto transfer = [&](std::size_t pc, std::uint32_t state) -> std::uint32_t {
+      const Insn& insn = code[pc];
+      const Access acc = access_of(insn);
+      std::uint32_t out = state | acc.writes;
+      if (insn.op == Op::kCall) {
+        // r1-r5 are clobbered with unspecified values: treat as
+        // uninitialized afterwards so programs cannot rely on them
+        // surviving.
+        out &= ~0b111110u;
+        out |= 1u;  // r0 = result
+      }
+      return out;
+    };
+
+    while (!work.empty()) {
+      const std::size_t pc = work.front();
+      work.pop_front();
+      reachable[pc] = true;
+      const Insn& insn = code[pc];
+      if (insn.op == Op::kExit) continue;
+
+      const std::uint32_t out = transfer(pc, in[pc]);
+      auto propagate = [&](std::size_t succ) {
+        const std::uint32_t merged = in[succ] & out;
+        if (merged != in[succ] || !reachable[succ]) {
+          in[succ] = merged;
+          work.push_back(succ);
+        }
+      };
+      if (insn.op == Op::kJa) {
+        propagate(pc + 1 + static_cast<std::size_t>(insn.off));
+      } else if (is_jump(insn.op)) {
+        propagate(static_cast<std::size_t>(
+            static_cast<std::int64_t>(pc) + 1 + insn.off));
+        propagate(pc + 1);
+      } else {
+        propagate(pc + 1);
+      }
     }
-    return out;
-  };
 
-  while (!work.empty()) {
-    const std::size_t pc = work.front();
-    work.pop_front();
-    reachable[pc] = true;
-    const Insn& insn = code[pc];
-    const Access acc = access_of(insn);
-    if (const std::uint32_t uninit_reads = acc.reads & ~in[pc]) {
-      for (int r = 0; r < kNumRegs; ++r) {
-        if (uninit_reads & (1u << r)) {
-          return {false,
-                  at(pc, "register r" + std::to_string(r) +
-                             " may be read before initialization")};
+    // Entry-to-violation paths for the report: BFS parents over the
+    // reachable CFG.
+    std::vector<std::int64_t> parent(code.size(), -1);
+    {
+      std::deque<std::size_t> q{0};
+      std::vector<bool> visited(code.size(), false);
+      visited[0] = true;
+      while (!q.empty()) {
+        const std::size_t pc = q.front();
+        q.pop_front();
+        const Insn& insn = code[pc];
+        auto visit = [&](std::size_t succ) {
+          if (succ >= code.size() || visited[succ] || !reachable[succ]) {
+            return;
+          }
+          visited[succ] = true;
+          parent[succ] = static_cast<std::int64_t>(pc);
+          q.push_back(succ);
+        };
+        if (insn.op == Op::kExit) continue;
+        if (is_jump(insn.op)) {
+          visit(static_cast<std::size_t>(static_cast<std::int64_t>(pc) + 1 +
+                                         insn.off));
+          if (insn.op != Op::kJa) visit(pc + 1);
+        } else {
+          visit(pc + 1);
         }
       }
     }
-    if (insn.op == Op::kExit) continue;
-
-    const std::uint32_t out = transfer(pc, in[pc]);
-    auto propagate = [&](std::size_t succ) {
-      const std::uint32_t merged = in[succ] & out;
-      if (merged != in[succ] || !reachable[succ]) {
-        in[succ] = merged;
-        work.push_back(succ);
+    auto path_to = [&](std::size_t pc) {
+      std::vector<std::size_t> path;
+      std::int64_t at = static_cast<std::int64_t>(pc);
+      while (at >= 0 && path.size() <= code.size()) {
+        path.push_back(static_cast<std::size_t>(at));
+        at = parent[static_cast<std::size_t>(at)];
       }
+      std::reverse(path.begin(), path.end());
+      return path;
     };
-    if (insn.op == Op::kJa) {
-      propagate(pc + 1 + static_cast<std::size_t>(insn.off));
-    } else if (is_jump(insn.op)) {
-      propagate(static_cast<std::size_t>(
-          static_cast<std::int64_t>(pc) + 1 + insn.off));
-      propagate(pc + 1);
-    } else {
-      propagate(pc + 1);
+
+    // Report after convergence so every read is judged against its final
+    // (smallest) in-set exactly once.
+    for (std::size_t pc = 0; pc < code.size(); ++pc) {
+      if (!reachable[pc]) continue;
+      const std::uint32_t uninit = access_of(code[pc]).reads & ~in[pc];
+      if (uninit == 0) continue;
+      for (int r = 0; r < kNumRegs; ++r) {
+        if (uninit & (1u << r)) {
+          add(pc,
+              "register r" + std::to_string(r) +
+                  " may be read before initialization",
+              path_to(pc));
+        }
+      }
+    }
+
+    // ---- Abstract interpretation (pass 2) --------------------------------------
+    if (options.absint) {
+      AbsintResult abs = absint_check(code, options.absint_options);
+      for (AbsintDiag& d : abs.diags) {
+        result.diags.push_back({d.pc, std::move(d.message), std::move(d.path)});
+      }
+      if (abs.ok && result.diags.empty()) {
+        result.derived_insn_bound = abs.derived_insn_bound;
+      }
     }
   }
 
-  return {true, {}};
+  result.ok = result.diags.empty();
+  for (const VerifyDiag& d : result.diags) {
+    if (!result.error.empty()) result.error += "; ";
+    result.error += d.str();
+  }
+  return result;
 }
 
 }  // namespace progmp::rt::ebpf

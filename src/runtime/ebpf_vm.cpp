@@ -9,6 +9,13 @@ namespace {
 /// erroneously relies on them produces loudly-wrong results in tests.
 constexpr std::int64_t kPoison = static_cast<std::int64_t>(0xD15EA5EDDEADBEEF);
 
+/// Defense in depth behind the verifier's queue-id proof: QueueBundle::get
+/// has no mapping for ids outside [0, 2], so an out-of-range id from
+/// unverified bytecode must never reach it.
+constexpr bool valid_queue_id(std::int64_t id) {
+  return id >= 0 && id <= static_cast<std::int64_t>(mptcp::QueueId::kRq);
+}
+
 }  // namespace
 
 std::int64_t Vm::dispatch_helper(Helper helper, SchedulerEnv& env) {
@@ -24,11 +31,14 @@ std::int64_t Vm::dispatch_helper(Helper helper, SchedulerEnv& env) {
       return env.pkt_prop(static_cast<PktHandle>(a1),
                           static_cast<lang::PktProp>(a2), a3);
     case Helper::kQueueLen:
+      if (!valid_queue_id(a1)) break;
       return env.queue_len(static_cast<mptcp::QueueId>(a1));
     case Helper::kQueueNth:
+      if (!valid_queue_id(a1)) break;
       return static_cast<std::int64_t>(
           env.queue_nth(static_cast<mptcp::QueueId>(a1), a2));
     case Helper::kPop:
+      if (!valid_queue_id(a1)) break;
       return static_cast<std::int64_t>(
           env.pop_front(static_cast<mptcp::QueueId>(a1)));
     case Helper::kPush:
@@ -50,6 +60,9 @@ std::int64_t Vm::dispatch_helper(Helper helper, SchedulerEnv& env) {
       env.print(a1);
       return 0;
   }
+  // Only reached via the out-of-range breaks above (or an unknown helper id
+  // in unverified bytecode): abort the run instead of guessing.
+  helper_fault_ = true;
   return 0;
 }
 
@@ -60,6 +73,7 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
                       std::int64_t budget) {
   RunResult result;
   regs_.fill(0);
+  helper_fault_ = false;
   // The stack is zeroed once per VM, not per run: the cross-compiler
   // guarantees definition-before-use for every spill slot, so stale data is
   // unreachable from compiled programs (the equivalence suite pins this
@@ -79,17 +93,19 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
     return stack_.data() + idx;
   };
 
-#define PROGMP_VM_FETCH()                              \
-  do {                                                 \
-    if (pc >= size) {                                  \
-      result.error = "program counter out of bounds";  \
-      return result;                                   \
-    }                                                  \
-    if (++result.insns_executed > budget) {            \
-      result.error = "instruction budget exhausted";   \
-      --result.insns_executed;                         \
-      return result;                                   \
-    }                                                  \
+#define PROGMP_VM_FETCH()                                \
+  do {                                                   \
+    if (pc >= size) {                                    \
+      result.fault = mptcp::FaultKind::kPcViolation;     \
+      result.error = "program counter out of bounds";    \
+      return result;                                     \
+    }                                                    \
+    if (++result.insns_executed > budget) {              \
+      result.fault = mptcp::FaultKind::kBudgetExhausted; \
+      result.error = "instruction budget exhausted";     \
+      --result.insns_executed;                           \
+      return result;                                     \
+    }                                                    \
   } while (0)
 
 #define PROGMP_VM_JUMP_IF(cond)                                            \
@@ -169,6 +185,11 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
   PROGMP_VM_CASE(Call)
   PROGMP_VM_BODY({
     regs_[0] = dispatch_helper(static_cast<Helper>(insn.imm), env);
+    if (helper_fault_) {
+      result.fault = mptcp::FaultKind::kHelperViolation;
+      result.error = "helper argument out of bounds";
+      return result;
+    }
     regs_[1] = regs_[2] = regs_[3] = regs_[4] = regs_[5] = kPoison;
     ++pc;
   })
@@ -181,6 +202,7 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
     bool ok = false;
     std::uint8_t* slot = stack_slot(insn.off, &ok);
     if (!ok) {
+      result.fault = mptcp::FaultKind::kStackViolation;
       result.error = "stack load out of bounds";
       return result;
     }
@@ -192,6 +214,7 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
     bool ok = false;
     std::uint8_t* slot = stack_slot(insn.off, &ok);
     if (!ok) {
+      result.fault = mptcp::FaultKind::kStackViolation;
       result.error = "stack store out of bounds";
       return result;
     }
@@ -241,6 +264,11 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
       case Op::kJsleImm: PROGMP_VM_JUMP_IF(dst <= insn.imm); break;
       case Op::kCall:
         regs_[0] = dispatch_helper(static_cast<Helper>(insn.imm), env);
+        if (helper_fault_) {
+          result.fault = mptcp::FaultKind::kHelperViolation;
+          result.error = "helper argument out of bounds";
+          return result;
+        }
         regs_[1] = regs_[2] = regs_[3] = regs_[4] = regs_[5] = kPoison;
         ++pc;
         break;
@@ -251,6 +279,7 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
         bool ok = false;
         std::uint8_t* slot = stack_slot(insn.off, &ok);
         if (!ok) {
+          result.fault = mptcp::FaultKind::kStackViolation;
           result.error = "stack load out of bounds";
           return result;
         }
@@ -262,6 +291,7 @@ Vm::RunResult Vm::run(const Code& code, SchedulerEnv& env,
         bool ok = false;
         std::uint8_t* slot = stack_slot(insn.off, &ok);
         if (!ok) {
+          result.fault = mptcp::FaultKind::kStackViolation;
           result.error = "stack store out of bounds";
           return result;
         }

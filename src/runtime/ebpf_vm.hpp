@@ -1,13 +1,13 @@
 // The eBPF virtual machine: executes verified scheduler bytecode against a
 // SchedulerEnv through the helper ABI. Deterministic and sandboxed: stack
-// accesses are bounds-checked (defense in depth behind the verifier), an
-// instruction budget bounds runaway loops, and helper-clobbered registers
-// are poisoned so compiled code can never rely on them surviving a call.
+// accesses are bounds-checked and queue-id helper arguments validated
+// (defense in depth behind the verifier), an instruction budget bounds
+// runaway loops, and helper-clobbered registers are poisoned so compiled
+// code can never rely on them surviving a call.
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <string>
 
 #include "runtime/ebpf_isa.hpp"
 #include "runtime/env.hpp"
@@ -18,7 +18,10 @@ class Vm {
  public:
   struct RunResult {
     bool ok = false;
-    std::string error;
+    /// Structured fault classification (kNone iff ok). Static message in
+    /// `error` for logs/tests; neither allocates.
+    mptcp::FaultKind fault = mptcp::FaultKind::kNone;
+    const char* error = nullptr;
     std::int64_t insns_executed = 0;
   };
 
@@ -32,6 +35,10 @@ class Vm {
   std::array<std::int64_t, kNumRegs> regs_{};
   std::array<std::uint8_t, kStackBytes> stack_{};
   bool stack_zeroed_ = false;
+  /// Set by dispatch_helper when an argument the verifier proves in-bounds
+  /// arrives out of bounds anyway (only reachable by unverified code); the
+  /// run aborts with kHelperViolation.
+  bool helper_fault_ = false;
 };
 
 }  // namespace progmp::rt::ebpf

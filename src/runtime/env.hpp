@@ -26,7 +26,7 @@ namespace progmp::rt {
 // the scheduler context serves, or specs would read zeros where the
 // runtime promises live signals.
 static_assert(lang::kEnvRegisterFirst == mptcp::kEnvRegMemPressure);
-static_assert(lang::kEnvRegisterLast == mptcp::kEnvRegFallback);
+static_assert(lang::kEnvRegisterLast == mptcp::kEnvRegQuarantine);
 
 /// Handle for a pinned packet inside one execution (0 = NULL).
 using PktHandle = std::uint64_t;

@@ -56,13 +56,21 @@ std::unique_ptr<ProgmpProgram> ProgmpProgram::load(std::string_view spec,
     diags.error({0, 0}, "eBPF compilation failed: " + compiled.error);
     return nullptr;
   }
-  const ebpf::VerifyResult verdict = ebpf::verify(compiled.code);
+  const ebpf::VerifyResult verdict =
+      ebpf::verify(compiled.code, program->effective_verify_options());
   if (!verdict.ok) {
     diags.error({0, 0}, "eBPF verification failed: " + verdict.error);
     return nullptr;
   }
+  program->derived_insn_bound_ = verdict.derived_insn_bound;
   program->generic_code_ = std::move(compiled.code);
   return program;
+}
+
+ebpf::VerifyOptions ProgmpProgram::effective_verify_options() const {
+  ebpf::VerifyOptions opts = options_.verify;
+  opts.absint_options.exec_budget = options_.exec_budget;
+  return opts;
 }
 
 const ebpf::Code& ProgmpProgram::code_for_count(std::int64_t sbf_count) {
@@ -80,7 +88,8 @@ const ebpf::Code& ProgmpProgram::code_for_count(std::int64_t sbf_count) {
   opts.const_sbf_count = sbf_count;
   IrProgram special = optimize(lower(ast_), opts);
   ebpf::CompileResult compiled = ebpf::compile(special);
-  if (!compiled.ok || !ebpf::verify(compiled.code).ok) {
+  if (!compiled.ok ||
+      !ebpf::verify(compiled.code, effective_verify_options()).ok) {
     return generic_code_;
   }
   return specialized_.emplace(sbf_count, std::move(compiled.code))
@@ -98,7 +107,7 @@ void ProgmpProgram::schedule(mptcp::SchedulerContext& ctx) {
       const std::int64_t steps = executable_->run(env, options_.exec_budget);
       ctx.note_exec("compiled", steps);
       if (steps >= options_.exec_budget) {
-        ctx.note_fault("instruction budget exhausted");
+        ctx.note_fault(mptcp::FaultKind::kBudgetExhausted);
       }
       return;
     }
@@ -112,7 +121,9 @@ void ProgmpProgram::schedule(mptcp::SchedulerContext& ctx) {
       // rolls this execution back and substitutes the default scheduler
       // (graceful failure, §3.3) so the connection never stalls.
       if (!result.ok) {
-        ctx.note_fault(result.error);
+        ctx.note_fault(result.fault != mptcp::FaultKind::kNone
+                           ? result.fault
+                           : mptcp::FaultKind::kOther);
       }
       return;
     }

@@ -19,6 +19,7 @@
 #include "lang/ast.hpp"
 #include "mptcp/scheduler.hpp"
 #include "runtime/ebpf_isa.hpp"
+#include "runtime/ebpf_verifier.hpp"
 #include "runtime/ebpf_vm.hpp"
 #include "runtime/env.hpp"
 #include "runtime/ir.hpp"
@@ -45,6 +46,10 @@ class ProgmpProgram final : public mptcp::Scheduler {
     /// that exhausts it is reported to the engine as a runtime fault; the
     /// engine rolls its effects back and runs the default scheduler instead.
     std::int64_t exec_budget = 1'000'000;
+    /// Verifier configuration (eBPF backend). The absint pass's exec budget
+    /// is overridden with `exec_budget` at load time, so the load-time
+    /// worst-case proof and the runtime defense-in-depth share one knob.
+    ebpf::VerifyOptions verify;
   };
 
   /// Compiles `spec`. Returns nullptr on error (details in `diags`).
@@ -83,12 +88,23 @@ class ProgmpProgram final : public mptcp::Scheduler {
     return specialized_.size();
   }
 
+  /// Worst-case instruction count of the generic eBPF variant as derived by
+  /// the verifier's abstract-interpretation pass (0 for other backends or
+  /// when the pass is disabled).
+  [[nodiscard]] std::int64_t derived_insn_bound() const {
+    return derived_insn_bound_;
+  }
+
  private:
   ProgmpProgram(lang::Program ast, const LoadOptions& options);
 
   const ebpf::Code& code_for_count(std::int64_t sbf_count);
 
+  /// LoadOptions::verify with the absint budget synced to exec_budget.
+  [[nodiscard]] ebpf::VerifyOptions effective_verify_options() const;
+
   LoadOptions options_;
+  std::int64_t derived_insn_bound_ = 0;
   lang::Program ast_;
   IrProgram ir_;
   std::unique_ptr<IrExecutable> executable_;  // kCompiled backend

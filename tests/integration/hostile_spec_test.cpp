@@ -1,0 +1,282 @@
+// Hostile-spec containment (`ctest -L chaos`, hostile shard).
+//
+// Two layers under test. The load-time layer: malformed sources and budget
+// bombs (worst-case instruction count provably over the execution budget)
+// must be refused by the verifier before they ever run. The runtime layer:
+// a fault flapper that opts out of the WCET proof and faults on every
+// trigger must be quarantined host-wide — demoted to the default scheduler
+// with a doubling cooldown, reinstated on probation, re-quarantined on the
+// first probation fault — while co-tenants on the same shared paths keep
+// full delivery and every transition stays observable (trace events,
+// host.quarantines metric, R94, the proc quarantine line).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <algorithm>
+
+#include "api/host.hpp"
+#include "api/progmp_api.hpp"
+#include "apps/chaos.hpp"
+#include "apps/scenarios.hpp"
+#include "core/check.hpp"
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "core/trace.hpp"
+#include "sched/native.hpp"
+#include "sched/specs.hpp"
+#include "sim/simulator.hpp"
+
+namespace progmp {
+namespace {
+
+using apps::ChaosOptions;
+using apps::ChaosPlan;
+using apps::ChaosVerdict;
+
+// ---- Seeded soak shard ------------------------------------------------------
+
+TEST(HostileSpecTest, HostileShardSeeds300To349) {
+  ChaosOptions opts;
+  opts.hostile_spec = true;
+  std::int64_t quarantines = 0;
+  std::int64_t reinstates = 0;
+  int kinds_seen[3] = {0, 0, 0};
+  for (std::uint64_t seed = 300; seed < 350; ++seed) {
+    const ChaosPlan plan = apps::make_chaos_plan(seed, opts);
+    const ChaosVerdict v = apps::run_chaos_plan(plan, opts);
+    ASSERT_GE(plan.hostile_kind, 0);
+    ASSERT_LE(plan.hostile_kind, 2);
+    ++kinds_seen[plan.hostile_kind];
+    EXPECT_GT(v.checker_runs, 0u) << "checker never ran, seed " << seed;
+    EXPECT_TRUE(v.invariants_ok)
+        << "seed " << seed << ": " << v.violations
+        << " invariant violation(s), first: " << v.first_violation << "\n"
+        << plan.str();
+    // Full delivery for every tenant, the hostile one included: the default
+    // scheduler stands in while the flapper is parked.
+    EXPECT_TRUE(v.delivered_all)
+        << "seed " << seed << ": delivered " << v.delivered << " of "
+        << v.written << " bytes\n"
+        << plan.str();
+    if (plan.hostile_kind == 2) {
+      EXPECT_GT(v.quarantines, 0)
+          << "seed " << seed << ": fault flapper never quarantined\n"
+          << plan.str();
+    } else {
+      EXPECT_TRUE(v.hostile_load_rejected)
+          << "seed " << seed << ": hostile kind " << plan.hostile_kind
+          << " was accepted at load\n"
+          << plan.str();
+      EXPECT_FALSE(v.hostile_load_error.empty());
+      EXPECT_EQ(v.quarantines, 0) << "seed " << seed;
+    }
+    quarantines += v.quarantines;
+    reinstates += v.reinstates;
+    if (::testing::Test::HasFailure()) return;  // first failing seed is enough
+  }
+  // Liveness of the shard itself: each hostile kind actually ran, and the
+  // quarantine state machine cycled (not just entered once).
+  EXPECT_GT(kinds_seen[0], 0);
+  EXPECT_GT(kinds_seen[1], 0);
+  EXPECT_GT(kinds_seen[2], 0);
+  EXPECT_GT(quarantines, 0);
+  EXPECT_GT(reinstates, 0);
+}
+
+// ---- Deterministic state-machine tests --------------------------------------
+
+/// One host with the quarantine armed on a tight clock, tenant 0 running a
+/// fault flapper (the minrtt spec under a starved budget with the WCET proof
+/// off) and tenant 1 a healthy co-tenant.
+struct FlapperWorld {
+  static constexpr std::int64_t kBudget = 64;
+
+  sim::Simulator sim;
+  api::ProgmpApi papi;
+  api::Host host;
+  mptcp::MptcpConnection* flapper = nullptr;
+  mptcp::MptcpConnection* healthy = nullptr;
+
+  FlapperWorld() : host(sim, papi, Rng(1), options()) {
+    std::string err;
+    PROGMP_CHECK_MSG(papi.load_builtin("minrtt", &err), err.c_str());
+    const auto spec = sched::specs::find_spec("minrtt");
+    PROGMP_CHECK(spec.has_value());
+    rt::ProgmpProgram::LoadOptions lo;
+    lo.exec_budget = kBudget;
+    lo.verify.absint = false;
+    PROGMP_CHECK_MSG(papi.load_scheduler(spec->source, "flapper", lo, &err),
+                     err.c_str());
+    apps::install_fleet_network(host.network(), 16, 48);
+    flapper = open("flapper");
+    healthy = open("minrtt");
+    healthy->set_scheduler(sched::make_native_minrtt());
+  }
+
+  static api::Host::Options options() {
+    api::Host::Options o;
+    o.trace_enabled = true;
+    o.quarantine.enabled = true;
+    o.quarantine.fault_threshold = 3;
+    o.quarantine.window = milliseconds(200);
+    o.quarantine.cooldown_initial = milliseconds(100);
+    o.quarantine.cooldown_max = milliseconds(800);
+    o.quarantine.probation = milliseconds(50);
+    return o;
+  }
+
+  mptcp::MptcpConnection* open(const std::string& sched) {
+    std::string err;
+    mptcp::MptcpConnection* conn =
+        host.open_connection(apps::fleet_handover_config(), sched, &err);
+    PROGMP_CHECK_MSG(conn != nullptr, err.c_str());
+    return conn;
+  }
+
+  /// Periodic writes on both tenants: every write triggers the scheduler,
+  /// and each flapper execution with work queued exhausts the budget.
+  void drive(TimeNs until, TimeNs every = milliseconds(10),
+             std::int64_t bytes = 16 * 1024) {
+    for (TimeNs t = milliseconds(1); t < until; t += every) {
+      sim.schedule_at(t, [this, bytes] {
+        flapper->write(bytes, {});
+        healthy->write(bytes, {});
+      });
+    }
+  }
+
+  std::vector<TraceEvent> events_of(TraceEventType type, int conn_id) {
+    std::vector<TraceEvent> out;
+    for (const TraceEvent& e : host.tracer().events()) {
+      if (e.type == type && e.conn == conn_id) out.push_back(e);
+    }
+    return out;
+  }
+};
+
+TEST(HostileSpecTest, FlapperQuarantinedWithDoublingCooldown) {
+  FlapperWorld w;
+  w.drive(seconds(4));
+  w.sim.run_until(seconds(8));
+
+  // The flapper cycled quarantine -> probation -> re-quarantine; cooldowns
+  // double from cooldown_initial and saturate at cooldown_max.
+  const auto quarantines =
+      w.events_of(TraceEventType::kSpecQuarantine, w.flapper->conn_id());
+  ASSERT_GE(quarantines.size(), 4u);
+  const std::int64_t initial = milliseconds(100).ns();
+  const std::int64_t cap = milliseconds(800).ns();
+  for (std::size_t i = 0; i < quarantines.size(); ++i) {
+    const std::int64_t expected =
+        std::min(cap, initial << std::min<std::size_t>(i, 62));
+    EXPECT_EQ(quarantines[i].b, expected) << "quarantine #" << i;
+    EXPECT_EQ(quarantines[i].c, static_cast<std::int64_t>(i) + 1)
+        << "ordinal of quarantine #" << i;
+    EXPECT_GE(quarantines[i].a, 1) << "fault count of quarantine #" << i;
+  }
+  const auto reinstates =
+      w.events_of(TraceEventType::kSpecReinstate, w.flapper->conn_id());
+  EXPECT_GE(reinstates.size(), quarantines.size() - 1);
+
+  // The healthy co-tenant never saw a quarantine event.
+  EXPECT_TRUE(
+      w.events_of(TraceEventType::kSpecQuarantine, w.healthy->conn_id())
+          .empty());
+
+  // Containment, not punishment: both tenants fully delivered (the default
+  // scheduler stands in while the flapper is parked).
+  EXPECT_EQ(w.flapper->delivered_bytes(), w.flapper->written_bytes());
+  EXPECT_EQ(w.healthy->delivered_bytes(), w.healthy->written_bytes());
+  EXPECT_GT(w.flapper->written_bytes(), 0);
+
+  // Observability: metric, manager stats, proc lines.
+  w.host.refresh_metrics();
+  EXPECT_EQ(*w.host.metrics().counter("host.quarantines"),
+            static_cast<std::int64_t>(quarantines.size()));
+  EXPECT_EQ(w.host.quarantine()->total_quarantines(),
+            static_cast<std::int64_t>(quarantines.size()));
+  const std::string dump = w.host.proc_dump();
+  EXPECT_NE(dump.find("quarantine: enabled threshold=3"), std::string::npos)
+      << dump;
+  EXPECT_NE(dump.find("prog.fault_score.flapper"), std::string::npos) << dump;
+}
+
+TEST(HostileSpecTest, QuarantineSignalReachesR94AndClears) {
+  FlapperWorld w;
+  // One write trips the threshold (a single write triggers the scheduler
+  // several times, each execution faulting), then silence so probation runs
+  // out without a fault. Quarantine enters at ~1ms, cooldown 100ms.
+  w.drive(milliseconds(10));
+  w.sim.run_until(milliseconds(50));
+  EXPECT_TRUE(w.flapper->scheduler_quarantined());
+  EXPECT_EQ(w.flapper->quarantine_signal(), 1);
+  EXPECT_TRUE(w.host.quarantine()->quarantined("flapper"));
+  // The parked state shows in the connection's proc section while active.
+  const std::string dump = w.host.proc_dump();
+  EXPECT_NE(dump.find("quarantine: parked=yes signal=1"), std::string::npos)
+      << dump;
+
+  // Cooldown expires at ~101ms -> probation (R94 = 2) until ~151ms.
+  w.sim.run_until(milliseconds(130));
+  EXPECT_FALSE(w.flapper->scheduler_quarantined());
+  EXPECT_EQ(w.flapper->quarantine_signal(), 2);
+
+  // Probation survived fault-free -> healthy again, cooldown reset.
+  w.sim.run_until(milliseconds(300));
+  EXPECT_EQ(w.flapper->quarantine_signal(), 0);
+  EXPECT_FALSE(w.host.quarantine()->quarantined("flapper"));
+  for (const auto& [name, st] : w.host.quarantine()->stats()) {
+    if (name != "flapper") continue;
+    EXPECT_EQ(st.phase, api::SpecQuarantine::Phase::kHealthy);
+    EXPECT_EQ(st.cooldown, TimeNs{0}) << "cooldown must reset after recovery";
+  }
+
+  // The healthy tenant's R94 was never touched.
+  EXPECT_EQ(w.healthy->quarantine_signal(), 0);
+}
+
+TEST(HostileSpecTest, NewConnectionsInheritActiveQuarantine) {
+  FlapperWorld w;
+  w.drive(milliseconds(10));
+  w.sim.run_until(milliseconds(50));
+  ASSERT_TRUE(w.host.quarantine()->quarantined("flapper"));
+
+  // A tenant opening the quarantined program joins demoted — opening a new
+  // connection must not reset the containment.
+  mptcp::MptcpConnection* late = w.open("flapper");
+  EXPECT_TRUE(late->scheduler_quarantined());
+  EXPECT_EQ(late->quarantine_signal(), 1);
+
+  // ...and is reinstated along with the rest when the cooldown expires
+  // (~101ms; probation runs until ~151ms).
+  w.sim.run_until(milliseconds(130));
+  EXPECT_FALSE(late->scheduler_quarantined());
+  EXPECT_EQ(late->quarantine_signal(), 2);
+}
+
+TEST(HostileSpecTest, QuarantineOffByDefaultAndInert) {
+  sim::Simulator sim;
+  api::ProgmpApi papi;
+  std::string err;
+  ASSERT_TRUE(papi.load_builtin("minrtt", &err)) << err;
+  api::Host host(sim, papi, Rng(1), api::Host::Options{});
+  EXPECT_EQ(host.quarantine(), nullptr);
+  apps::install_fleet_network(host.network(), 16, 48);
+  mptcp::MptcpConnection* conn =
+      host.open_connection(apps::fleet_handover_config(), "minrtt", &err);
+  ASSERT_NE(conn, nullptr) << err;
+  conn->write(64 * 1024, {});
+  sim.run_until(seconds(2));
+  EXPECT_EQ(conn->delivered_bytes(), conn->written_bytes());
+  // No quarantine line in the dump, no quarantine metrics: knobs-off output
+  // is byte-identical to the pre-quarantine seed.
+  const std::string dump = host.proc_dump();
+  EXPECT_EQ(dump.find("quarantine:"), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("host.quarantines"), std::string::npos) << dump;
+}
+
+}  // namespace
+}  // namespace progmp

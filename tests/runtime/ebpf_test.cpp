@@ -218,7 +218,8 @@ TEST(EbpfVmTest, BudgetExhaustionOnInfiniteLoop) {
   const auto run = vm.run(code, senv, /*budget=*/1000);
   EXPECT_FALSE(run.ok);
   EXPECT_EQ(run.insns_executed, 1000);
-  EXPECT_NE(run.error.find("budget"), std::string::npos);
+  EXPECT_EQ(run.fault, mptcp::FaultKind::kBudgetExhausted);
+  EXPECT_NE(std::string(run.error).find("budget"), std::string::npos);
 }
 
 TEST(EbpfVmTest, SignedComparisons) {

@@ -1,0 +1,495 @@
+// Verifier differential/fuzz harness.
+//
+// The contract under test is the containment guarantee of the two-pass
+// verifier (structural checks + abstract interpretation): a program the
+// verifier ACCEPTS must run to completion on the VM — no helper violation,
+// no stack violation, no PC escape — within the worst-case instruction
+// bound the absint pass derived. A program that would break that promise
+// must be REJECTED, with diagnostics that carry instruction indices and a
+// counterexample path.
+//
+// Two halves:
+//  * a regression corpus with one hand-built program per rejection class
+//    (unbounded loop, out-of-bounds queue id / selector / stack slot,
+//    uninitialized reads, frame-pointer leaks, budget excess, invalid
+//    opcode), pinning the diagnostics;
+//  * a seeded differential sweep — mutated compiled builtins plus random
+//    instruction soup, thousands of programs — asserting the accept side of
+//    the contract on a live VM. Deterministic: a failing seed replays
+//    bit-for-bit, and the failure message carries the disassembly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "core/rng.hpp"
+#include "lang/analyzer.hpp"
+#include "lang/ast.hpp"
+#include "lang/parser.hpp"
+#include "runtime/ebpf_compiler.hpp"
+#include "runtime/ebpf_verifier.hpp"
+#include "runtime/ebpf_vm.hpp"
+#include "runtime/irgen.hpp"
+#include "runtime/iropt.hpp"
+#include "sched/specs.hpp"
+
+namespace progmp::rt::ebpf {
+namespace {
+
+using test::FakeEnv;
+
+bool mentions(const VerifyResult& v, const std::string& needle) {
+  for (const VerifyDiag& d : v.diags) {
+    if (d.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string render(const VerifyResult& v) {
+  std::string out;
+  for (const VerifyDiag& d : v.diags) out += "  " + d.str() + "\n";
+  return out;
+}
+
+// ---- Regression corpus: one program per rejection class ---------------------
+
+TEST(VerifierAbsintTest, RejectsUnboundedLoop) {
+  // r1 counts up but the guard waits for it to come back DOWN to zero:
+  // no finite trip count exists.
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 0},     // 0: r1 = 0
+      {Op::kAddImm, 1, 0, 0, 1},     // 1: r1 += 1  (loop head)
+      {Op::kJneImm, 1, 0, -2, 0},    // 2: if r1 != 0 goto 1
+      {Op::kMovImm, 0, 0, 0, 0},     // 3: r0 = 0
+      {Op::kExit},                   // 4
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "loop")) << render(v);
+  // Every diagnostic is anchored to an instruction and carries a path.
+  ASSERT_FALSE(v.diags.empty());
+  EXPECT_FALSE(v.diags.front().path.empty()) << render(v);
+}
+
+TEST(VerifierAbsintTest, RejectsLoopCounterThatNeverAdvances) {
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 0},    // 0: r1 = 0
+      {Op::kMovImm, 2, 0, 0, 5},    // 1: r2 = 5
+      {Op::kJsgeImm, 1, 0, 2, 5},   // 2: if r1 >= 5 goto 5  (loop head)
+      {Op::kMovReg, 3, 1, 0, 0},    // 3: r3 = r1 (no counter advance)
+      {Op::kJa, 0, 0, -3, 0},       // 4: goto 2
+      {Op::kMovImm, 0, 0, 0, 0},    // 5
+      {Op::kExit},                  // 6
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "loop")) << render(v);
+}
+
+TEST(VerifierAbsintTest, RejectsOutOfRangeQueueId) {
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 7},                          // r1 = 7 (no queue 7)
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kQueueLen)},
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "argument")) << render(v);
+}
+
+TEST(VerifierAbsintTest, RejectsUnprovenQueueId) {
+  // The id comes from REG_GET — value interval is top, so [0, 2] cannot be
+  // proven even though it might be fine at runtime. Rejection must name the
+  // call site.
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 0},                          // r1 = 0
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kRegGet)},
+      {Op::kMovReg, 1, 0, 0, 0},                          // r1 = r0 (top)
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kQueueLen)},
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  ASSERT_FALSE(v.diags.empty());
+  EXPECT_EQ(v.diags.front().pc, 3u) << render(v);
+}
+
+TEST(VerifierAbsintTest, AcceptsBranchRefinedQueueId) {
+  // Same top value, but guarded: refinement along the taken edges proves
+  // the range and the program must be accepted.
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 0},
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kRegGet)},
+      {Op::kMovReg, 1, 0, 0, 0},    // r1 = r0 (top)
+      {Op::kJsltImm, 1, 0, 2, 0},   // if r1 < 0 skip the call
+      {Op::kJsgtImm, 1, 0, 1, 2},   // if r1 > 2 skip the call
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kQueueLen)},
+      {Op::kMovImm, 0, 0, 0, 0},
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_TRUE(v.ok) << v.error;
+}
+
+TEST(VerifierAbsintTest, RejectsOutOfRangePropSelector) {
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 0},    // subflow index 0
+      {Op::kMovImm, 2, 0, 0, lang::kNumSbfProps},  // selector one past the end
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kSbfProp)},
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "argument")) << render(v);
+}
+
+TEST(VerifierAbsintTest, RejectsOutOfRangeRegisterIndex) {
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 99},   // register indices are [0, 98]
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kRegGet)},
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "argument")) << render(v);
+}
+
+TEST(VerifierAbsintTest, RejectsUninitializedStackRead) {
+  // The VM zeroes its stack once per VM instance, not per run: a read from
+  // a never-written slot observes stale cross-run state and must be
+  // rejected even though it cannot crash.
+  Code code = {
+      {Op::kLdxDw, 0, 10, -8, 0},   // r0 = stack[-8], never stored
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "before initialization")) << render(v);
+}
+
+TEST(VerifierAbsintTest, AcceptsStackReadAfterWrite) {
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 42},
+      {Op::kStxDw, 10, 1, -8, 0},
+      {Op::kLdxDw, 0, 10, -8, 0},
+      {Op::kExit},
+  };
+  EXPECT_TRUE(verify(code).ok);
+}
+
+TEST(VerifierAbsintTest, RejectsStackReadInitializedOnOnlyOneBranch) {
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 1},
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kSbfCount)},
+      {Op::kJeqImm, 0, 0, 1, 0},    // if r0 == 0 skip the store
+      {Op::kStxDw, 10, 1, -8, 0},   // stored on one path only
+      {Op::kLdxDw, 0, 10, -8, 0},   // may read uninitialized
+      {Op::kExit},
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "before initialization")) << render(v);
+}
+
+TEST(VerifierAbsintTest, RejectsFramePointerLeaks) {
+  // Returning fp or passing it to a helper would leak a VM address into
+  // scheduler-visible state.
+  Code ret_fp = {{Op::kMovReg, 0, 10, 0, 0}, {Op::kExit}};
+  const VerifyResult v1 = verify(ret_fp);
+  EXPECT_FALSE(v1.ok);
+  EXPECT_TRUE(mentions(v1, "frame pointer")) << render(v1);
+
+  Code fp_arg = {
+      {Op::kMovReg, 1, 10, 0, 0},
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kQueueLen)},
+      {Op::kExit},
+  };
+  const VerifyResult v2 = verify(fp_arg);
+  EXPECT_FALSE(v2.ok);
+  EXPECT_TRUE(mentions(v2, "frame pointer")) << render(v2);
+}
+
+TEST(VerifierAbsintTest, RejectsBoundedLoopOverBudget) {
+  // 1000 iterations, perfectly bounded — but the caller's execution budget
+  // is 100: the load-time proof must refuse what the runtime would kill.
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 0},
+      {Op::kMovImm, 2, 0, 0, 1000},
+      {Op::kJsgeReg, 1, 2, 2, 0},   // loop head: if r1 >= r2 goto 5
+      {Op::kAddImm, 1, 0, 0, 1},
+      {Op::kJa, 0, 0, -3, 0},
+      {Op::kMovImm, 0, 0, 0, 0},
+      {Op::kExit},
+  };
+  VerifyOptions opts;
+  opts.absint_options.exec_budget = 100;
+  const VerifyResult tight = verify(code, opts);
+  EXPECT_FALSE(tight.ok);
+  EXPECT_TRUE(mentions(tight, "budget")) << render(tight);
+
+  // The same program under a sufficient budget is accepted with a finite
+  // derived bound covering all iterations.
+  const VerifyResult roomy = verify(code);
+  EXPECT_TRUE(roomy.ok) << roomy.error;
+  EXPECT_GE(roomy.derived_insn_bound, 3000);
+}
+
+TEST(VerifierAbsintTest, RejectsInvalidOpcodeBeforeAnythingElse) {
+  Code code = {{static_cast<Op>(0xEE), 0, 0, 0, 0}, {Op::kExit}};
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  EXPECT_TRUE(mentions(v, "invalid opcode")) << render(v);
+}
+
+TEST(VerifierAbsintTest, ReportsAllViolationsWithInstructionIndices) {
+  // Three independent defects in one program: every one must surface in a
+  // single verification, each anchored at its own pc.
+  Code code = {
+      {Op::kMovImm, 1, 0, 0, 9},                          // 0
+      {Op::kCall, 0, 0, 0, static_cast<std::int64_t>(Helper::kQueueLen)},  // 1
+      {Op::kLdxDw, 2, 10, -16, 0},  // 2: uninitialized stack read
+      {Op::kMovReg, 0, 10, 0, 0},   // 3: fp into r0
+      {Op::kExit},                  // 4
+  };
+  const VerifyResult v = verify(code);
+  EXPECT_FALSE(v.ok);
+  ASSERT_GE(v.diags.size(), 3u) << render(v);
+  std::vector<std::size_t> pcs;
+  for (const VerifyDiag& d : v.diags) pcs.push_back(d.pc);
+  EXPECT_NE(std::find(pcs.begin(), pcs.end(), 1u), pcs.end()) << render(v);
+  EXPECT_NE(std::find(pcs.begin(), pcs.end(), 2u), pcs.end()) << render(v);
+}
+
+// ---- Differential sweep -----------------------------------------------------
+
+/// Compiles one builtin spec (cached — the sweep reuses them thousands of
+/// times).
+const std::vector<Code>& builtin_corpus() {
+  static const std::vector<Code> corpus = [] {
+    std::vector<Code> out;
+    for (const auto& spec : sched::specs::all_specs()) {
+      DiagSink diags;
+      lang::Program p =
+          lang::parse(spec.source, std::string(spec.name), diags);
+      if (!diags.ok() || !lang::analyze(p, diags)) continue;
+      CompileResult r = compile(optimize(lower(p)));
+      if (r.ok) out.push_back(std::move(r.code));
+    }
+    return out;
+  }();
+  return corpus;
+}
+
+/// Applies `n` random single-field mutations. Opcode draws deliberately
+/// overshoot the valid range so invalid opcodes are part of the input
+/// distribution.
+void mutate(Code& code, Rng& rng, int n) {
+  for (int i = 0; i < n && !code.empty(); ++i) {
+    Insn& insn = code[rng.next_below(code.size())];
+    switch (rng.next_range(0, 4)) {
+      case 0:
+        insn.op = static_cast<Op>(rng.next_range(0, 40));
+        break;
+      case 1:
+        insn.dst = static_cast<std::uint8_t>(rng.next_range(0, 15));
+        break;
+      case 2:
+        insn.src = static_cast<std::uint8_t>(rng.next_range(0, 15));
+        break;
+      case 3:
+        insn.off = static_cast<std::int16_t>(
+            rng.next_range(-64, 64) * (rng.chance(0.2) ? 64 : 1));
+        break;
+      default: {
+        static constexpr std::int64_t kPool[] = {
+            0, 1, -1, 2, 13, 99, 1'000'000, INT64_MAX, INT64_MIN};
+        insn.imm = rng.chance(0.5)
+                       ? kPool[rng.next_below(std::size(kPool))]
+                       : static_cast<std::int64_t>(rng.next_u64());
+        break;
+      }
+    }
+  }
+}
+
+/// Random instruction soup. A small MOV-immediate prologue (always
+/// including r0, the return register) gives the init-before-read pass
+/// something to work with — without it virtually every program dies on an
+/// uninitialized read and the accept side of the sweep never runs. Jump
+/// offsets are biased to stay in range; opcode draws include a small
+/// invalid tail.
+Code random_program(Rng& rng) {
+  Code code;
+  const int prologue = 1 + static_cast<int>(rng.next_below(3));
+  code.push_back({Op::kMovImm, 0, 0, 0, rng.next_range(-4, 4)});
+  for (int i = 1; i < prologue; ++i) {
+    code.push_back({Op::kMovImm,
+                    static_cast<std::uint8_t>(rng.next_below(6)), 0, 0,
+                    rng.next_range(-4, 4)});
+  }
+  const std::size_t n = code.size() + 1 + rng.next_below(30);
+  while (code.size() < n) {
+    const std::size_t i = code.size();
+    Insn insn;
+    insn.op = static_cast<Op>(rng.next_range(0, 31));  // slight invalid tail
+    insn.dst = static_cast<std::uint8_t>(rng.next_range(0, 11));
+    insn.src = static_cast<std::uint8_t>(rng.next_range(0, 11));
+    insn.off = static_cast<std::int16_t>(
+        rng.next_range(-static_cast<std::int64_t>(i),
+                       static_cast<std::int64_t>(n - i)));
+    insn.imm = rng.next_range(-8, 14);  // covers all helper ids
+    code.push_back(insn);
+  }
+  if (rng.chance(0.9)) code.back() = {Op::kExit};
+  return code;
+}
+
+/// Runs `code` in a fixed model environment: 3 subflows
+/// (<= model_sbf_count) and small queues (<= model_queue_len), so the
+/// absint environment model covers everything the VM will see.
+Vm::RunResult run_in_model_env(const Code& code) {
+  FakeEnv env;
+  env.add_subflow("a", 10'000);
+  env.add_subflow("b", 40'000);
+  env.add_subflow("c", 25'000);
+  for (int i = 0; i < 5; ++i) env.add_packet(mptcp::QueueId::kQ);
+  for (int i = 0; i < 2; ++i) env.add_packet(mptcp::QueueId::kRq);
+  auto ctx = env.ctx();
+  SchedulerEnv senv(ctx);
+  Vm vm;
+  return vm.run(code, senv);
+}
+
+/// True when `code` violates the verifier/VM contract: accepted at load,
+/// yet faults on the VM or overruns the derived instruction bound.
+bool reproduces_contract_violation(const Code& code) {
+  const VerifyResult v = verify(code);
+  if (!v.ok) return false;
+  const Vm::RunResult run = run_in_model_env(code);
+  return !run.ok || run.insns_executed > v.derived_insn_bound;
+}
+
+/// Greedy shrink mirroring `minimize_chaos_plan`: neutralize instructions
+/// one at a time (a `mov r0, 0` keeps every jump offset stable) while the
+/// contract violation still reproduces.
+Code minimize_failing_program(Code code) {
+  const Insn neutral = {Op::kMovImm, 0, 0, 0, 0};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i + 1 < code.size(); ++i) {
+      const Insn& cur = code[i];
+      if (cur.op == neutral.op && cur.dst == 0 && cur.src == 0 &&
+          cur.off == 0 && cur.imm == 0) {
+        continue;
+      }
+      Code trial = code;
+      trial[i] = neutral;
+      if (reproduces_contract_violation(trial)) {
+        code = std::move(trial);
+        changed = true;
+      }
+    }
+  }
+  return code;
+}
+
+/// CI handoff mirroring the chaos-plan flow: when the sweep finds a program
+/// the verifier accepted but the VM disagreed with, drop the minimized
+/// reproducer where the workflow's artifact-upload step looks. No-op
+/// outside CI.
+void write_failure_artifact(const Code& code, std::uint64_t seed,
+                            const char* what) {
+  const char* dir = std::getenv("PROGMP_CHAOS_ARTIFACT_DIR");
+  if (dir == nullptr) return;
+  const Code minimized = minimize_failing_program(code);
+  std::ofstream out(std::string(dir) + "/verifier_fuzz_failing_program.txt");
+  out << "seed: " << seed << "\nfailure: " << what << "\n\nminimized:\n"
+      << disassemble(minimized) << "\noriginal:\n" << disassemble(code);
+}
+
+/// The accept-side contract on a live VM: a verified program runs clean and
+/// within the derived bound.
+void check_accepted_program_runs_clean(const Code& code,
+                                       const VerifyResult& v,
+                                       std::uint64_t seed) {
+  const Vm::RunResult run = run_in_model_env(code);
+  if (!run.ok) write_failure_artifact(code, seed, run.error);
+  EXPECT_TRUE(run.ok) << "seed " << seed
+                      << ": verifier accepted a program the VM faulted on ("
+                      << run.error << ")\n"
+                      << disassemble(code);
+  if (run.ok && run.insns_executed > v.derived_insn_bound) {
+    write_failure_artifact(code, seed, "derived bound exceeded");
+  }
+  EXPECT_LE(run.insns_executed, v.derived_insn_bound)
+      << "seed " << seed << ": run exceeded the derived worst-case bound\n"
+      << disassemble(code);
+}
+
+TEST(VerifierFuzzTest, MutatedBuiltinsNeverFaultWhenAccepted) {
+  const std::vector<Code>& corpus = builtin_corpus();
+  ASSERT_FALSE(corpus.empty());
+  int accepted = 0;
+  for (std::uint64_t seed = 0; seed < 1500; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    Code code = corpus[seed % corpus.size()];
+    // 0 mutations keeps the pristine builtin in the distribution — the
+    // accept side of the sweep can never be vacuous.
+    mutate(code, rng, static_cast<int>(rng.next_range(0, 3)));
+    const VerifyResult v = verify(code);
+    if (!v.ok) {
+      // Rejections must come with anchored diagnostics, not a bare "no".
+      EXPECT_FALSE(v.diags.empty()) << "seed " << seed;
+      continue;
+    }
+    ++accepted;
+    ASSERT_GT(v.derived_insn_bound, 0) << "seed " << seed;
+    check_accepted_program_runs_clean(code, v, seed);
+    if (::testing::Test::HasFailure()) return;
+  }
+  // Liveness: the pristine copies alone guarantee a healthy accept rate.
+  EXPECT_GT(accepted, 100);
+}
+
+TEST(VerifierFuzzTest, RandomProgramsNeverFaultWhenAccepted) {
+  int accepted = 0;
+  for (std::uint64_t seed = 0; seed < 3000; ++seed) {
+    Rng rng(seed ^ 0xfee1dead);
+    const Code code = random_program(rng);
+    const VerifyResult v = verify(code);
+    if (!v.ok) continue;
+    ++accepted;
+    check_accepted_program_runs_clean(code, v, seed);
+    if (::testing::Test::HasFailure()) return;
+  }
+  // Straight-line soup is accepted often enough for the sweep to mean
+  // something; if this ever drops to ~0 the generator or verifier broke.
+  EXPECT_GT(accepted, 20);
+}
+
+TEST(VerifierFuzzTest, VerifierIsDeterministic) {
+  // Same program, same verdict, same diagnostics — a failing fuzz seed must
+  // replay exactly.
+  Rng rng(7);
+  Code code = builtin_corpus().front();
+  mutate(code, rng, 2);
+  const VerifyResult a = verify(code);
+  const VerifyResult b = verify(code);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.derived_insn_bound, b.derived_insn_bound);
+  ASSERT_EQ(a.diags.size(), b.diags.size());
+  for (std::size_t i = 0; i < a.diags.size(); ++i) {
+    EXPECT_EQ(a.diags[i].str(), b.diags[i].str());
+  }
+}
+
+}  // namespace
+}  // namespace progmp::rt::ebpf
